@@ -1,0 +1,234 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every experiment table of EXPERIMENTS.md (the
+   paper's evaluation, reconstructed — see DESIGN.md §4): run with no
+   arguments to get all of them, or pass experiment ids.
+
+   Part 2 runs Bechamel micro-benchmarks over the hot paths (history
+   interning, counter-table merging, one compute step of each algorithm)
+   and whole-run macro-benchmarks (one per experiment family), reporting
+   nanoseconds per run. Pass [--no-bechamel] to skip it. *)
+
+open Bechamel
+open Toolkit
+module K = Anon_kernel
+module G = Anon_giraf
+module C = Anon_consensus
+module H = Anon_harness
+
+(* --- part 1: the experiment tables ---------------------------------------- *)
+
+let run_experiments ids =
+  let experiments =
+    match ids with
+    | [] -> H.Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match H.Registry.find id with
+          | Some e -> e
+          | None -> failwith ("unknown experiment id: " ^ id))
+        ids
+  in
+  Format.printf "=== Experiment tables (paper claims, reconstructed evaluation) ===@.";
+  List.iter
+    (fun (e : H.Registry.experiment) ->
+      let t0 = Unix.gettimeofday () in
+      let table = e.build () in
+      H.Table.render Format.std_formatter table;
+      Format.printf "   [%.2fs]@." (Unix.gettimeofday () -. t0))
+    experiments
+
+(* --- part 2: bechamel ------------------------------------------------------- *)
+
+(* Micro: kernel hot paths. *)
+
+let bench_history_snoc =
+  Test.make ~name:"history: snoc x100"
+    (Staged.stage (fun () ->
+         let rec go h i = if i = 0 then h else go (K.History.snoc h (i mod 7)) (i - 1) in
+         go K.History.empty 100))
+
+let bench_history_prefix_walk =
+  let h = K.History.of_list (List.init 200 (fun i -> i mod 5)) in
+  let t =
+    K.History.fold_prefixes
+      (fun p acc -> K.Counter_table.set acc p (K.History.length p + 1))
+      h K.Counter_table.empty
+  in
+  Test.make ~name:"counter: bump over 200-prefix history"
+    (Staged.stage (fun () -> K.Counter_table.bump_prefix_max t h))
+
+let bench_counter_min_merge =
+  let mk seed =
+    let rng = K.Rng.make seed in
+    List.fold_left
+      (fun t i ->
+        K.Counter_table.set t
+          (K.History.of_list [ i mod 8; K.Rng.int rng 4 ])
+          (1 + K.Rng.int rng 50))
+      K.Counter_table.empty (List.init 30 Fun.id)
+  in
+  let tables = List.map mk [ 1; 2; 3; 4 ] in
+  Test.make ~name:"counter: min-merge 4 tables x30 entries"
+    (Staged.stage (fun () -> K.Counter_table.min_merge tables))
+
+let inbox_of sets = { G.Intf.current = sets; fresh = [] }
+
+let bench_es_compute =
+  let sets = List.init 16 (fun i -> K.Value.set_of_list [ i; i + 1; 40 ]) in
+  Test.make ~name:"es: one compute, 16-message inbox"
+    (Staged.stage (fun () ->
+         let st, _ = C.Es_consensus.initialize 3 in
+         C.Es_consensus.compute st ~round:2 ~inbox:(inbox_of sets)))
+
+let bench_ess_compute =
+  let mk i =
+    {
+      C.Ess_consensus.m_proposed = K.Pvalue.Set.of_list [ K.Pvalue.v i; K.Pvalue.bot ];
+      m_history = K.History.of_list (List.init 20 (fun j -> (i + j) mod 5));
+      m_counters =
+        K.Counter_table.set K.Counter_table.empty (K.History.of_list [ i mod 5 ]) i;
+    }
+  in
+  let msgs = List.init 16 mk in
+  Test.make ~name:"ess: one compute, 16-message inbox"
+    (Staged.stage (fun () ->
+         let st, _ = C.Ess_consensus.initialize 3 in
+         C.Ess_consensus.compute st ~round:2 ~inbox:(inbox_of msgs)))
+
+(* Macro: one whole run per experiment family. *)
+
+let bench_es_run =
+  Test.make ~name:"run: ES consensus, n=8, blocking gst=10"
+    (Staged.stage (fun () ->
+         let module R = G.Runner.Make (C.Es_consensus) in
+         let config =
+           G.Runner.default_config ~horizon:100
+             ~inputs:(List.init 8 (fun i -> i + 1))
+             ~crash:(G.Crash.none ~n:8)
+             (G.Adversary.es_blocking ~gst:10 ())
+         in
+         R.run config))
+
+let bench_ess_run =
+  Test.make ~name:"run: ESS consensus, n=8, blocking gst=10"
+    (Staged.stage (fun () ->
+         let module R = G.Runner.Make (C.Ess_consensus) in
+         let config =
+           G.Runner.default_config ~horizon:100
+             ~inputs:(List.init 8 (fun i -> i + 1))
+             ~crash:(G.Crash.none ~n:8)
+             (G.Adversary.ess_blocking ~gst:10 ())
+         in
+         R.run config))
+
+let bench_weakset_run =
+  Test.make ~name:"run: weak-set in MS, n=8, 3 ops/client"
+    (Staged.stage (fun () ->
+         let module W = G.Service_runner.Make (C.Weak_set_ms) in
+         let rng = K.Rng.make 4 in
+         let workload =
+           G.Service_runner.random_workload ~n:8 ~ops_per_client:3 ~max_start:20
+             ~value_range:10_000 rng
+         in
+         W.run
+           { G.Service_runner.n = 8;
+             crash = G.Crash.none ~n:8;
+             adversary = G.Adversary.ms ();
+             horizon = 80;
+             seed = 4 }
+           ~workload))
+
+let bench_emulation_run =
+  Test.make ~name:"run: MS emulation hosting ES, n=4, 40 rounds"
+    (Staged.stage (fun () ->
+         let module E = C.Ms_emulation.Make (C.Es_consensus) in
+         E.run
+           (C.Ms_emulation.default_config ~inputs:[ 3; 1; 4; 1 ]
+              ~crash:(G.Crash.none ~n:4) ~horizon_rounds:40 ~seed:7 ())))
+
+let bench_sigma_attack =
+  Test.make ~name:"run: sigma two-run attack, 4 candidates"
+    (Staged.stage (fun () ->
+         List.map
+           (fun (module Cand : C.Sigma.CANDIDATE) ->
+             C.Sigma.two_run_attack (module Cand) ~horizon:200)
+           C.Sigma.builtin_candidates))
+
+let bench_skew_run =
+  Test.make ~name:"run: skewed ES, n=4, random pace/delay"
+    (Staged.stage (fun () ->
+         let module S = G.Skew_runner.Make (C.Es_consensus) in
+         S.run
+           (G.Skew_runner.default_config ~seed:5 ~horizon_ticks:500 ~max_rounds:60
+              ~pace:(G.Skew_runner.uniform_pace ~max:3)
+              ~delay:(G.Skew_runner.uniform_delay ~max:3)
+              ~inputs:[ 1; 2; 3; 4 ]
+              ~crash:(G.Crash.none ~n:4) ())))
+
+let bench_checker =
+  let out =
+    let module R = G.Runner.Make (C.Es_consensus) in
+    R.run
+      (G.Runner.default_config ~horizon:100
+         ~inputs:(List.init 8 (fun i -> i + 1))
+         ~crash:(G.Crash.none ~n:8)
+         (G.Adversary.es_blocking ~gst:30 ()))
+  in
+  Test.make ~name:"check: env + consensus over a 32-round trace"
+    (Staged.stage (fun () ->
+         (G.Checker.check_env out.trace, G.Checker.check_consensus out.trace)))
+
+let all_benches =
+  Test.make_grouped ~name:"anon-consensus"
+    [
+      bench_history_snoc;
+      bench_history_prefix_walk;
+      bench_counter_min_merge;
+      bench_es_compute;
+      bench_ess_compute;
+      bench_es_run;
+      bench_ess_run;
+      bench_weakset_run;
+      bench_emulation_run;
+      bench_skew_run;
+      bench_sigma_attack;
+      bench_checker;
+    ]
+
+let run_bechamel () =
+  Format.printf "@.=== Bechamel micro/macro benchmarks (ns per run) ===@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances all_benches in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ x ] -> x
+        | Some _ | None -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if ns < 1_000.0 then Format.printf "  %-50s %10.1f ns@." name ns
+      else if ns < 1_000_000.0 then Format.printf "  %-50s %10.2f µs@." name (ns /. 1e3)
+      else Format.printf "  %-50s %10.2f ms@." name (ns /. 1e6))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let skip_bechamel = List.mem "--no-bechamel" args in
+  let ids = List.filter (fun a -> a <> "--no-bechamel") args in
+  run_experiments ids;
+  if not skip_bechamel then run_bechamel ();
+  Format.printf "@.done.@."

@@ -1,0 +1,256 @@
+(* anonc — command-line driver for the anonymous-consensus simulator.
+
+   Subcommands:
+     run        one consensus run (ES or ESS), with trace and checker output
+     weakset    drive the MS weak-set with a random workload
+     emulate    run Alg. 5's MS emulation hosting the ES algorithm
+     sigma      replay the Prop. 4 two-run adversary
+     experiment run one experiment table (or all) from the registry
+     list       list experiment ids *)
+
+open Cmdliner
+module G = Anon_giraf
+module C = Anon_consensus
+module H = Anon_harness
+
+let ppf = Format.std_formatter
+
+(* --- shared options ------------------------------------------------------- *)
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let gst_arg =
+  Arg.(value & opt int 10 & info [ "gst" ] ~docv:"ROUND" ~doc:"Stabilization round.")
+
+let horizon_arg =
+  Arg.(value & opt int 300 & info [ "horizon" ] ~docv:"ROUNDS" ~doc:"Round limit.")
+
+let failures_arg =
+  Arg.(value & opt int 0 & info [ "failures" ] ~docv:"F" ~doc:"Crashing processes.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full round-by-round trace.")
+
+(* --- run ------------------------------------------------------------------ *)
+
+type algo = Es | Ess
+
+let algo_arg =
+  let of_string = Arg.enum [ ("es", Es); ("ess", Ess) ] in
+  Arg.(value & opt of_string Es & info [ "algo" ] ~docv:"ALGO" ~doc:"es or ess.")
+
+type schedule = Blocking | Noisy | Synchronous
+
+let schedule_arg =
+  let of_string =
+    Arg.enum [ ("blocking", Blocking); ("noisy", Noisy); ("sync", Synchronous) ]
+  in
+  Arg.(value & opt of_string Noisy
+       & info [ "schedule" ] ~docv:"SCHED"
+           ~doc:"blocking (worst case), noisy (random extra links) or sync.")
+
+let adversary_of ~algo ~schedule ~gst =
+  match algo, schedule with
+  | _, Synchronous -> G.Adversary.sync ()
+  | Es, Blocking -> G.Adversary.es_blocking ~gst ()
+  | Es, Noisy -> G.Adversary.es ~gst ~noise:0.25 ()
+  | Ess, Blocking -> G.Adversary.ess_blocking ~gst ()
+  | Ess, Noisy -> G.Adversary.ess ~gst ~noise:0.25 ()
+
+let report_outcome ~trace (outcome : G.Runner.outcome) =
+  if trace then Format.fprintf ppf "%a@." G.Trace.pp outcome.trace;
+  List.iter
+    (fun (p, r, v) -> Format.fprintf ppf "decision: p%d at round %d = %d@." p r v)
+    outcome.decisions;
+  Format.fprintf ppf "all correct decided: %b (rounds executed: %d)@."
+    outcome.all_correct_decided outcome.rounds_executed;
+  Format.fprintf ppf "messages broadcast: %d; deliveries: %d (timely %d)@."
+    outcome.messages_sent outcome.deliveries outcome.timely_deliveries;
+  let report label vs =
+    if vs = [] then Format.fprintf ppf "%s: ok@." label
+    else
+      List.iter (fun v -> Format.fprintf ppf "%s: %a@." label G.Checker.pp_violation v) vs
+  in
+  report "environment" (G.Checker.check_env outcome.trace);
+  report "consensus"
+    (G.Checker.check_consensus ~expect_termination:false outcome.trace)
+
+let run_cmd =
+  let run algo schedule n gst seed horizon failures trace =
+    let rng = Anon_kernel.Rng.make seed in
+    let inputs =
+      match schedule with
+      | Blocking -> H.Exp_consensus.ordered_inputs ~n rng
+      | Noisy | Synchronous -> H.Runs.distinct_inputs ~n rng
+    in
+    let crash = G.Crash.random ~n ~failures ~max_round:(max 1 (gst + 10)) rng in
+    let adversary = adversary_of ~algo ~schedule ~gst in
+    let config = G.Runner.default_config ~horizon ~seed ~inputs ~crash adversary in
+    Format.fprintf ppf "algorithm: %s; env: %a; inputs: [%s]; crash: %a@."
+      (match algo with Es -> C.Es_consensus.name | Ess -> C.Ess_consensus.name)
+      G.Env.pp (G.Adversary.env adversary)
+      (String.concat ";" (List.map string_of_int inputs))
+      G.Crash.pp crash;
+    match algo with
+    | Es ->
+      let module R = G.Runner.Make (C.Es_consensus) in
+      report_outcome ~trace (R.run config)
+    | Ess ->
+      let module R = G.Runner.Make (C.Ess_consensus) in
+      report_outcome ~trace (R.run config)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one consensus simulation.")
+    Term.(
+      const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg $ horizon_arg
+      $ failures_arg $ trace_arg)
+
+(* --- weakset -------------------------------------------------------------- *)
+
+let weakset_cmd =
+  let run n seed horizon failures ops =
+    let rng = Anon_kernel.Rng.make seed in
+    let crash = G.Crash.random ~n ~failures ~max_round:horizon rng in
+    let workload =
+      G.Service_runner.random_workload ~n ~ops_per_client:ops
+        ~max_start:(horizon / 2) ~value_range:10_000 rng
+    in
+    let config =
+      { G.Service_runner.n; crash; adversary = G.Adversary.ms (); horizon; seed }
+    in
+    let module W = G.Service_runner.Make (C.Weak_set_ms) in
+    let out = W.run config ~workload in
+    List.iter
+      (fun (a : G.Service_runner.add_record) ->
+        Format.fprintf ppf "add p%d v=%d: round %d to %s@." a.client a.value
+          a.invoked_round
+          (match a.completed_round with None -> "pending" | Some r -> string_of_int r))
+      out.adds;
+    let viol = G.Checker.check_weak_set ~correct:(G.Crash.correct crash) out.ops in
+    Format.fprintf ppf "ops: %d; weak-set semantics: %s@." (List.length out.ops)
+      (if viol = [] then "ok" else string_of_int (List.length viol) ^ " violations");
+    List.iter (fun v -> Format.fprintf ppf "  %a@." G.Checker.pp_violation v) viol
+  in
+  let ops_arg =
+    Arg.(value & opt int 6 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per client.")
+  in
+  Cmd.v (Cmd.info "weakset" ~doc:"Drive the MS weak-set (Alg. 4).")
+    Term.(const run $ n_arg $ seed_arg $ Arg.(value & opt int 120 & info [ "horizon" ]) $ failures_arg $ ops_arg)
+
+(* --- emulate -------------------------------------------------------------- *)
+
+let emulate_cmd =
+  let run n seed rounds =
+    let rng = Anon_kernel.Rng.make seed in
+    let inputs = H.Runs.distinct_inputs ~n rng in
+    let config =
+      C.Ms_emulation.default_config ~inputs ~crash:(G.Crash.none ~n)
+        ~horizon_rounds:rounds ~seed ()
+    in
+    let module E = C.Ms_emulation.Make (C.Es_consensus) in
+    let out = E.run config in
+    Format.fprintf ppf
+      "emulated %d steps; per-process rounds: [%s]; hosted decisions: %d@." out.steps
+      (String.concat ";" (Array.to_list (Array.map string_of_int out.rounds_completed)))
+      (List.length out.decisions);
+    let env = G.Checker.check_env out.trace in
+    Format.fprintf ppf "MS property over emulated rounds: %s@."
+      (if env = [] then "ok (Thm. 4 holds)" else string_of_int (List.length env) ^ " violations")
+  in
+  Cmd.v (Cmd.info "emulate" ~doc:"Emulate MS from a weak-set (Alg. 5).")
+    Term.(const run $ n_arg $ seed_arg
+          $ Arg.(value & opt int 60 & info [ "rounds" ] ~doc:"Emulated rounds."))
+
+(* --- skew ------------------------------------------------------------------ *)
+
+let skew_cmd =
+  let run n seed max_pace max_delay ticks =
+    let module S = G.Skew_runner.Make (C.Es_consensus) in
+    let rng = Anon_kernel.Rng.make seed in
+    let config =
+      G.Skew_runner.default_config ~seed ~horizon_ticks:ticks
+        ~pace:(G.Skew_runner.uniform_pace ~max:max_pace)
+        ~delay:(G.Skew_runner.uniform_delay ~max:max_delay)
+        ~inputs:(H.Runs.distinct_inputs ~n rng)
+        ~crash:(G.Crash.none ~n) ()
+    in
+    let out = S.run config in
+    Format.fprintf ppf "rounds completed: [%s] in %d ticks@."
+      (String.concat ";" (Array.to_list (Array.map string_of_int out.rounds_completed)))
+      out.ticks;
+    List.iter
+      (fun (p, r, v) -> Format.fprintf ppf "decision: p%d at its round %d = %d@." p r v)
+      out.decisions;
+    let cons = G.Checker.check_consensus ~expect_termination:false out.trace in
+    if cons = [] then Format.fprintf ppf "consensus properties: ok@."
+    else begin
+      Format.fprintf ppf
+        "consensus violations (no environment obligation was promised!):@.";
+      List.iter (fun v -> Format.fprintf ppf "  %a@." G.Checker.pp_violation v) cons
+    end
+  in
+  Cmd.v
+    (Cmd.info "skew"
+       ~doc:"Run ES consensus with unsynchronized rounds (relay semantics).")
+    Term.(
+      const run $ n_arg $ seed_arg
+      $ Arg.(value & opt int 3 & info [ "max-pace" ] ~doc:"Max ticks between a process's rounds.")
+      $ Arg.(value & opt int 4 & info [ "max-delay" ] ~doc:"Max broadcast latency in ticks.")
+      $ Arg.(value & opt int 2000 & info [ "ticks" ] ~doc:"Tick horizon."))
+
+(* --- sigma ---------------------------------------------------------------- *)
+
+let sigma_cmd =
+  let run horizon =
+    List.iter
+      (fun (module Cand : C.Sigma.CANDIDATE) ->
+        let verdict = C.Sigma.two_run_attack (module Cand) ~horizon in
+        Format.fprintf ppf "%-28s %a@." Cand.name C.Sigma.pp_verdict verdict)
+      C.Sigma.builtin_candidates
+  in
+  Cmd.v (Cmd.info "sigma" ~doc:"Prop. 4: defeat candidate Σ emulators.")
+    Term.(const run $ Arg.(value & opt int 200 & info [ "horizon" ]))
+
+(* --- experiment / list ---------------------------------------------------- *)
+
+let experiment_cmd =
+  let run ids csv =
+    let experiments =
+      match ids with
+      | [] -> H.Registry.all
+      | ids ->
+        List.map
+          (fun id ->
+            match H.Registry.find id with
+            | Some e -> e
+            | None -> failwith ("unknown experiment: " ^ id))
+          ids
+    in
+    List.iter
+      (fun (e : H.Registry.experiment) ->
+        let table = e.build () in
+        if csv then print_string (H.Table.to_csv table)
+        else H.Table.render ppf table)
+      experiments
+  in
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate experiment tables.")
+    Term.(const run $ ids_arg $ csv_arg)
+
+let list_cmd =
+  let run () =
+    List.iter (fun (e : H.Registry.experiment) -> print_endline e.id) H.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "anonc" ~version:"1.0.0"
+      ~doc:"Fault-tolerant consensus in unknown and anonymous networks (ICDCS'09 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; experiment_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/blackboard.ml: Anon_consensus Anon_giraf Anon_kernel Format List

@@ -1,0 +1,1 @@
+examples/flp_demo.ml: Anon_consensus Anon_giraf Format Fun Hashtbl List String

@@ -1,0 +1,1 @@
+examples/flp_demo.mli:

@@ -1,0 +1,1 @@
+examples/pseudo_leader_demo.ml: Anon_consensus Anon_giraf Anon_kernel Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+examples/pseudo_leader_demo.mli:

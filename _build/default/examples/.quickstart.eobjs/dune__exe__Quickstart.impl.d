@@ -1,0 +1,1 @@
+examples/quickstart.ml: Anon_consensus Anon_giraf Format List

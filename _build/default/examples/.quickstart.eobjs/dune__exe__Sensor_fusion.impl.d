@@ -1,0 +1,1 @@
+examples/sensor_fusion.ml: Anon_consensus Anon_giraf Anon_kernel Format List String

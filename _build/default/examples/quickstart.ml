@@ -1,0 +1,43 @@
+(* Quickstart: five anonymous processes agree on a value in the eventually
+   synchronous (ES) environment.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module G = Anon_giraf
+module C = Anon_consensus
+
+(* The ES consensus algorithm (paper Alg. 2) plugged into the GIRAF
+   runner. *)
+module Runner = G.Runner.Make (C.Es_consensus)
+
+let () =
+  (* Five processes propose 10, 20, 30, 40, 50. Nobody knows n = 5 and no
+     process has an identity — the ints below are simulator-side handles
+     only. *)
+  let inputs = [ 10; 20; 30; 40; 50 ] in
+
+  (* The network stabilizes (all links timely) from round 8 on; before
+     that, only a per-round moving source is guaranteed. One process may
+     crash at round 5. *)
+  let adversary = G.Adversary.es ~gst:8 ~noise:0.2 () in
+  let crash =
+    G.Crash.of_events ~n:5
+      [ { G.Crash.pid = 2; round = 5; broadcast = G.Crash.Broadcast_subset } ]
+  in
+
+  let config = G.Runner.default_config ~inputs ~crash adversary in
+  let outcome = Runner.run config in
+
+  List.iter
+    (fun (pid, round, v) -> Format.printf "process %d decided %d in round %d@." pid v round)
+    outcome.decisions;
+  Format.printf "every correct process decided: %b@." outcome.all_correct_decided;
+
+  (* The trace checker independently verifies the run: the adversary kept
+     the ES promise and the decisions satisfy consensus. *)
+  let violations =
+    G.Checker.check_env outcome.trace @ G.Checker.check_consensus outcome.trace
+  in
+  match violations with
+  | [] -> Format.printf "checker: environment and consensus properties hold@."
+  | vs -> List.iter (fun v -> Format.printf "checker: %a@." G.Checker.pp_violation v) vs

@@ -1,0 +1,1 @@
+lib/baselines/abd.ml: Anon_kernel Event_net List Printf Value

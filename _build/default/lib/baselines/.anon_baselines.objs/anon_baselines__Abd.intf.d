@@ -1,0 +1,1 @@
+lib/baselines/abd.mli: Anon_kernel Event_net

@@ -1,0 +1,1 @@
+lib/baselines/event_net.ml: Anon_kernel Array List Map Rng

@@ -1,0 +1,1 @@
+lib/baselines/event_net.mli: Anon_kernel

@@ -1,0 +1,1 @@
+lib/baselines/floodset.ml: Anon_giraf Anon_kernel List Printf Value

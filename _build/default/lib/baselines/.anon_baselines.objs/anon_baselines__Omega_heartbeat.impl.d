@@ -1,0 +1,1 @@
+lib/baselines/omega_heartbeat.ml: Array Event_net Fun List Option

@@ -1,0 +1,1 @@
+lib/baselines/omega_heartbeat.mli: Event_net

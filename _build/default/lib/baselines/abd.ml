@@ -1,0 +1,206 @@
+open Anon_kernel
+
+type ts = int * int
+
+type cmd = Read | Write of Value.t
+
+type op_record = {
+  pid : int;
+  kind : [ `Read | `Write ];
+  value : Value.t option;
+  ts : ts;
+  started : int;
+  completed : int;
+}
+
+type done_info = {
+  d_kind : [ `Read | `Write ];
+  d_value : Value.t option;
+  d_ts : ts;
+  d_started : int;
+}
+
+module Proto = struct
+  let name = "abd"
+
+  type msg =
+    | Query of int  (* rid *)
+    | Query_reply of int * ts * Value.t option
+    | Update of int * ts * Value.t option
+    | Update_ack of int
+
+  type nonrec cmd = cmd
+
+  type out = Op_done of done_info
+
+  type phase =
+    | Idle
+    | Querying of { rid : int; kind : [ `Read | `Write ]; payload : Value.t option;
+                    replies : (ts * Value.t option) list; started : int }
+    | Updating of { rid : int; kind : [ `Read | `Write ]; ts : ts;
+                    value : Value.t option; acks : int; started : int }
+
+  type state = {
+    n : int;
+    stored_ts : ts;
+    stored_v : Value.t option;
+    phase : phase;
+    next_rid : int;
+    backlog : (cmd * int) list;  (* queued commands with injection times *)
+  }
+
+  let init ~me:_ ~n =
+    ( { n; stored_ts = (0, -1); stored_v = None; phase = Idle; next_rid = 0; backlog = [] },
+      [] )
+
+  let majority st = (st.n / 2) + 1
+
+  let start_op st ~now cmd =
+    let rid = st.next_rid in
+    let kind, payload = match cmd with Read -> (`Read, None) | Write v -> (`Write, Some v) in
+    let st =
+      {
+        st with
+        next_rid = rid + 1;
+        phase =
+          Querying
+            {
+              rid;
+              kind;
+              payload;
+              (* The process answers its own query locally. *)
+              replies = [ (st.stored_ts, st.stored_v) ];
+              started = now;
+            };
+      }
+    in
+    (st, [ Event_net.Broadcast (Query rid) ])
+
+  let store st ts v = if ts > st.stored_ts then { st with stored_ts = ts; stored_v = v } else st
+
+  (* Move from the query phase to the update phase once a majority
+     answered. *)
+  let maybe_update ~me st =
+    match st.phase with
+    | Querying q when List.length q.replies >= majority st ->
+      let max_ts, max_v =
+        List.fold_left (fun acc r -> if fst r > fst acc then r else acc)
+          ((0, -1), None) q.replies
+      in
+      let ts, value =
+        match q.kind with
+        | `Write -> ((fst max_ts + 1, me), q.payload)
+        | `Read -> (max_ts, max_v)
+      in
+      let st = store st ts value in
+      let st =
+        { st with
+          phase = Updating { rid = q.rid; kind = q.kind; ts; value; acks = 1; started = q.started } }
+      in
+      (st, [ Event_net.Broadcast (Update (q.rid, ts, value)) ])
+    | Querying _ | Idle | Updating _ -> (st, [])
+
+  let maybe_finish ~now st =
+    match st.phase with
+    | Updating u when u.acks >= majority st ->
+      let emit =
+        Event_net.Emit
+          (Op_done { d_kind = u.kind; d_value = u.value; d_ts = u.ts; d_started = u.started })
+      in
+      let st = { st with phase = Idle } in
+      (match st.backlog with
+      | [] -> (st, [ emit ])
+      | (cmd, _) :: rest ->
+        let st, effects = start_op { st with backlog = rest } ~now cmd in
+        (st, emit :: effects))
+    | Updating _ | Idle | Querying _ -> (st, [])
+
+  let on_message st ~me ~now ~src msg =
+    match msg with
+    | Query rid ->
+      (st, [ Event_net.Send { dst = src; msg = Query_reply (rid, st.stored_ts, st.stored_v) } ])
+    | Query_reply (rid, ts, v) -> (
+      match st.phase with
+      | Querying q when q.rid = rid ->
+        let st = { st with phase = Querying { q with replies = (ts, v) :: q.replies } } in
+        maybe_update ~me st
+      | Querying _ | Idle | Updating _ -> (st, []))
+    | Update (rid, ts, v) ->
+      let st = store st ts v in
+      (st, [ Event_net.Send { dst = src; msg = Update_ack rid } ])
+    | Update_ack rid -> (
+      match st.phase with
+      | Updating u when u.rid = rid ->
+        let st = { st with phase = Updating { u with acks = u.acks + 1 } } in
+        maybe_finish ~now st
+      | Updating _ | Idle | Querying _ -> (st, []))
+
+  let on_timer st ~me:_ ~now:_ ~tag:_ = (st, [])
+
+  let on_command st ~me:_ ~now cmd =
+    match st.phase with
+    | Idle -> start_op st ~now cmd
+    | Querying _ | Updating _ -> ({ st with backlog = st.backlog @ [ (cmd, now) ] }, [])
+end
+
+module Net = Event_net.Make (Proto)
+
+type outcome = {
+  ops : op_record list;
+  messages_sent : int;
+  final_time : int;
+  hung : int;
+}
+
+let run ~config ~injections =
+  let out = Net.run config ~injections in
+  let ops =
+    List.map
+      (fun (time, pid, Proto.Op_done d) ->
+        {
+          pid;
+          kind = d.d_kind;
+          value = d.d_value;
+          ts = d.d_ts;
+          started = d.d_started;
+          completed = time;
+        })
+      out.emissions
+  in
+  {
+    ops;
+    messages_sent = out.messages_sent;
+    final_time = out.final_time;
+    hung = List.length injections - List.length ops;
+  }
+
+let pp_ts (n, w) = Printf.sprintf "(%d,%d)" n w
+
+let check_atomic ops =
+  let violations = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* Real-time order respects timestamp order. *)
+  List.iter
+    (fun o1 ->
+      List.iter
+        (fun o2 ->
+          if o1.completed < o2.started then begin
+            if o2.ts < o1.ts then
+              note "op p%d ts=%s precedes p%d ts=%s in real time but not in ts order"
+                o1.pid (pp_ts o1.ts) o2.pid (pp_ts o2.ts);
+            if o2.kind = `Write && o2.ts <= o1.ts then
+              note "write p%d ts=%s not above earlier op p%d ts=%s" o2.pid (pp_ts o2.ts)
+                o1.pid (pp_ts o1.ts)
+          end)
+        ops)
+    ops;
+  (* One value per timestamp. *)
+  List.iter
+    (fun o1 ->
+      List.iter
+        (fun o2 ->
+          if o1.ts = o2.ts && fst o1.ts > 0 && o1.value <> o2.value then
+            note "timestamp %s carries two values" (pp_ts o1.ts))
+        ops)
+    ops;
+  List.rev !violations

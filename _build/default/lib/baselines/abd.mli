@@ -1,0 +1,41 @@
+(** Baseline: ABD register emulation (Attiya, Bar-Noy, Dolev [2]) — an
+    atomic multi-writer multi-reader register in an asynchronous known
+    network with a correct majority.
+
+    This is everything the paper's setting takes away: identities, a known
+    [n], and a majority assumption. Writes query a majority for the highest
+    timestamp, pick a fresh higher one, and update a majority; reads pick
+    the highest-timestamped value from a majority and write it back before
+    returning (the read write-back is what makes reads atomic rather than
+    merely regular). *)
+
+type ts = int * int
+(** Timestamp: [(number, writer id)], ordered lexicographically. *)
+
+type cmd = Read | Write of Anon_kernel.Value.t
+
+type op_record = {
+  pid : int;
+  kind : [ `Read | `Write ];
+  value : Anon_kernel.Value.t option;  (** Written value / read result. *)
+  ts : ts;
+  started : int;
+  completed : int;
+}
+
+type outcome = {
+  ops : op_record list;  (** Completed operations, chronological. *)
+  messages_sent : int;
+  final_time : int;
+  hung : int;  (** Commands that never completed (e.g. majority lost). *)
+}
+
+val run : config:Event_net.config -> injections:(int * int * cmd) list -> outcome
+(** Commands injected while an operation is pending are queued and started
+    at its completion (one op at a time per client). *)
+
+val check_atomic : op_record list -> string list
+(** Atomicity over the completed operations:
+    - real-time order implies timestamp order (strict for writes);
+    - all operations with one timestamp carry one value. Returns
+      human-readable violation descriptions ([] if linearizable). *)

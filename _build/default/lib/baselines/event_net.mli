@@ -1,0 +1,66 @@
+(** Known-network discrete-event message-passing simulator.
+
+    The contrast substrate: processes {e do} have identities here (and know
+    [n]), messages are point-to-point with per-link adversarial delays, and
+    protocols are event handlers (message, timer, injected client command).
+    Used by the ABD register emulation and the heartbeat-Ω baseline — the
+    two classical constructions the paper positions itself against. *)
+
+type ('msg, 'out) effect_ =
+  | Send of { dst : int; msg : 'msg }
+  | Broadcast of 'msg  (** To every process except the sender. *)
+  | Timer of { tag : int; delay : int }
+  | Emit of 'out  (** Observable output (measurement hook). *)
+
+module type PROTO = sig
+  val name : string
+
+  type state
+  type msg
+
+  (** Client commands injected by the harness. *)
+  type cmd
+
+  (** Observable outputs. *)
+  type out
+
+  val init : me:int -> n:int -> state * (msg, out) effect_ list
+  val on_message :
+    state -> me:int -> now:int -> src:int -> msg -> state * (msg, out) effect_ list
+  val on_timer :
+    state -> me:int -> now:int -> tag:int -> state * (msg, out) effect_ list
+  val on_command :
+    state -> me:int -> now:int -> cmd -> state * (msg, out) effect_ list
+end
+
+type delay_fn = src:int -> dst:int -> now:int -> Anon_kernel.Rng.t -> int
+(** Message latency chosen by the adversary; clamped to [>= 1]. *)
+
+val uniform_delay : lo:int -> hi:int -> delay_fn
+
+val gst_delay : gst:int -> before:delay_fn -> after:delay_fn -> delay_fn
+(** Partial synchrony: [before] until time [gst], [after] from then on. *)
+
+type config = {
+  n : int;
+  seed : int;
+  horizon : int;  (** Simulated time units. *)
+  delay : delay_fn;
+  crash_at : (int * int) list;  (** [(pid, time)]. *)
+}
+
+val default_config :
+  ?seed:int -> ?horizon:int -> ?crash_at:(int * int) list ->
+  ?delay:delay_fn -> n:int -> unit -> config
+
+module Make (P : PROTO) : sig
+  type outcome = {
+    emissions : (int * int * P.out) list;  (** [(time, pid, out)], ordered. *)
+    messages_sent : int;
+    final_time : int;
+  }
+
+  val run : config -> injections:(int * int * P.cmd) list -> outcome
+  (** [injections]: [(time, pid, cmd)] client commands. Crashed processes
+      ignore all events. *)
+end

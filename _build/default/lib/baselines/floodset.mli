@@ -1,0 +1,13 @@
+(** Baseline: FloodSet — synchronous crash-tolerant consensus deciding
+    after [f + 1] rounds (Lynch, ch. 6).
+
+    Needs no identities (flooding value {e sets} is anonymous-friendly) but
+    leans on everything else the paper refuses to assume: fully synchronous
+    rounds and an a-priori bound [f] on the number of crashes. Runs on the
+    same GIRAF runner under the [Sync] adversary, which makes the round
+    counts directly comparable with Algs. 2 and 3 (experiment T10). *)
+
+module Make (_ : sig
+  val failures_bound : int
+  (** [f]: correctness requires at most this many crashes. *)
+end) : Anon_giraf.Intf.ALGORITHM with type msg = Anon_kernel.Value.Set.t

@@ -1,0 +1,124 @@
+type out = Leader of int
+
+module Proto = struct
+  let name = "omega-heartbeat"
+
+  type msg = Heartbeat of int array  (* accusation vector *)
+
+  type cmd = unit
+
+  type nonrec out = out
+
+  type state = {
+    n : int;
+    period : int;
+    timeout : int;
+    last_hb : int array;
+    accusations : int array;
+    leader : int option;
+  }
+
+  (* Configured through init_params before Make is applied — the functor
+     interface has no parameter channel, so the run function sets these. *)
+  let params = ref (3, 10)
+
+  let hb_tag = 0
+  let check_tag = 1
+
+  let init ~me:_ ~n =
+    let period, timeout = !params in
+    ( {
+        n;
+        period;
+        timeout;
+        last_hb = Array.make n 0;
+        accusations = Array.make n 0;
+        leader = None;
+      },
+      [
+        Event_net.Timer { tag = hb_tag; delay = 1 };
+        Event_net.Timer { tag = check_tag; delay = timeout };
+      ] )
+
+  (* Leader: lexicographically smallest (accusation count, id). *)
+  let current_leader st =
+    let best = ref None in
+    Array.iteri
+      (fun q acc ->
+        match !best with
+        | None -> best := Some (acc, q)
+        | Some (acc', q') -> if (acc, q) < (acc', q') then best := Some (acc, q))
+      st.accusations;
+    Option.map snd !best
+
+  let announce st =
+    let l = current_leader st in
+    if l <> st.leader then
+      ({ st with leader = l }, match l with None -> [] | Some l -> [ Event_net.Emit (Leader l) ])
+    else (st, [])
+
+  let on_message st ~me:_ ~now ~src msg =
+    match msg with
+    | Heartbeat acc ->
+      st.last_hb.(src) <- now;
+      Array.iteri (fun q a -> if a > st.accusations.(q) then st.accusations.(q) <- a) acc;
+      announce st
+
+  let on_timer st ~me ~now ~tag =
+    if tag = hb_tag then
+      ( st,
+        [
+          Event_net.Broadcast (Heartbeat (Array.copy st.accusations));
+          Event_net.Timer { tag = hb_tag; delay = st.period };
+        ] )
+    else begin
+      (* Accuse everybody (except ourselves) whose last heartbeat is stale. *)
+      Array.iteri
+        (fun q last ->
+          if q <> me && now - last > st.timeout then
+            st.accusations.(q) <- st.accusations.(q) + 1)
+        st.last_hb;
+      let st, effects = announce st in
+      (st, effects @ [ Event_net.Timer { tag = check_tag; delay = st.timeout } ])
+    end
+
+  let on_command st ~me:_ ~now:_ () = (st, [])
+end
+
+module Net = Event_net.Make (Proto)
+
+type outcome = {
+  emissions : (int * int * out) list;
+  stabilization_time : int option;
+  final_leaders : (int * int) list;
+  messages_sent : int;
+}
+
+let run ~config ~heartbeat_period ~timeout =
+  Proto.params := (heartbeat_period, timeout);
+  let out = Net.run config ~injections:[] in
+  let crashed pid =
+    List.exists (fun (p, _) -> p = pid) config.Event_net.crash_at
+  in
+  let final_leaders =
+    List.init config.Event_net.n Fun.id
+    |> List.filter (fun pid -> not (crashed pid))
+    |> List.filter_map (fun pid ->
+           List.fold_left
+             (fun acc (_, p, Leader l) -> if p = pid then Some (pid, l) else acc)
+             None out.emissions)
+  in
+  let last_change =
+    List.fold_left (fun acc (t, _, _) -> max acc t) 0 out.emissions
+  in
+  let unanimous =
+    match final_leaders with
+    | [] -> false
+    | (_, l) :: rest -> List.for_all (fun (_, l') -> l' = l) rest
+  in
+  {
+    emissions = out.emissions;
+    stabilization_time = (if unanimous then Some last_change else None);
+    final_leaders;
+    messages_sent = out.messages_sent;
+  }

@@ -1,0 +1,30 @@
+(** Baseline: heartbeat-based eventual leader election (Ω) in a known,
+    partially synchronous network — the Aguilera–Delporte-Gallet–
+    Fauconnier–Toueg approach the paper's §4 contrasts with.
+
+    Every process broadcasts heartbeats carrying an accusation vector;
+    silence beyond the timeout earns a process an accusation; vectors merge
+    pointwise by max. The leader is the process with the lexicographically
+    smallest (accusations, id). Once some correct process is eventually
+    timely, its accusation count freezes while unstable processes keep
+    accumulating, so all processes converge on one leader — a {e real}
+    leader election, possible here only because processes have names. This
+    is the baseline the pseudo-leader stabilization of Alg. 3 (T4) is
+    measured against. *)
+
+type out = Leader of int
+
+type outcome = {
+  emissions : (int * int * out) list;  (** [(time, pid, Leader l)]. *)
+  stabilization_time : int option;
+      (** Earliest time after which no process changed its leader, if
+          every surviving process ended on the same leader. *)
+  final_leaders : (int * int) list;  (** [(pid, leader)] at the horizon. *)
+  messages_sent : int;
+}
+
+val run :
+  config:Event_net.config ->
+  heartbeat_period:int ->
+  timeout:int ->
+  outcome

@@ -1,0 +1,1 @@
+lib/core/es_consensus.ml: Anon_giraf Anon_kernel List Value

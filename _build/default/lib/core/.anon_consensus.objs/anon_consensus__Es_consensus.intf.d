@@ -1,0 +1,1 @@
+lib/core/es_consensus.mli: Anon_giraf Anon_kernel

@@ -1,0 +1,1 @@
+lib/core/ess_consensus.ml: Anon_giraf Anon_kernel Counter_table Format History List Pvalue Value

@@ -1,0 +1,1 @@
+lib/core/ess_consensus.mli: Anon_giraf Anon_kernel

@@ -1,0 +1,1 @@
+lib/core/ms_emulation.ml: Anon_giraf Anon_kernel Array Hashtbl Int List Option Rng Stdlib Value

@@ -1,0 +1,1 @@
+lib/core/ms_emulation.mli: Anon_giraf Anon_kernel

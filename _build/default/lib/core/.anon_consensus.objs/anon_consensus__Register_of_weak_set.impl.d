@@ -1,0 +1,1 @@
+lib/core/register_of_weak_set.ml: Anon_giraf Anon_kernel List Option Value Weak_set_ms

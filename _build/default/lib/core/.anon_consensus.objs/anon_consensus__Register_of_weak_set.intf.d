@@ -1,0 +1,1 @@
+lib/core/register_of_weak_set.mli: Anon_giraf Anon_kernel

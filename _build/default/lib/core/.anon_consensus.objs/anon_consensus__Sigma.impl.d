@@ -1,0 +1,1 @@
+lib/core/sigma.ml: Format Fun Hashtbl Int List Option Printf

@@ -1,0 +1,1 @@
+lib/core/weak_set_ms.ml: Anon_giraf Anon_kernel List Value

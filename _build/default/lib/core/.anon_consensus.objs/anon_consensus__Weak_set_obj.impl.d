@@ -1,0 +1,1 @@
+lib/core/weak_set_obj.ml: List Option

@@ -1,0 +1,21 @@
+(** Algorithm 4 — a weak-set in the moving-source (MS) environment.
+
+    [add v] inserts [v] into the local [PROPOSED] set and blocks until [v]
+    is {e written} — contained in every message received in some round,
+    hence relayed by that round's source and known to everybody. [get]
+    returns the local [PROPOSED] set, which accumulates the union of every
+    message ever received (including late ones, Alg. 4 line 15).
+
+    Together with Alg. 5 this shows weak-sets capture exactly the power of
+    the MS environment (Thms. 3 and 4). *)
+
+type state
+
+include
+  Anon_giraf.Intf.SERVICE
+    with type state := state
+     and type msg = Anon_kernel.Value.Set.t
+
+val written : state -> Anon_kernel.Value.Set.t
+val pending_value : state -> Anon_kernel.Value.t option
+(** The value of the in-progress [add], if any ([VAL] while [BLOCK]). *)

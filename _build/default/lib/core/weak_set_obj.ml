@@ -1,0 +1,25 @@
+type 'a entry = { value : 'a; visible_at : int; complete_at : int }
+
+type 'a t = { compare : 'a -> 'a -> int; mutable entries : 'a entry list }
+
+let create ~compare () = { compare; entries = [] }
+
+let begin_add t ~now ~latency ?visible_after value =
+  if latency < 1 then invalid_arg "Weak_set_obj.begin_add: latency must be >= 1";
+  let visible_after = Option.value ~default:latency visible_after in
+  if visible_after < 1 || visible_after > latency then
+    invalid_arg "Weak_set_obj.begin_add: visible_after out of range";
+  if List.exists (fun e -> t.compare e.value value = 0) t.entries then ()
+  else
+    t.entries <-
+      { value; visible_at = now + visible_after; complete_at = now + latency }
+      :: t.entries
+
+let completed t ~now value =
+  List.exists (fun e -> t.compare e.value value = 0 && e.complete_at <= now) t.entries
+
+let get t ~now =
+  List.filter_map (fun e -> if e.visible_at <= now then Some e.value else None) t.entries
+  |> List.sort t.compare
+
+let all_started t = List.map (fun e -> e.value) t.entries |> List.sort t.compare

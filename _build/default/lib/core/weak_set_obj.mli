@@ -1,0 +1,31 @@
+(** An abstract, atomic weak-set object with adversary-controlled operation
+    timing, on a discrete step clock.
+
+    This is the shared object Alg. 5 runs against: [add] takes an
+    adversary-chosen number of steps and the value becomes visible at an
+    adversary-chosen instant within the operation interval; [get] is
+    instantaneous. The weak-set axioms hold by construction:
+
+    - a [get] returns every value whose [add] completed before it;
+    - a [get] never returns a value whose [add] has not started;
+    - values of concurrent [add]s may or may not be returned, at the
+      adversary's discretion (the visibility instant). *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> unit -> 'a t
+
+val begin_add : 'a t -> now:int -> latency:int -> ?visible_after:int -> 'a -> unit
+(** Start adding at step [now]; the add completes at [now + latency]
+    ([latency >= 1]) and the value becomes visible to [get]s from step
+    [now + visible_after] on ([1 <= visible_after <= latency], default
+    [latency]). *)
+
+val completed : 'a t -> now:int -> 'a -> bool
+(** Whether the add of this value has completed by step [now]. *)
+
+val get : 'a t -> now:int -> 'a list
+(** Values visible at step [now], sorted by [compare]. *)
+
+val all_started : 'a t -> 'a list
+(** Every value whose add has started (diagnostics / checking). *)

@@ -1,0 +1,1 @@
+lib/giraf/adversary.ml: Anon_kernel Env List Rng

@@ -1,0 +1,1 @@
+lib/giraf/adversary.mli: Anon_kernel Env

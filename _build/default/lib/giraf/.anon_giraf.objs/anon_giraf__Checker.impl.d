@@ -1,0 +1,1 @@
+lib/giraf/checker.ml: Anon_kernel Array Crash Env Format List Trace Value

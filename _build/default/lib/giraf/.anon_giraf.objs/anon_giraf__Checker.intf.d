@@ -1,0 +1,1 @@
+lib/giraf/checker.mli: Anon_kernel Format Trace

@@ -1,0 +1,1 @@
+lib/giraf/crash.ml: Anon_kernel Array Format Fun List Rng

@@ -1,0 +1,1 @@
+lib/giraf/crash.mli: Anon_kernel Format

@@ -1,0 +1,1 @@
+lib/giraf/dispatch.ml: Adversary Anon_kernel Crash List Option Rng

@@ -1,0 +1,1 @@
+lib/giraf/dispatch.mli: Adversary Anon_kernel Crash

@@ -1,0 +1,1 @@
+lib/giraf/intf.ml: Anon_kernel Format

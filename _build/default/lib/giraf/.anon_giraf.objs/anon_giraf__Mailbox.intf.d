@@ -1,0 +1,1 @@
+lib/giraf/mailbox.mli:

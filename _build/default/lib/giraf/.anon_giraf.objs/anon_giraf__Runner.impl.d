@@ -1,0 +1,1 @@
+lib/giraf/runner.ml: Adversary Anon_kernel Array Crash Dispatch Fun Intf List Mailbox Option Rng Trace Value

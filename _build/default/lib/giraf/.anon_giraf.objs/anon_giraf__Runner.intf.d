@@ -1,0 +1,1 @@
+lib/giraf/runner.mli: Adversary Anon_kernel Crash Intf Trace

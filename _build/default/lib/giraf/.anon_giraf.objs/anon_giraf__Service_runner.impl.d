@@ -1,0 +1,1 @@
+lib/giraf/service_runner.ml: Adversary Anon_kernel Array Checker Crash Dispatch Fun Hashtbl Int Intf List Mailbox Option Rng Trace Value

@@ -1,0 +1,1 @@
+lib/giraf/service_runner.mli: Adversary Anon_kernel Checker Crash Intf Trace

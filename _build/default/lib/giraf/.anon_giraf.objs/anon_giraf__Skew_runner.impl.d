@@ -1,0 +1,1 @@
+lib/giraf/skew_runner.ml: Anon_kernel Array Crash Env Fun Hashtbl Intf List Option Rng Stdlib Trace Value

@@ -1,0 +1,1 @@
+lib/giraf/skew_runner.mli: Anon_kernel Crash Env Intf Trace

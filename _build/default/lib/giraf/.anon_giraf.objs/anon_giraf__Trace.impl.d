@@ -1,0 +1,1 @@
+lib/giraf/trace.ml: Anon_kernel Crash Env Format List Value

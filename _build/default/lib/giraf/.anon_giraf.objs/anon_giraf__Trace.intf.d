@@ -1,0 +1,1 @@
+lib/giraf/trace.mli: Anon_kernel Crash Env Format

@@ -1,0 +1,157 @@
+open Anon_kernel
+
+type ctx = {
+  round : int;
+  senders : int list;
+  obligated : int list;
+  correct : int list;
+  alive : int list;
+}
+
+type delivery = { receiver : int; arrival : int }
+type plan = { source : int option; deliveries : (int * delivery list) list }
+
+type t = {
+  name : string;
+  env : Env.t;
+  plan : ctx -> Rng.t -> plan;
+}
+
+let name t = t.name
+let env t = t.env
+let plan t = t.plan
+
+type rotation = Round_robin | Random_source | Pinned of int
+
+let receivers_of ctx sender = List.filter (fun q -> q <> sender) ctx.alive
+
+let timely_all ctx =
+  let deliveries =
+    List.map
+      (fun p ->
+        (p, List.map (fun q -> { receiver = q; arrival = ctx.round }) (receivers_of ctx p)))
+      ctx.senders
+  in
+  let source = match ctx.senders with [] -> None | s :: _ -> Some s in
+  { source; deliveries }
+
+let late_arrival ctx rng max_delay = ctx.round + Rng.int_in rng 1 (max 1 max_delay)
+
+(* Source candidates must be correct (so they survive the round) and
+   actually broadcasting this round. *)
+let source_candidates ctx =
+  List.filter (fun p -> List.mem p ctx.correct) ctx.senders
+
+let pick_source ~rotation ctx rng =
+  match source_candidates ctx with
+  | [] -> None
+  | candidates ->
+    (match rotation with
+    | Round_robin -> Some (List.nth candidates (ctx.round mod List.length candidates))
+    | Random_source -> Some (Rng.pick rng candidates)
+    | Pinned p -> if List.mem p candidates then Some p else Some (List.hd candidates))
+
+(* One round of "minimal + noise" schedule: [source] (if any) is timely to
+   all obligated receivers; every other (sender, receiver) link is timely
+   with probability [noise], late otherwise. *)
+let noisy_round ~source ~noise ~max_delay ctx rng =
+  let deliveries =
+    List.map
+      (fun p ->
+        let plan_receiver q =
+          let must_be_timely = Some p = source && List.mem q ctx.obligated in
+          let arrival =
+            if must_be_timely || Rng.chance rng noise then ctx.round
+            else late_arrival ctx rng max_delay
+          in
+          { receiver = q; arrival }
+        in
+        (p, List.map plan_receiver (receivers_of ctx p)))
+      ctx.senders
+  in
+  { source; deliveries }
+
+let sync () = { name = "sync"; env = Env.Sync; plan = (fun ctx _rng -> timely_all ctx) }
+
+let ms ?(rotation = Round_robin) ?(noise = 0.0) ?(max_delay = 3) () =
+  let plan ctx rng =
+    let source = pick_source ~rotation ctx rng in
+    noisy_round ~source ~noise ~max_delay ctx rng
+  in
+  { name = "ms"; env = Env.Ms; plan }
+
+let es ~gst ?(noise = 0.0) ?(max_delay = 3) () =
+  let plan ctx rng =
+    if ctx.round >= gst then timely_all ctx
+    else
+      let source = pick_source ~rotation:Round_robin ctx rng in
+      noisy_round ~source ~noise ~max_delay ctx rng
+  in
+  { name = "es"; env = Env.Es { gst }; plan }
+
+let ess ~gst ?source ?(rotation = Round_robin) ?(noise = 0.0) ?(max_delay = 3) () =
+  let plan ctx rng =
+    let stable =
+      match source with
+      | Some p -> Pinned p
+      | None -> (match ctx.correct with [] -> Round_robin | p :: _ -> Pinned p)
+    in
+    let rotation = if ctx.round >= gst then stable else rotation in
+    let source = pick_source ~rotation ctx rng in
+    noisy_round ~source ~noise ~max_delay ctx rng
+  in
+  { name = "ess"; env = Env.Ess { gst }; plan }
+
+(* Pre-GST schedule that provably stalls Alg. 2: two camps, the source
+   alternating between the two smallest correct senders by round parity,
+   all other links exactly one round late. Each camp's champion keeps
+   seeing its own value written while the other value stays in PROPOSED, so
+   the decide guard never fires. *)
+let blocking_round ctx =
+  let candidates = source_candidates ctx in
+  let source =
+    match candidates with
+    | [] -> None
+    | [ s ] -> Some s
+    | s0 :: s1 :: _ -> Some (if ctx.round mod 2 = 1 then s0 else s1)
+  in
+  let deliveries =
+    List.map
+      (fun p ->
+        let plan q =
+          let arrival =
+            if Some p = source && List.mem q ctx.obligated then ctx.round
+            else ctx.round + 1
+          in
+          { receiver = q; arrival }
+        in
+        (p, List.map plan (receivers_of ctx p)))
+      ctx.senders
+  in
+  { source; deliveries }
+
+let es_blocking ~gst () =
+  let plan ctx _rng =
+    if ctx.round >= gst then timely_all ctx else blocking_round ctx
+  in
+  { name = "es-blocking"; env = Env.Es { gst }; plan }
+
+let ess_blocking ~gst ?source () =
+  let plan ctx rng =
+    if ctx.round >= gst then
+      let rotation =
+        match source with
+        | Some p -> Pinned p
+        | None -> (match ctx.correct with [] -> Round_robin | p :: _ -> Pinned p)
+      in
+      let source = pick_source ~rotation ctx rng in
+      noisy_round ~source ~noise:0.0 ~max_delay:1 ctx rng
+    else blocking_round ctx
+  in
+  { name = "ess-blocking"; env = Env.Ess { gst }; plan }
+
+let async ?(max_delay = 5) ?(timely_chance = 0.3) () =
+  let plan ctx rng = noisy_round ~source:None ~noise:timely_chance ~max_delay ctx rng in
+  { name = "async"; env = Env.Async; plan }
+
+let scripted ~name ~env plan = { name; env; plan }

@@ -1,0 +1,206 @@
+open Anon_kernel
+
+type violation =
+  | Agreement_violation of { p1 : int; v1 : Value.t; p2 : int; v2 : Value.t }
+  | Validity_violation of { pid : int; value : Value.t }
+  | Termination_violation of { undecided : int list; horizon : int }
+  | No_source of { round : int }
+  | Source_not_timely of { round : int; sender : int; missing : int list }
+  | Unstable_source of { gst : int }
+  | Weak_set_lost_add of { value : Value.t; get_client : int; get_invoked : int }
+  | Weak_set_phantom_value of { value : Value.t; get_client : int }
+  | Register_stale_read of { reader : int; read_value : Value.t; expected : Value.t }
+
+let pp_violation ppf = function
+  | Agreement_violation { p1; v1; p2; v2 } ->
+    Format.fprintf ppf "agreement: p%d decided %a but p%d decided %a" p1 Value.pp v1
+      p2 Value.pp v2
+  | Validity_violation { pid; value } ->
+    Format.fprintf ppf "validity: p%d decided %a, never proposed" pid Value.pp value
+  | Termination_violation { undecided; horizon } ->
+    Format.fprintf ppf "termination: correct processes %a undecided after %d rounds"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_int)
+      undecided horizon
+  | No_source { round } -> Format.fprintf ppf "env: round %d has no source" round
+  | Source_not_timely { round; sender; missing } ->
+    Format.fprintf ppf "env: round %d sender p%d not timely to %a" round sender
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_int)
+      missing
+  | Unstable_source { gst } ->
+    Format.fprintf ppf "env: no single source covers every round from %d on" gst
+  | Weak_set_lost_add { value; get_client; get_invoked } ->
+    Format.fprintf ppf
+      "weak-set: get by client %d (at %d) missed value %a added before it"
+      get_client get_invoked Value.pp value
+  | Weak_set_phantom_value { value; get_client } ->
+    Format.fprintf ppf "weak-set: get by client %d returned %a, never added"
+      get_client Value.pp value
+  | Register_stale_read { reader; read_value; expected } ->
+    Format.fprintf ppf "register: p%d read %a but last complete write was %a" reader
+      Value.pp read_value Value.pp expected
+
+(* --- Environment checking ----------------------------------------------- *)
+
+(* [covers info s] iff sender [s]'s timely receivers, plus itself, include
+   every obligated process. Returns the missing receivers. *)
+let missing_receivers (info : Trace.round_info) s =
+  let reached = s :: Trace.timely_to info s in
+  List.filter (fun q -> not (List.mem q reached)) info.obligated
+
+let correct_senders (t : Trace.t) (info : Trace.round_info) =
+  List.filter (Crash.is_correct t.crash) info.senders
+
+(* Rounds in which the environment owes anything: some correct, non-halted
+   process was still listening and some correct process was still sending. *)
+let demanding_rounds (t : Trace.t) =
+  List.filter
+    (fun (info : Trace.round_info) ->
+      info.obligated <> [] && correct_senders t info <> [])
+    t.rounds
+
+(* A per-round MS source need not be correct — it only needs its
+   end-of-round to occur in this round and its message to reach every
+   obligated process timely. *)
+let check_ms_round _t (info : Trace.round_info) =
+  let has_source = List.exists (fun s -> missing_receivers info s = []) info.senders in
+  if has_source then [] else [ No_source { round = info.round } ]
+
+let check_all_timely t (info : Trace.round_info) =
+  List.concat_map
+    (fun s ->
+      match missing_receivers info s with
+      | [] -> []
+      | missing -> [ Source_not_timely { round = info.round; sender = s; missing } ])
+    (correct_senders t info)
+
+(* From [gst] on the same process must be a source every round — except
+   that a source which decides and halts stops executing rounds, so the
+   obligation passes to a new stable source. We therefore require a single
+   covering source per maximal segment, with segment boundaries only where
+   every remaining candidate stopped sending (halted). *)
+let check_stable_source t ~gst rounds =
+  let late = List.filter (fun (i : Trace.round_info) -> i.round >= gst) rounds in
+  let candidates_of info =
+    List.filter (fun s -> missing_receivers info s = []) (correct_senders t info)
+  in
+  let rec walk candidates = function
+    | [] -> []
+    | (info : Trace.round_info) :: rest ->
+      let now = candidates_of info in
+      let still = List.filter (fun s -> List.mem s now) candidates in
+      if still <> [] then walk still rest
+      else if List.for_all (fun s -> not (List.mem s info.senders)) candidates then
+        (* every previous candidate halted: a new stable source may begin *)
+        if now = [] then [ Unstable_source { gst } ] else walk now rest
+      else [ Unstable_source { gst } ]
+  in
+  match late with
+  | [] -> []
+  | first :: rest -> (
+    match candidates_of first with
+    | [] -> [ Unstable_source { gst } ]
+    | candidates -> walk candidates rest)
+
+let check_env (t : Trace.t) =
+  let rounds = demanding_rounds t in
+  match t.env with
+  | Env.Async -> []
+  | Env.Ms -> List.concat_map (check_ms_round t) rounds
+  | Env.Sync -> List.concat_map (check_all_timely t) rounds
+  | Env.Es { gst } ->
+    List.concat_map (check_ms_round t) rounds
+    @ List.concat_map (check_all_timely t)
+        (List.filter (fun (i : Trace.round_info) -> i.round >= gst) rounds)
+  | Env.Ess { gst } ->
+    List.concat_map (check_ms_round t) rounds @ check_stable_source t ~gst rounds
+
+(* --- Consensus checking -------------------------------------------------- *)
+
+let check_consensus ?(expect_termination = true) (t : Trace.t) =
+  let decisions = Trace.decisions t in
+  let proposed = Array.to_list t.inputs in
+  let validity =
+    List.filter_map
+      (fun (pid, _, v) ->
+        if List.exists (Value.equal v) proposed then None
+        else Some (Validity_violation { pid; value = v }))
+      decisions
+  in
+  let agreement =
+    match decisions with
+    | [] -> []
+    | (p1, _, v1) :: rest ->
+      List.filter_map
+        (fun (p2, _, v2) ->
+          if Value.equal v1 v2 then None
+          else Some (Agreement_violation { p1; v1; p2; v2 }))
+        rest
+  in
+  let termination =
+    if not expect_termination then []
+    else
+      let decided = List.map (fun (pid, _, _) -> pid) decisions in
+      let undecided =
+        List.filter (fun p -> not (List.mem p decided)) (Crash.correct t.crash)
+      in
+      if undecided = [] then []
+      else [ Termination_violation { undecided; horizon = Trace.last_round t } ]
+  in
+  validity @ agreement @ termination
+
+(* --- Weak-set semantics --------------------------------------------------- *)
+
+type ws_add = {
+  add_client : int;
+  add_value : Value.t;
+  add_invoked : int;
+  add_completed : int option;
+}
+
+type ws_get = {
+  get_client : int;
+  get_result : Value.Set.t;
+  get_invoked : int;
+  get_completed : int;
+}
+
+type ws_op = Ws_add of ws_add | Ws_get of ws_get
+
+let check_weak_set ?correct ops =
+  let adds = List.filter_map (function Ws_add a -> Some a | Ws_get _ -> None) ops in
+  let gets = List.filter_map (function Ws_get g -> Some g | Ws_add _ -> None) ops in
+  let is_correct client =
+    match correct with None -> true | Some cs -> List.mem client cs
+  in
+  let lost_for_get g =
+    List.filter_map
+      (fun a ->
+        match a.add_completed with
+        | Some c when c < g.get_invoked && not (Value.Set.mem a.add_value g.get_result)
+          ->
+          Some
+            (Weak_set_lost_add
+               {
+                 value = a.add_value;
+                 get_client = g.get_client;
+                 get_invoked = g.get_invoked;
+               })
+        | Some _ | None -> None)
+      adds
+  in
+  let phantom_for_get g =
+    Value.Set.fold
+      (fun v acc ->
+        let justified =
+          List.exists
+            (fun a -> Value.equal a.add_value v && a.add_invoked <= g.get_completed)
+            adds
+        in
+        if justified then acc
+        else Weak_set_phantom_value { value = v; get_client = g.get_client } :: acc)
+      g.get_result []
+  in
+  List.concat_map lost_for_get (List.filter (fun g -> is_correct g.get_client) gets)
+  @ List.concat_map phantom_for_get gets

@@ -1,0 +1,55 @@
+open Anon_kernel
+
+type 'msg outbound = { sender : int; msg : 'msg }
+
+type stats = {
+  timely : (int * int list) list;
+  delivered : int;
+  timely_count : int;
+}
+
+let dispatch ~round ~outgoing ~crashing_events ~eligible ~receivers ~plan ~crash_rng
+    ~schedule =
+  let timely = ref [] in
+  let delivered = ref 0 in
+  let timely_count = ref 0 in
+  let deliver ~sender ~msg (d : Adversary.delivery) =
+    if d.receiver <> sender && eligible d.receiver then begin
+      let arrival = max d.arrival round in
+      schedule ~receiver:d.receiver ~arrival ~sent:round msg;
+      incr delivered;
+      if arrival = round then begin
+        incr timely_count;
+        let cur = Option.value ~default:[] (List.assoc_opt sender !timely) in
+        timely := (sender, d.receiver :: cur) :: List.remove_assoc sender !timely
+      end
+    end
+  in
+  let crashing pid =
+    List.find_opt (fun (ev : Crash.event) -> ev.pid = pid) crashing_events
+  in
+  List.iter
+    (fun { sender; msg } ->
+      schedule ~receiver:sender ~arrival:round ~sent:round msg;
+      match crashing sender with
+      | Some ev ->
+        let others = List.filter (fun q -> q <> sender) receivers in
+        let targets =
+          match ev.broadcast with
+          | Crash.Silent -> []
+          | Crash.Broadcast_all -> others
+          | Crash.Broadcast_subset -> Rng.subset crash_rng ~p:0.5 others
+        in
+        List.iter
+          (fun q ->
+            let arrival =
+              if Rng.bool crash_rng then round else round + Rng.int_in crash_rng 1 3
+            in
+            deliver ~sender ~msg { Adversary.receiver = q; arrival })
+          targets
+      | None -> (
+        match List.assoc_opt sender plan.Adversary.deliveries with
+        | None -> ()
+        | Some ds -> List.iter (fun d -> deliver ~sender ~msg d) ds))
+    outgoing;
+  { timely = !timely; delivered = !delivered; timely_count = !timely_count }

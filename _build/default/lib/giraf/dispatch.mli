@@ -1,0 +1,30 @@
+(** Shared broadcast-delivery phase of the runners.
+
+    Applies an adversary plan (and the crash-round partial broadcasts) to
+    the messages produced in one round, scheduling arrivals into receiver
+    mailboxes and accounting timeliness for the trace. *)
+
+type 'msg outbound = { sender : int; msg : 'msg }
+
+type stats = {
+  timely : (int * int list) list;  (** sender -> timely receivers (w/o self) *)
+  delivered : int;
+  timely_count : int;
+}
+
+val dispatch :
+  round:int ->
+  outgoing:'msg outbound list ->
+  crashing_events:Crash.event list ->
+  eligible:(int -> bool) ->
+  receivers:int list ->
+  plan:Adversary.plan ->
+  crash_rng:Anon_kernel.Rng.t ->
+  schedule:(receiver:int -> arrival:int -> sent:int -> 'msg -> unit) ->
+  stats
+(** Self-delivery (always timely) is performed for every outbound message;
+    crashing senders reach only the subset dictated by their crash event
+    (chosen with [crash_rng] for [Broadcast_subset]); all other senders
+    follow [plan]. [eligible] says whether a pid may still receive (alive,
+    not halted); [receivers] lists the pids a crashing sender may target.
+    Arrivals are clamped to [>= round]. *)

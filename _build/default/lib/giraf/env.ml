@@ -1,0 +1,18 @@
+type t = Sync | Ms | Es of { gst : int } | Ess of { gst : int } | Async
+
+let pp ppf = function
+  | Sync -> Format.pp_print_string ppf "SYNC"
+  | Ms -> Format.pp_print_string ppf "MS"
+  | Es { gst } -> Format.fprintf ppf "ES(gst=%d)" gst
+  | Ess { gst } -> Format.fprintf ppf "ESS(gst=%d)" gst
+  | Async -> Format.pp_print_string ppf "ASYNC"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let requires_source t ~round:_ =
+  match t with Sync | Ms | Es _ | Ess _ -> true | Async -> false
+
+let gst = function
+  | Sync -> Some 1
+  | Ms | Async -> None
+  | Es { gst } | Ess { gst } -> Some gst

@@ -1,0 +1,29 @@
+(** Environment specifications (§2.3 of the paper).
+
+    An environment is a round-based property restricting message arrivals;
+    it is what the adversary must satisfy and what the trace checker
+    verifies. [gst] parameters make the "eventually" in ES/ESS concrete so
+    generated schedules can be checked mechanically. *)
+
+type t =
+  | Sync  (** Every process has a timely link in every round. *)
+  | Ms  (** Moving source: every round has some source with a timely link. *)
+  | Es of { gst : int }
+      (** Eventually synchronous: MS always, and from round [gst] on every
+          correct process has a timely link in every round. *)
+  | Ess of { gst : int }
+      (** Eventually stable source: MS always, and from round [gst] on the
+          {e same} correct process is a source in every round. *)
+  | Async
+      (** No timeliness guarantee at all (messages still reliable). Used
+          for FLP-style experiments; no consensus liveness expected. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val requires_source : t -> round:int -> bool
+(** Whether the environment obliges a source to exist in [round] (true for
+    all except [Async]). *)
+
+val gst : t -> int option
+(** The round from which the eventual guarantee holds, if any. *)

@@ -1,0 +1,36 @@
+type 'msg t = {
+  compare : 'msg -> 'msg -> int;
+  rounds : (int, 'msg list) Hashtbl.t;
+  buckets : (int, (int * 'msg) list) Hashtbl.t;
+  mutable next_bucket : int;
+}
+
+let create ~compare () =
+  { compare; rounds = Hashtbl.create 64; buckets = Hashtbl.create 64; next_bucket = 1 }
+
+let schedule t ~arrival ~sent msg =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.buckets arrival) in
+  Hashtbl.replace t.buckets arrival ((sent, msg) :: existing)
+
+let insert_round t ~sent msg =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.rounds sent) in
+  if List.exists (fun m -> t.compare m msg = 0) existing then ()
+  else Hashtbl.replace t.rounds sent (List.sort t.compare (msg :: existing))
+
+let drain t ~upto =
+  let fresh = ref [] in
+  for b = t.next_bucket to upto do
+    match Hashtbl.find_opt t.buckets b with
+    | None -> ()
+    | Some items ->
+      List.iter
+        (fun (sent, msg) ->
+          insert_round t ~sent msg;
+          fresh := (sent, msg) :: !fresh)
+        (List.rev items);
+      Hashtbl.remove t.buckets b
+  done;
+  t.next_bucket <- max t.next_bucket (upto + 1);
+  List.rev !fresh
+
+let current t ~round = Option.value ~default:[] (Hashtbl.find_opt t.rounds round)

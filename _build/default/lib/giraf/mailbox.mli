@@ -1,0 +1,20 @@
+(** Per-process message buffers: in-flight arrivals bucketed by the
+    receiver round at which they land, and the per-round message sets
+    [M_i\[k\]] of Alg. 1 (deduplicated — anonymity merges identical
+    messages). *)
+
+type 'msg t
+
+val create : compare:('msg -> 'msg -> int) -> unit -> 'msg t
+
+val schedule : 'msg t -> arrival:int -> sent:int -> 'msg -> unit
+(** Enqueue a delivery landing at receiver round [arrival]. *)
+
+val drain : 'msg t -> upto:int -> (int * 'msg) list
+(** Move every arrival bucket [<= upto] into the round message sets;
+    returns the drained [(sent_round, msg)] list in arrival order. Buckets
+    are drained at most once. *)
+
+val current : 'msg t -> round:int -> 'msg list
+(** The deduplicated, sorted message set [M_i\[round\]] as filled by
+    [drain] so far. *)

@@ -1,0 +1,210 @@
+open Anon_kernel
+
+type config = {
+  inputs : Value.t array;
+  crash : Crash.t;
+  adversary : Adversary.t;
+  horizon : int;
+  seed : int;
+  stop_on_decision : bool;
+}
+
+let default_config ?(horizon = 200) ?(stop_on_decision = true) ?(seed = 42) ~inputs
+    ~crash adversary =
+  let inputs = Array.of_list inputs in
+  if Array.length inputs <> Crash.n crash then
+    invalid_arg "Runner.default_config: inputs/crash size mismatch";
+  { inputs; crash; adversary; horizon; seed; stop_on_decision }
+
+type outcome = {
+  trace : Trace.t;
+  decisions : (int * int * Value.t) list;
+  all_correct_decided : bool;
+  rounds_executed : int;
+  messages_sent : int;
+  deliveries : int;
+  timely_deliveries : int;
+}
+
+let decision_round outcome =
+  if not outcome.all_correct_decided then None
+  else
+    let correct_rounds =
+      List.filter_map
+        (fun (pid, r, _) ->
+          if Crash.is_correct outcome.trace.Trace.crash pid then Some r else None)
+        outcome.decisions
+    in
+    match correct_rounds with
+    | [] -> None
+    | r :: rs -> Some (List.fold_left max r rs)
+
+module Make (A : Intf.ALGORITHM) = struct
+  type proc = {
+    mutable st : A.state option;  (* None before initialize *)
+    mutable halted : bool;  (* decided *)
+    mutable crashed : bool;
+    mailbox : A.msg Mailbox.t;
+  }
+
+  let run ?observe config =
+    let n = Array.length config.inputs in
+    let rng = Rng.make config.seed in
+    let crash_rng = Rng.split rng in
+    let procs =
+      Array.init n (fun _ ->
+          {
+            st = None;
+            halted = false;
+            crashed = false;
+            mailbox = Mailbox.create ~compare:A.msg_compare ();
+          })
+    in
+    let correct = Crash.correct config.crash in
+    let decisions = ref [] in
+    let rounds = ref [] in
+    let messages_sent = ref 0 in
+    let deliveries = ref 0 in
+    let timely_deliveries = ref 0 in
+    let undecided_correct () = List.filter (fun p -> not procs.(p).halted) correct in
+    let round = ref 1 in
+    let continue = ref true in
+    while !continue && !round <= config.horizon do
+      let k = !round in
+      let crashing_events =
+        List.filter
+          (fun (ev : Crash.event) ->
+            (not procs.(ev.pid).crashed) && not procs.(ev.pid).halted)
+          (Crash.crashing_at config.crash ~round:k)
+      in
+      let crashing_pids = List.map (fun (ev : Crash.event) -> ev.pid) crashing_events in
+      let participants =
+        List.filter
+          (fun p -> (not procs.(p).crashed) && not procs.(p).halted)
+          (List.init n Fun.id)
+      in
+      (* Phase 1: each participant's k-th end-of-round — compute round k-1
+         (or initialize) and produce the round-k message. Deciders halt and
+         send nothing. *)
+      let decided_now = ref [] in
+      let outgoing =
+        List.filter_map
+          (fun p ->
+            let proc = procs.(p) in
+            let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
+            let result =
+              if k = 1 then begin
+                let st, m = A.initialize config.inputs.(p) in
+                proc.st <- Some st;
+                Some m
+              end
+              else begin
+                let current = Mailbox.current proc.mailbox ~round:(k - 1) in
+                let st =
+                  match proc.st with Some st -> st | None -> assert false
+                in
+                let st', m, dec =
+                  A.compute st ~round:(k - 1) ~inbox:{ Intf.current; fresh }
+                in
+                proc.st <- Some st';
+                match dec with
+                | None -> Some m
+                | Some v ->
+                  proc.halted <- true;
+                  decided_now := (p, v) :: !decided_now;
+                  decisions := (p, k - 1, v) :: !decisions;
+                  None
+              end
+            in
+            (match observe, proc.st with
+            | Some f, Some st -> f ~pid:p ~round:(k - 1) st
+            | None, _ | _, None -> ());
+            Option.map (fun m -> { Dispatch.sender = p; msg = m }) result)
+          participants
+      in
+      (* Phase 2: adversarial deliveries. A source must reach every process
+         that will compute this round — not only the correct ones. The
+         paper's §2.3 literally quantifies timely links over correct
+         processes, but the Lemma 1 proof ("every other process pj that
+         enters round k also has received the message of this source")
+         needs the stronger obligation; see DESIGN.md §5 and experiment A2
+         for what breaks under the literal reading. *)
+      let obligated =
+        List.filter
+          (fun p -> (not procs.(p).halted) && not (List.mem p crashing_pids))
+          participants
+      in
+      let normal_senders =
+        List.filter_map
+          (fun { Dispatch.sender; _ } ->
+            if List.mem sender crashing_pids then None else Some sender)
+          outgoing
+      in
+      let alive_receivers =
+        List.filter
+          (fun p ->
+            (not procs.(p).crashed)
+            && (not procs.(p).halted)
+            && not (List.mem p crashing_pids))
+          (List.init n Fun.id)
+      in
+      let ctx =
+        {
+          Adversary.round = k;
+          senders = normal_senders;
+          obligated;
+          correct;
+          alive = alive_receivers;
+        }
+      in
+      let plan = Adversary.plan config.adversary ctx rng in
+      let stats =
+        Dispatch.dispatch ~round:k ~outgoing ~crashing_events
+          ~eligible:(fun q ->
+            q < n && (not procs.(q).crashed) && not procs.(q).halted)
+          ~receivers:alive_receivers ~plan ~crash_rng
+          ~schedule:(fun ~receiver ~arrival ~sent msg ->
+            Mailbox.schedule procs.(receiver).mailbox ~arrival ~sent msg)
+      in
+      messages_sent := !messages_sent + List.length outgoing;
+      deliveries := !deliveries + stats.delivered;
+      timely_deliveries := !timely_deliveries + stats.timely_count;
+      List.iter (fun p -> procs.(p).crashed <- true) crashing_pids;
+      let info =
+        {
+          Trace.round = k;
+          senders = List.map (fun { Dispatch.sender; _ } -> sender) outgoing;
+          crashing = crashing_pids;
+          source = plan.source;
+          timely = stats.timely;
+          obligated;
+          decided = List.rev !decided_now;
+          msg_sizes =
+            List.map
+              (fun { Dispatch.sender; msg } -> (sender, A.msg_size msg))
+              outgoing;
+        }
+      in
+      rounds := info :: !rounds;
+      if config.stop_on_decision && undecided_correct () = [] then continue := false;
+      incr round
+    done;
+    let trace =
+      {
+        Trace.n;
+        inputs = config.inputs;
+        crash = config.crash;
+        env = Adversary.env config.adversary;
+        rounds = List.rev !rounds;
+      }
+    in
+    {
+      trace;
+      decisions = List.rev !decisions;
+      all_correct_decided = undecided_correct () = [];
+      rounds_executed = min (!round - 1) config.horizon;
+      messages_sent = !messages_sent;
+      deliveries = !deliveries;
+      timely_deliveries = !timely_deliveries;
+    }
+end

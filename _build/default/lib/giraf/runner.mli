@@ -1,0 +1,48 @@
+(** Execution engine for consensus-style algorithms (Alg. 1 semantics).
+
+    The runner is lockstep in structure — iteration [k] runs every live
+    process's [k]-th end-of-round (computing round [k-1] and broadcasting
+    the round-[k] message) — but deliveries are fully adversarial: a
+    round-[k] message reaches each receiver either timely (consumed by the
+    receiver's [compute] of round [k]) or at an adversary-chosen later
+    round. A process that decides halts immediately and broadcasts nothing
+    further. *)
+
+type config = {
+  inputs : Anon_kernel.Value.t array;  (** One proposal per process; defines [n]. *)
+  crash : Crash.t;
+  adversary : Adversary.t;
+  horizon : int;  (** Maximum number of rounds to simulate. *)
+  seed : int;
+  stop_on_decision : bool;
+      (** Stop as soon as every correct process has decided (default
+          behaviour of [default_config]). *)
+}
+
+val default_config :
+  ?horizon:int -> ?stop_on_decision:bool -> ?seed:int ->
+  inputs:Anon_kernel.Value.t list -> crash:Crash.t -> Adversary.t -> config
+(** [horizon] defaults to 200 rounds, [seed] to 42. *)
+
+type outcome = {
+  trace : Trace.t;
+  decisions : (int * int * Anon_kernel.Value.t) list;
+      (** [(pid, round, value)], chronological. *)
+  all_correct_decided : bool;
+  rounds_executed : int;
+  messages_sent : int;  (** Broadcast invocations. *)
+  deliveries : int;  (** Point-to-point deliveries (excluding self). *)
+  timely_deliveries : int;
+}
+
+val decision_round : outcome -> int option
+(** Round by which the {e last} correct process decided, if all did. *)
+
+module Make (A : Intf.ALGORITHM) : sig
+  val run :
+    ?observe:(pid:int -> round:int -> A.state -> unit) ->
+    config -> outcome
+  (** Simulate. [observe] is called after every [compute] with the
+      post-state (for algorithm-specific instrumentation such as
+      pseudo-leader tracking); it must not mutate the state. *)
+end

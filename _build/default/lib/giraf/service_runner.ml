@@ -1,0 +1,268 @@
+open Anon_kernel
+
+type op_spec = Do_add of Value.t | Do_get | Do_add_with of (Value.Set.t -> Value.t)
+
+type workload = (int * (int * op_spec) list) list
+
+let random_workload ~n ~ops_per_client ~max_start ~value_range rng =
+  let fresh_value =
+    let used = Hashtbl.create 64 in
+    fun () ->
+      let rec pick () =
+        let v = Rng.int rng (max value_range 1) in
+        if Hashtbl.mem used v then pick ()
+        else begin
+          Hashtbl.add used v ();
+          v
+        end
+      in
+      pick ()
+  in
+  List.init n (fun pid ->
+      let script =
+        List.init ops_per_client (fun _ ->
+            let start = Rng.int_in rng 1 (max max_start 1) in
+            let op = if Rng.bool rng then Do_add (fresh_value ()) else Do_get in
+            (start, op))
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      (pid, script))
+
+type config = {
+  n : int;
+  crash : Crash.t;
+  adversary : Adversary.t;
+  horizon : int;
+  seed : int;
+}
+
+type add_record = {
+  client : int;
+  value : Value.t;
+  invoked_round : int;
+  completed_round : int option;
+}
+
+type outcome = {
+  trace : Trace.t;
+  ops : Checker.ws_op list;
+  adds : add_record list;
+  rounds_executed : int;
+  messages_sent : int;
+}
+
+module Make (S : Intf.SERVICE) = struct
+  type pending_add = { value : Value.t; invoked : int; invoked_round : int }
+
+  type proc = {
+    mutable st : S.state option;
+    mutable crashed : bool;
+    mailbox : S.msg Mailbox.t;
+    mutable script : (int * op_spec) list;
+    mutable pending : pending_add option;
+  }
+
+  let run config ~workload =
+    let n = config.n in
+    if Crash.n config.crash <> n then
+      invalid_arg "Service_runner.run: crash schedule size mismatch";
+    let rng = Rng.make config.seed in
+    let crash_rng = Rng.split rng in
+    let procs =
+      Array.init n (fun pid ->
+          {
+            st = None;
+            crashed = false;
+            mailbox = Mailbox.create ~compare:S.msg_compare ();
+            script = Option.value ~default:[] (List.assoc_opt pid workload);
+            pending = None;
+          })
+    in
+    let correct = Crash.correct config.crash in
+    let ops = ref [] in
+    let adds = ref [] in
+    let rounds = ref [] in
+    let messages_sent = ref 0 in
+    for k = 1 to config.horizon do
+      let compute_time = 2 * k in
+      let op_time = (2 * k) + 1 in
+      let crashing_events =
+        List.filter
+          (fun (ev : Crash.event) -> not procs.(ev.pid).crashed)
+          (Crash.crashing_at config.crash ~round:k)
+      in
+      let crashing_pids = List.map (fun (ev : Crash.event) -> ev.pid) crashing_events in
+      let participants =
+        List.filter (fun p -> not procs.(p).crashed) (List.init n Fun.id)
+      in
+      (* Phase 1: end-of-round — compute round k-1 (or initialize), send
+         round-k message. Pending adds complete when BLOCK clears. *)
+      let outgoing =
+        List.map
+          (fun p ->
+            let proc = procs.(p) in
+            let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
+            let m =
+              if k = 1 then begin
+                let st, m = S.initialize () in
+                proc.st <- Some st;
+                m
+              end
+              else begin
+                let current = Mailbox.current proc.mailbox ~round:(k - 1) in
+                let st =
+                  match proc.st with Some st -> st | None -> assert false
+                in
+                let st', m = S.compute st ~round:(k - 1) ~inbox:{ Intf.current; fresh } in
+                proc.st <- Some st';
+                (match proc.pending with
+                | Some pa when not (S.add_pending st') ->
+                  proc.pending <- None;
+                  ops :=
+                    Checker.Ws_add
+                      {
+                        add_client = p;
+                        add_value = pa.value;
+                        add_invoked = pa.invoked;
+                        add_completed = Some compute_time;
+                      }
+                    :: !ops;
+                  adds :=
+                    {
+                      client = p;
+                      value = pa.value;
+                      invoked_round = pa.invoked_round;
+                      completed_round = Some (k - 1);
+                    }
+                    :: !adds
+                | Some _ | None -> ());
+                m
+              end
+            in
+            { Dispatch.sender = p; msg = m })
+          participants
+      in
+      (* Phase 2: deliveries. As in Runner, sources must reach every
+         process that computes the round (not only correct ones). *)
+      let obligated =
+        List.filter (fun p -> not (List.mem p crashing_pids)) participants
+      in
+      let alive_receivers =
+        List.filter
+          (fun p -> (not procs.(p).crashed) && not (List.mem p crashing_pids))
+          (List.init n Fun.id)
+      in
+      let normal_senders =
+        List.filter (fun p -> not (List.mem p crashing_pids)) participants
+      in
+      let ctx =
+        {
+          Adversary.round = k;
+          senders = normal_senders;
+          obligated;
+          correct;
+          alive = alive_receivers;
+        }
+      in
+      let plan = Adversary.plan config.adversary ctx rng in
+      let stats =
+        Dispatch.dispatch ~round:k ~outgoing ~crashing_events
+          ~eligible:(fun q -> q < n && not procs.(q).crashed)
+          ~receivers:alive_receivers ~plan ~crash_rng
+          ~schedule:(fun ~receiver ~arrival ~sent msg ->
+            Mailbox.schedule procs.(receiver).mailbox ~arrival ~sent msg)
+      in
+      messages_sent := !messages_sent + List.length outgoing;
+      List.iter (fun p -> procs.(p).crashed <- true) crashing_pids;
+      (* Phase 3: client operations while in round k. One operation at a
+         time per client; adds block until their value is written. *)
+      List.iter
+        (fun p ->
+          let proc = procs.(p) in
+          if (not proc.crashed) && proc.pending = None then
+            match proc.script with
+            | (start, op) :: rest when start <= k -> (
+              match proc.st with
+              | None -> ()
+              | Some st -> (
+                match op with
+                | Do_get ->
+                  let result = S.get st in
+                  proc.script <- rest;
+                  ops :=
+                    Checker.Ws_get
+                      {
+                        get_client = p;
+                        get_result = result;
+                        get_invoked = op_time;
+                        get_completed = op_time;
+                      }
+                    :: !ops
+                | Do_add v ->
+                  proc.st <- Some (S.add st v);
+                  proc.script <- rest;
+                  proc.pending <- Some { value = v; invoked = op_time; invoked_round = k }
+                | Do_add_with f ->
+                  let v = f (S.get st) in
+                  proc.st <- Some (S.add st v);
+                  proc.script <- rest;
+                  proc.pending <- Some { value = v; invoked = op_time; invoked_round = k }))
+            | _ -> ())
+        participants;
+      let info =
+        {
+          Trace.round = k;
+          senders = participants;
+          crashing = crashing_pids;
+          source = plan.source;
+          timely = stats.timely;
+          obligated;
+          decided = [];
+          msg_sizes =
+            List.map (fun { Dispatch.sender; msg } -> (sender, S.msg_size msg)) outgoing;
+        }
+      in
+      rounds := info :: !rounds
+    done;
+    (* Adds still pending at the end of the run are recorded as
+       incomplete. *)
+    Array.iteri
+      (fun p proc ->
+        match proc.pending with
+        | None -> ()
+        | Some pa ->
+          ops :=
+            Checker.Ws_add
+              {
+                add_client = p;
+                add_value = pa.value;
+                add_invoked = pa.invoked;
+                add_completed = None;
+              }
+            :: !ops;
+          adds :=
+            {
+              client = p;
+              value = pa.value;
+              invoked_round = pa.invoked_round;
+              completed_round = None;
+            }
+            :: !adds)
+      procs;
+    let trace =
+      {
+        Trace.n;
+        inputs = Array.make n 0;
+        crash = config.crash;
+        env = Adversary.env config.adversary;
+        rounds = List.rev !rounds;
+      }
+    in
+    {
+      trace;
+      ops = List.rev !ops;
+      adds = List.rev !adds;
+      rounds_executed = config.horizon;
+      messages_sent = !messages_sent;
+    }
+end

@@ -1,0 +1,61 @@
+(** Execution engine for weak-set services (Alg. 4 semantics).
+
+    Processes run rounds forever (services never decide); clients — one per
+    process — invoke [add]/[get] operations between rounds, sequentially
+    per process. The run produces operation records on a global logical
+    clock suitable for [Checker.check_weak_set]:
+
+    - computes of round [k-1] (where pending [add]s complete) happen at
+      time [2k];
+    - operations invoked while a process is in round [k] happen at time
+      [2k + 1]. *)
+
+type op_spec =
+  | Do_add of Anon_kernel.Value.t
+  | Do_get
+  | Do_add_with of (Anon_kernel.Value.Set.t -> Anon_kernel.Value.t)
+      (** Add a value computed from the client's current [get] view at
+          invocation time (used by layered objects such as the register of
+          Prop. 1, whose writes read the set first). *)
+
+type workload = (int * (int * op_spec) list) list
+(** Per pid: [(earliest_round, op)] scripts. Operations run in list order,
+    each starting no earlier than its round and only after the previous
+    operation of the same client completed. *)
+
+val random_workload :
+  n:int ->
+  ops_per_client:int ->
+  max_start:int ->
+  value_range:int ->
+  Anon_kernel.Rng.t ->
+  workload
+(** Mixed add/get scripts with distinct add values across all clients (so
+    that semantic checking is exact). *)
+
+type config = {
+  n : int;
+  crash : Crash.t;
+  adversary : Adversary.t;
+  horizon : int;
+  seed : int;
+}
+
+type add_record = {
+  client : int;
+  value : Anon_kernel.Value.t;
+  invoked_round : int;
+  completed_round : int option;
+}
+
+type outcome = {
+  trace : Trace.t;
+  ops : Checker.ws_op list;  (** Chronological. *)
+  adds : add_record list;  (** Latency data for the benches. *)
+  rounds_executed : int;
+  messages_sent : int;
+}
+
+module Make (S : Intf.SERVICE) : sig
+  val run : config -> workload:workload -> outcome
+end

@@ -1,0 +1,260 @@
+open Anon_kernel
+
+type pace_fn = pid:int -> round:int -> Rng.t -> int
+type delay_fn = sender:int -> receiver:int -> round:int -> Rng.t -> int
+
+let uniform_pace ~max ~pid:_ ~round:_ rng = Rng.int_in rng 1 (Stdlib.max 1 max)
+let fixed_pace p ~pid:_ ~round:_ _rng = Stdlib.max 1 p
+let uniform_delay ~max ~sender:_ ~receiver:_ ~round:_ rng =
+  Rng.int_in rng 1 (Stdlib.max 1 max)
+let fixed_delay d ~sender:_ ~receiver:_ ~round:_ _rng = Stdlib.max 1 d
+
+type config = {
+  inputs : Value.t list;
+  crash : Crash.t;
+  horizon_ticks : int;
+  max_rounds : int;
+  seed : int;
+  pace : pace_fn;
+  delay : delay_fn;
+  stop_on_decision : bool;
+}
+
+let default_config ?(horizon_ticks = 2_000) ?(max_rounds = 400) ?(seed = 42)
+    ?(pace = fixed_pace 1) ?(delay = fixed_delay 1) ?(stop_on_decision = true)
+    ~inputs ~crash () =
+  if List.length inputs <> Crash.n crash then
+    invalid_arg "Skew_runner.default_config: inputs/crash size mismatch";
+  { inputs; crash; horizon_ticks; max_rounds; seed; pace; delay; stop_on_decision }
+
+type outcome = {
+  trace : Trace.t;
+  decisions : (int * int * Value.t) list;
+  all_correct_decided : bool;
+  ticks : int;
+  rounds_completed : int array;
+}
+
+module Make (A : Intf.ALGORITHM) = struct
+  type proc = {
+    pid : int;
+    mutable st : A.state option;
+    mutable round : int;  (* end-of-rounds performed (k_i) *)
+    mutable stopped : bool;  (* halted, crashed, or past max_rounds *)
+    mutable halted : bool;  (* decided *)
+    rounds_msgs : (int, A.msg list) Hashtbl.t;  (* M_i[k], deduped+sorted *)
+    mutable fresh : (int * A.msg) list;  (* arrivals since last compute, reversed *)
+    mutable next_fire : int;
+    compute_log : (int, A.msg list) Hashtbl.t;  (* round -> current at compute *)
+  }
+
+  let current_of proc k =
+    Option.value ~default:[] (Hashtbl.find_opt proc.rounds_msgs k)
+
+  (* Merge a message into M_i[k]; returns whether it was new. *)
+  let insert proc ~k msg =
+    let existing = current_of proc k in
+    if List.exists (fun m -> A.msg_compare m msg = 0) existing then false
+    else begin
+      Hashtbl.replace proc.rounds_msgs k (List.sort A.msg_compare (msg :: existing));
+      true
+    end
+
+  let run ?(env = Env.Async) config =
+    let inputs = Array.of_list config.inputs in
+    let n = Array.length inputs in
+    let rng = Rng.make config.seed in
+    let crash_rng = Rng.split rng in
+    let correct = Crash.correct config.crash in
+    let procs =
+      Array.init n (fun pid ->
+          {
+            pid;
+            st = None;
+            round = 0;
+            stopped = false;
+            halted = false;
+            rounds_msgs = Hashtbl.create 64;
+            fresh = [];
+            next_fire = 0;
+            compute_log = Hashtbl.create 64;
+          })
+    in
+    (* Delivery events: tick -> (receiver, round, message set) list. *)
+    let events : (int, (int * int * A.msg list) list) Hashtbl.t = Hashtbl.create 256 in
+    let schedule_delivery tick ev =
+      Hashtbl.replace events tick (ev :: Option.value ~default:[] (Hashtbl.find_opt events tick))
+    in
+    let decisions = ref [] in
+    let sent_msgs : (int * int, A.msg) Hashtbl.t = Hashtbl.create 256 in
+    let crashed_at : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let decided_at : (int, (int * Value.t) list) Hashtbl.t = Hashtbl.create 16 in
+    let messages_broadcast = ref 0 in
+    let push tbl k x =
+      Hashtbl.replace tbl k (x :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+    in
+    let all_correct_decided () =
+      List.for_all (fun p -> procs.(p).halted) correct
+    in
+    (* One end-of-round of [proc] at tick [t] (Alg. 1 lines 5-12). *)
+    let fire proc t =
+      let next = proc.round + 1 in
+      let crashing_now = Crash.crash_round config.crash proc.pid = Some next in
+      if next > config.max_rounds then proc.stopped <- true
+      else begin
+          let result =
+            if next = 1 then begin
+              let st, m = A.initialize inputs.(proc.pid) in
+              proc.st <- Some st;
+              Some m
+            end
+            else begin
+              let current = current_of proc (next - 1) in
+              Hashtbl.replace proc.compute_log (next - 1) current;
+              let fresh = List.rev proc.fresh in
+              proc.fresh <- [];
+              let st = match proc.st with Some st -> st | None -> assert false in
+              let st', m, dec =
+                A.compute st ~round:(next - 1) ~inbox:{ Intf.current; fresh }
+              in
+              proc.st <- Some st';
+              match dec with
+              | Some v ->
+                decisions := (proc.pid, next - 1, v) :: !decisions;
+                push decided_at (next - 1) (proc.pid, v);
+                proc.halted <- true;
+                proc.stopped <- true;
+                None
+              | None -> Some m
+            end
+          in
+          match result with
+          | None -> ()
+          | Some m ->
+            proc.round <- next;
+            ignore (insert proc ~k:next m);
+            proc.fresh <- (next, m) :: proc.fresh;
+            Hashtbl.replace sent_msgs (proc.pid, next) m;
+            incr messages_broadcast;
+            (* Broadcast the whole round set: the relay that lets a
+               receiver obtain a message through a third party. *)
+            let snapshot = current_of proc next in
+            let receivers =
+              let others =
+                List.filter
+                  (fun q -> q <> proc.pid && not procs.(q).stopped)
+                  (List.init n Fun.id)
+              in
+              if crashing_now then
+                match
+                  List.find_opt
+                    (fun (e : Crash.event) -> e.pid = proc.pid)
+                    (Crash.crashing_at config.crash ~round:next)
+                with
+                | Some { broadcast = Crash.Silent; _ } -> []
+                | Some { broadcast = Crash.Broadcast_all; _ } -> others
+                | Some { broadcast = Crash.Broadcast_subset; _ } | None ->
+                  Rng.subset crash_rng ~p:0.5 others
+              else others
+            in
+            List.iter
+              (fun q ->
+                let d =
+                  Stdlib.max 1
+                    (config.delay ~sender:proc.pid ~receiver:q ~round:next rng)
+                in
+                schedule_delivery (t + d) (q, next, snapshot))
+              receivers;
+            if crashing_now then begin
+              proc.stopped <- true;
+              push crashed_at next proc.pid
+            end
+            else
+              proc.next_fire <-
+                t + Stdlib.max 1 (config.pace ~pid:proc.pid ~round:next rng)
+        end
+    in
+    let t = ref 0 in
+    let running = ref true in
+    while !running && !t <= config.horizon_ticks do
+      (match Hashtbl.find_opt events !t with
+      | None -> ()
+      | Some evs ->
+        List.iter
+          (fun (q, k, msgs) ->
+            let proc = procs.(q) in
+            if not proc.stopped then
+              List.iter
+                (fun m -> if insert proc ~k m then proc.fresh <- (k, m) :: proc.fresh)
+                msgs)
+          (List.rev evs);
+        Hashtbl.remove events !t);
+      Array.iter
+        (fun proc -> if (not proc.stopped) && proc.next_fire = !t then fire proc !t)
+        procs;
+      if config.stop_on_decision && all_correct_decided () then running := false;
+      if Array.for_all (fun proc -> proc.stopped) procs then running := false;
+      incr t
+    done;
+    (* Post-hoc, content-based trace: sender s's round-k message is timely
+       to q iff (a copy of) it sat in q's round-k set when q computed
+       round k. *)
+    let max_round = Array.fold_left (fun acc p -> Stdlib.max acc p.round) 0 procs in
+    let round_info k =
+      let senders =
+        List.filter (fun p -> Hashtbl.mem sent_msgs (p, k)) (List.init n Fun.id)
+      in
+      let computed =
+        List.filter (fun q -> Hashtbl.mem procs.(q).compute_log k) (List.init n Fun.id)
+      in
+      let timely =
+        List.filter_map
+          (fun s ->
+            match Hashtbl.find_opt sent_msgs (s, k) with
+            | None -> None
+            | Some m ->
+              let receivers =
+                List.filter
+                  (fun q ->
+                    q <> s
+                    && List.exists
+                         (fun m' -> A.msg_compare m m' = 0)
+                         (Option.value ~default:[]
+                            (Hashtbl.find_opt procs.(q).compute_log k)))
+                  computed
+              in
+              if receivers = [] then None else Some (s, receivers))
+          senders
+      in
+      {
+        Trace.round = k;
+        senders;
+        crashing = Option.value ~default:[] (Hashtbl.find_opt crashed_at k);
+        source = None;
+        timely;
+        obligated = computed;
+        decided = Option.value ~default:[] (Hashtbl.find_opt decided_at k);
+        msg_sizes =
+          List.filter_map
+            (fun s ->
+              Option.map (fun m -> (s, A.msg_size m)) (Hashtbl.find_opt sent_msgs (s, k)))
+            senders;
+      }
+    in
+    let trace =
+      {
+        Trace.n;
+        inputs;
+        crash = config.crash;
+        env;
+        rounds = List.init max_round (fun i -> round_info (i + 1));
+      }
+    in
+    {
+      trace;
+      decisions = List.rev !decisions;
+      all_correct_decided = all_correct_decided ();
+      ticks = Stdlib.min !t config.horizon_ticks;
+      rounds_completed = Array.map (fun p -> p.round) procs;
+    }
+end

@@ -1,0 +1,56 @@
+open Anon_kernel
+
+type round_info = {
+  round : int;
+  senders : int list;
+  crashing : int list;
+  source : int option;
+  timely : (int * int list) list;
+  obligated : int list;
+  decided : (int * Value.t) list;
+  msg_sizes : (int * int) list;
+}
+
+type t = {
+  n : int;
+  inputs : Value.t array;
+  crash : Crash.t;
+  env : Env.t;
+  rounds : round_info list;
+}
+
+let timely_to info sender =
+  match List.assoc_opt sender info.timely with None -> [] | Some rs -> rs
+
+let decisions t =
+  List.concat_map
+    (fun info -> List.map (fun (pid, v) -> (pid, info.round, v)) info.decided)
+    t.rounds
+
+let last_round t =
+  match List.rev t.rounds with [] -> 0 | info :: _ -> info.round
+
+let pp_pids ppf pids =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    pids
+
+let pp_round ppf info =
+  Format.fprintf ppf "@[<h>r%-3d src=%s senders=%a"
+    info.round
+    (match info.source with None -> "-" | Some s -> "p" ^ string_of_int s)
+    pp_pids info.senders;
+  if info.crashing <> [] then Format.fprintf ppf " crash=%a" pp_pids info.crashing;
+  if info.decided <> [] then
+    Format.fprintf ppf " decided=[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+         (fun ppf (p, v) -> Format.fprintf ppf "p%d:%a" p Value.pp v))
+      info.decided;
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace n=%d env=%a crash=%a@,%a@]" t.n Env.pp t.env
+    Crash.pp t.crash
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_round)
+    t.rounds

@@ -1,0 +1,45 @@
+(** Execution traces.
+
+    The runner records, for every round, who sent, who crashed, which links
+    were timely and who had decided — enough for the checkers to re-verify
+    both the environment constraints (the adversary kept its promises) and
+    the consensus properties, without trusting either the adversary or the
+    algorithm. *)
+
+type round_info = {
+  round : int;
+  senders : int list;  (** Broadcast a round-[round] message. *)
+  crashing : int list;  (** Crashed at this round (possibly partial broadcast). *)
+  source : int option;  (** The adversary's declared source (advisory). *)
+  timely : (int * int list) list;
+      (** [(sender, receivers)] pairs actually delivered timely; the
+          implicit self-delivery is {e not} listed. *)
+  obligated : int list;
+      (** Alive, non-halted processes at sending time (everyone who will
+          compute this round) — whom a source was required to reach. This
+          is deliberately stronger than the paper's literal §2.3 wording
+          ("every correct process"): the Lemma 1 proof needs it, and
+          experiment A2 shows uniform agreement breaks without it. *)
+  decided : (int * Anon_kernel.Value.t) list;
+      (** Decisions taken at this round's [compute] (i.e. on the mailbox of
+          round [round - 1]). *)
+  msg_sizes : (int * int) list;  (** Abstract payload size per sender. *)
+}
+
+type t = {
+  n : int;
+  inputs : Anon_kernel.Value.t array;
+  crash : Crash.t;
+  env : Env.t;  (** What the adversary promised. *)
+  rounds : round_info list;  (** Chronological. *)
+}
+
+val timely_to : round_info -> int -> int list
+(** Receivers (other than itself) that got [sender]'s message timely. *)
+
+val decisions : t -> (int * int * Anon_kernel.Value.t) list
+(** All [(pid, round, value)] decisions, chronological. *)
+
+val last_round : t -> int
+val pp_round : Format.formatter -> round_info -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/harness/exp_ablations.ml: Anon_consensus Anon_giraf Anon_kernel Exp_consensus Hashtbl Int List Option Printf Runs String Table

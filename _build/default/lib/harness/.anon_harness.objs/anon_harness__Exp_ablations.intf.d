@@ -1,0 +1,1 @@
+lib/harness/exp_ablations.mli: Anon_giraf Table

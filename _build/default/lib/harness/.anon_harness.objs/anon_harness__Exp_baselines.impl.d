@@ -1,0 +1,1 @@
+lib/harness/exp_baselines.ml: Anon_baselines Anon_consensus Anon_giraf Anon_kernel Anon_shm Exp_consensus Exp_weakset Fun List Option Rng Runs Stats Table

@@ -1,0 +1,1 @@
+lib/harness/exp_consensus.ml: Anon_consensus Anon_giraf Anon_kernel Counter_table Hashtbl Int List Option Printf Rng Runs Stats Table

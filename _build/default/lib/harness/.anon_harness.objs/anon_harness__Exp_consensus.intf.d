@@ -1,0 +1,1 @@
+lib/harness/exp_consensus.mli: Anon_kernel Table

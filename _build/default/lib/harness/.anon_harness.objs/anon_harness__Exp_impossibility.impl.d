@@ -1,0 +1,1 @@
+lib/harness/exp_impossibility.ml: Anon_consensus Anon_giraf Exp_consensus Format List Runs Table

@@ -1,0 +1,1 @@
+lib/harness/exp_skew.ml: Anon_consensus Anon_giraf Anon_kernel List Printf Rng Runs Stats Table

@@ -1,0 +1,1 @@
+lib/harness/exp_weakset.ml: Anon_consensus Anon_giraf Anon_kernel Anon_shm Fun List Printf Rng Runs Stats Table

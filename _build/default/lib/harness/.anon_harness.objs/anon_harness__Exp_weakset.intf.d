@@ -1,0 +1,1 @@
+lib/harness/exp_weakset.mli: Anon_consensus Table

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Exp_ablations Exp_baselines Exp_consensus Exp_impossibility Exp_skew Exp_weakset List String Table

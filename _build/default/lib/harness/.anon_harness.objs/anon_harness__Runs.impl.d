@@ -1,0 +1,1 @@
+lib/harness/runs.ml: Anon_giraf Anon_kernel List Rng Stats

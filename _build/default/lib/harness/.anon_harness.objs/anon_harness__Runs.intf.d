@@ -1,0 +1,1 @@
+lib/harness/runs.mli: Anon_giraf Anon_kernel

@@ -1,0 +1,27 @@
+(** Ablations: deliberately break the load-bearing details DESIGN.md calls
+    out and measure the predicted failures. Each table compares the paper's
+    algorithm (control) with the broken variant under identical
+    schedules. *)
+
+val a1 : unit -> Table.t
+(** A1 — the non-leader proposal machinery of Alg. 3 (§4.1): A1a sends
+    empty sets instead of [{⊥}] (observationally equivalent under lockstep
+    rounds — the ⊥ device targets unsynchronized rounds); A1b drops the
+    converged clause of line 15, which measurably stalls every decision
+    after the first leader halts. *)
+
+val a2 : unit -> Table.t
+(** A2 — environment-definition sensitivity: under §2.3's literal "timely
+    to every correct process", a faulty isolated proposer decides its own
+    value and uniform agreement breaks for Alg. 2 itself; the Lemma 1
+    proof (and our runners/checker) use the stronger "timely to every
+    process entering the round". *)
+
+val a2_adversary : unit -> Anon_giraf.Adversary.t
+(** The literal-reading schedule: sources serve only correct processes;
+    faulty processes receive everything one round late. Exposed for
+    tests. *)
+
+val a3 : unit -> Table.t
+(** A3 — Alg. 3 merges counter tables with max instead of min: leader
+    stability and liveness degrade under long delays. *)

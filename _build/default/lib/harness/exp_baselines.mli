@@ -1,0 +1,14 @@
+(** T10 — what identities, known membership, and majorities buy you:
+    anonymous Algs. 2/3 against FloodSet (synchronous, known f), Ω-based
+    shared-memory consensus, heartbeat-Ω leader election, and ABD register
+    emulation. *)
+
+val t10 : unit -> Table.t
+(** Round/step counts of the consensus algorithms, n sweep. *)
+
+val t10_leaders : unit -> Table.t
+(** Leader stabilization: heartbeat-Ω (ids) vs pseudo-leaders (histories). *)
+
+val t10_registers : unit -> Table.t
+(** Register emulations: ABD (majority, atomic) vs weak-set register
+    (any number of crashes, regular). *)

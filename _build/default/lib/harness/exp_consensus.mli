@@ -1,0 +1,31 @@
+(** Experiments on the two consensus algorithms (Algs. 2 and 3):
+    T1–T4 and the two figure-style series F1 (decision-round distribution)
+    and F2 (message growth). See DESIGN.md §4 for the full index. *)
+
+val ordered_inputs : n:int -> Anon_kernel.Rng.t -> Anon_kernel.Value.t list
+(** Pid-ordered inputs [1..n] — required for the blocking schedules to
+    stall (see the comment in the implementation). *)
+
+val t1 : unit -> Table.t
+(** ES decision round vs n and GST (Thm. 1 liveness). *)
+
+val t2 : unit -> Table.t
+(** ES safety under crash fractions (Thm. 1 safety). *)
+
+val t3 : unit -> Table.t
+(** ESS decision round vs n and source-stabilization time (Thm. 2). *)
+
+val t4 : unit -> Table.t
+(** Pseudo-leader stabilization (Lemmas 4–6). *)
+
+val leader_stabilization :
+  n:int -> gst:int -> seed:int -> int * int * int option
+(** One instrumented ESS run: (self-leader-set stabilization round, final
+    leader-set size, decision round). Shared with the baseline comparison
+    T10. *)
+
+val f1 : unit -> Table.t
+(** Decision-round histogram, ES vs ESS, random schedules. *)
+
+val f2 : unit -> Table.t
+(** ESS message-payload growth per round. *)

@@ -1,0 +1,40 @@
+module G = Anon_giraf
+module C = Anon_consensus
+module Es_runs = Runs.Of (C.Es_consensus)
+
+let t8 () =
+  let horizon = 600 in
+  let row n =
+    let batch =
+      Es_runs.batch ~horizon
+        ~inputs:(Exp_consensus.ordered_inputs ~n)
+        ~crash:(fun _ -> G.Crash.none ~n)
+        ~adversary:(fun _ -> G.Adversary.es_blocking ~gst:max_int ())
+        ~seeds:(Runs.seeds 5) ()
+    in
+    [
+      Table.cell_int n;
+      Table.cell_int batch.runs;
+      Table.cell_int batch.decided;
+      Table.cell_int (Runs.safety_violations batch);
+      Table.cell_int batch.env_violations;
+      Table.cell_int horizon;
+    ]
+  in
+  Table.make ~id:"T8"
+    ~title:"FLP corollary: Alg. 2 under a never-stabilizing MS schedule"
+    ~claim:"Thm. 4 + FLP — MS alone cannot solve consensus; the blocking schedule runs forever"
+    ~expectation:"0 runs decide within the horizon; 0 safety violations"
+    ~headers:[ "n"; "runs"; "decided"; "safety-viol"; "env-viol"; "horizon" ]
+    ~rows:(List.map row [ 2; 4; 8; 16 ])
+
+let t9 () =
+  let row (module Cand : C.Sigma.CANDIDATE) =
+    let verdict = C.Sigma.two_run_attack (module Cand) ~horizon:200 in
+    [ Cand.name; Format.asprintf "%a" C.Sigma.pp_verdict verdict ]
+  in
+  Table.make ~id:"T9" ~title:"Prop. 4: the two-run adversary vs Σ emulators"
+    ~claim:"Σ cannot be emulated in MS, even with known ids and n"
+    ~expectation:"every candidate loses: completeness or intersection violated"
+    ~headers:[ "candidate"; "verdict" ]
+    ~rows:(List.map row C.Sigma.builtin_candidates)

@@ -1,0 +1,9 @@
+(** Impossibility-side experiments: T8 (FLP corollary — no consensus in
+    MS) and T9 (Prop. 4 — Σ is not emulatable in MS). *)
+
+val t8 : unit -> Table.t
+(** Alg. 2 under an MS-only (never stabilizing) blocking schedule: no
+    decision within a long horizon, safety intact. *)
+
+val t9 : unit -> Table.t
+(** The two-run adversary defeats every candidate Σ emulator. *)

@@ -1,0 +1,64 @@
+open Anon_kernel
+module G = Anon_giraf
+module C = Anon_consensus
+module Skew = G.Skew_runner.Make (C.Es_consensus)
+
+let count_violations which (out : G.Skew_runner.outcome) =
+  List.length
+    (List.filter which (G.Checker.check_consensus ~expect_termination:false out.trace))
+
+let agreement = function G.Checker.Agreement_violation _ -> true | _ -> false
+let validity = function G.Checker.Validity_violation _ -> true | _ -> false
+
+let run ~seed ~pace ~delay ~n =
+  let rng = Rng.make seed in
+  let config =
+    G.Skew_runner.default_config ~seed ~horizon_ticks:2_000 ~max_rounds:200 ~pace
+      ~delay
+      ~inputs:(Rng.shuffle rng (List.init n (fun i -> i + 1)))
+      ~crash:(G.Crash.none ~n) ()
+  in
+  Skew.run config
+
+let t12 () =
+  let seeds = Runs.seeds 10 in
+  let batch ~pace ~delay ~n =
+    let outs = List.map (fun seed -> run ~seed ~pace ~delay ~n) seeds in
+    let decided = List.length (List.filter (fun (o : G.Skew_runner.outcome) -> o.all_correct_decided) outs) in
+    let agr = List.fold_left (fun acc o -> acc + count_violations agreement o) 0 outs in
+    let validity_violations =
+      List.fold_left (fun acc o -> acc + count_violations validity o) 0 outs
+    in
+    let rounds =
+      List.filter_map
+        (fun (o : G.Skew_runner.outcome) ->
+          if o.all_correct_decided then
+            Some
+              (float_of_int (List.fold_left (fun acc (_, r, _) -> max acc r) 0 o.decisions))
+          else None)
+        outs
+    in
+    [
+      Printf.sprintf "%d/%d" decided (List.length outs);
+      (match rounds with [] -> "-" | rs -> Table.cell_float (Stats.mean rs));
+      Table.cell_int agr;
+      Table.cell_int validity_violations;
+    ]
+  in
+  let row name ~pace ~delay ~n = name :: batch ~pace ~delay ~n in
+  Table.make ~id:"T12" ~title:"Unsynchronized rounds (skewed runner, relay semantics)"
+    ~claim:"Alg. 1 in full generality — message-set relays carry timeliness; without any source obligation even safety is forfeit"
+    ~expectation:"uniform pace behaves like lockstep synchrony (safe); any obligation-free skew can split agreement - occasionally for mild skew, in every run for the racing schedule; validity always holds"
+    ~headers:[ "schedule (n=4)"; "decided"; "mean-round"; "agreement-viol"; "validity-viol" ]
+    ~rows:
+      [
+        row "uniform pace 1, delay 1"
+          ~pace:(G.Skew_runner.fixed_pace 1)
+          ~delay:(G.Skew_runner.fixed_delay 1) ~n:4;
+        row "random pace <=3, delay <=3"
+          ~pace:(G.Skew_runner.uniform_pace ~max:3)
+          ~delay:(G.Skew_runner.uniform_delay ~max:3) ~n:4;
+        row "racing pace 1, delay 30 (no source)"
+          ~pace:(G.Skew_runner.fixed_pace 1)
+          ~delay:(G.Skew_runner.fixed_delay 30) ~n:4;
+      ]

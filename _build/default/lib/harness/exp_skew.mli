@@ -1,0 +1,10 @@
+(** T12 — unsynchronized rounds (full GIRAF generality).
+
+    The lockstep experiments cover the paper's environments; this table
+    exercises the skewed runner: relay-based timeliness, behaviour under
+    uniform pace (must match lockstep synchrony), and the instructive
+    failures when no environment obligation holds — mild skew splits
+    agreement occasionally, a racing schedule splits it every run. That
+    is precisely why MS's per-round source is needed even for safety. *)
+
+val t12 : unit -> Table.t

@@ -1,0 +1,20 @@
+(** Experiments on the weak-set layer: T5 (Alg. 4 latency), T6 (register of
+    Prop. 1), T7 (MS emulation of Alg. 5 / Thm. 4) and T11 (register-based
+    constructions of Props. 2–3). *)
+
+val t5 : unit -> Table.t
+(** add() completion latency in the MS environment vs n and link noise. *)
+
+val t6 : unit -> Table.t
+(** Regular-register semantics over random read/write workloads. *)
+
+val t6_run :
+  n:int -> seed:int -> Anon_consensus.Register_of_weak_set.outcome
+(** One seeded register workload over the MS weak-set (shared with the
+    baseline comparison T10c). *)
+
+val t7 : unit -> Table.t
+(** The emulated environment satisfies the MS property (Thm. 4). *)
+
+val t11 : unit -> Table.t
+(** Weak-set semantics of the SWMR/MWMR register constructions. *)

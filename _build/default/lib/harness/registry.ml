@@ -1,0 +1,34 @@
+type experiment = { id : string; build : unit -> Table.t }
+
+let all =
+  [
+    { id = "T1"; build = Exp_consensus.t1 };
+    { id = "T2"; build = Exp_consensus.t2 };
+    { id = "T3"; build = Exp_consensus.t3 };
+    { id = "T4"; build = Exp_consensus.t4 };
+    { id = "T5"; build = Exp_weakset.t5 };
+    { id = "T6"; build = Exp_weakset.t6 };
+    { id = "T7"; build = Exp_weakset.t7 };
+    { id = "T8"; build = Exp_impossibility.t8 };
+    { id = "T9"; build = Exp_impossibility.t9 };
+    { id = "T10"; build = Exp_baselines.t10 };
+    { id = "T10b"; build = Exp_baselines.t10_leaders };
+    { id = "T10c"; build = Exp_baselines.t10_registers };
+    { id = "T11"; build = Exp_weakset.t11 };
+    { id = "T12"; build = Exp_skew.t12 };
+    { id = "F1"; build = Exp_consensus.f1 };
+    { id = "F2"; build = Exp_consensus.f2 };
+    { id = "A1"; build = Exp_ablations.a1 };
+    { id = "A2"; build = Exp_ablations.a2 };
+    { id = "A3"; build = Exp_ablations.a3 };
+  ]
+
+let find id =
+  List.find_opt (fun e -> String.lowercase_ascii e.id = String.lowercase_ascii id) all
+
+let run_all ppf =
+  List.iter
+    (fun e ->
+      let table = e.build () in
+      Table.render ppf table)
+    all

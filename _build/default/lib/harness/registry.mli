@@ -1,0 +1,13 @@
+(** The experiment registry: every table/figure of EXPERIMENTS.md, keyed by
+    id, in presentation order. *)
+
+type experiment = {
+  id : string;
+  build : unit -> Table.t;
+}
+
+val all : experiment list
+val find : string -> experiment option
+val run_all : Format.formatter -> unit
+(** Build and render every table (the main entry point of the bench
+    harness). *)

@@ -1,0 +1,72 @@
+open Anon_kernel
+module G = Anon_giraf
+
+type batch = {
+  runs : int;
+  decided : int;
+  decision_rounds : int list;
+  env_violations : int;
+  agreement_violations : int;
+  validity_violations : int;
+  messages : int list;
+}
+
+let mean_decision b =
+  match b.decision_rounds with
+  | [] -> None
+  | rs -> Some (Stats.mean (List.map float_of_int rs))
+
+let safety_violations b = b.agreement_violations + b.validity_violations
+
+let seeds ?(base = 1000) n = List.init n (fun i -> base + (7919 * i))
+
+let distinct_inputs ~n rng = Rng.shuffle rng (List.init n (fun i -> i + 1))
+
+module Of (A : G.Intf.ALGORITHM) = struct
+  module R = G.Runner.Make (A)
+
+  let batch ?(horizon = 300) ?observe ~inputs ~crash ~adversary ~seeds () =
+    let empty =
+      {
+        runs = 0;
+        decided = 0;
+        decision_rounds = [];
+        env_violations = 0;
+        agreement_violations = 0;
+        validity_violations = 0;
+        messages = [];
+      }
+    in
+    List.fold_left
+      (fun acc seed ->
+        let rng = Rng.make seed in
+        let inputs = inputs (Rng.split rng) in
+        let crash = crash (Rng.split rng) in
+        let adversary = adversary (Rng.split rng) in
+        let config = G.Runner.default_config ~horizon ~seed ~inputs ~crash adversary in
+        let outcome = R.run ?observe config in
+        let env = G.Checker.check_env outcome.trace in
+        let cons =
+          G.Checker.check_consensus ~expect_termination:false outcome.trace
+        in
+        let count p l = List.length (List.filter p l) in
+        {
+          runs = acc.runs + 1;
+          decided = (acc.decided + if outcome.all_correct_decided then 1 else 0);
+          decision_rounds =
+            (match G.Runner.decision_round outcome with
+            | Some r -> r :: acc.decision_rounds
+            | None -> acc.decision_rounds);
+          env_violations = acc.env_violations + List.length env;
+          agreement_violations =
+            acc.agreement_violations
+            + count
+                (function G.Checker.Agreement_violation _ -> true | _ -> false)
+                cons;
+          validity_violations =
+            acc.validity_violations
+            + count (function G.Checker.Validity_violation _ -> true | _ -> false) cons;
+          messages = outcome.messages_sent :: acc.messages;
+        })
+      empty seeds
+end

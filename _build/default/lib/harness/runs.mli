@@ -1,0 +1,36 @@
+(** Shared run helpers for the experiment suite: execute a consensus
+    algorithm over a batch of seeds and summarize decisions and checker
+    verdicts. *)
+
+type batch = {
+  runs : int;
+  decided : int;  (** Runs where every correct process decided. *)
+  decision_rounds : int list;  (** Last correct decision round, per decided run. *)
+  env_violations : int;
+  agreement_violations : int;
+  validity_violations : int;
+  messages : int list;  (** Broadcasts per run. *)
+}
+
+val mean_decision : batch -> float option
+val safety_violations : batch -> int
+
+module Of (A : Anon_giraf.Intf.ALGORITHM) : sig
+  val batch :
+    ?horizon:int ->
+    ?observe:(pid:int -> round:int -> A.state -> unit) ->
+    inputs:(Anon_kernel.Rng.t -> Anon_kernel.Value.t list) ->
+    crash:(Anon_kernel.Rng.t -> Anon_giraf.Crash.t) ->
+    adversary:(Anon_kernel.Rng.t -> Anon_giraf.Adversary.t) ->
+    seeds:int list ->
+    unit ->
+    batch
+  (** One run per seed; [inputs]/[crash]/[adversary] are drawn from a
+      seed-derived stream so batches are reproducible. *)
+end
+
+val seeds : ?base:int -> int -> int list
+(** [seeds n] is [n] distinct seeds. *)
+
+val distinct_inputs : n:int -> Anon_kernel.Rng.t -> Anon_kernel.Value.t list
+(** [n] distinct values in a small range, shuffled. *)

@@ -1,0 +1,53 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  expectation : string;
+  headers : string list;
+  rows : string list list;
+}
+
+let make ~id ~title ~claim ~expectation ~headers ~rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length headers then
+        invalid_arg ("Table.make: ragged row in " ^ id))
+    rows;
+  { id; title; claim; expectation; headers; rows }
+
+let widths t =
+  let cols = List.length t.headers in
+  let w = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  measure t.headers;
+  List.iter measure t.rows;
+  w
+
+let render ppf t =
+  let w = widths t in
+  let pad i s = s ^ String.make (w.(i) - String.length s) ' ' in
+  let render_row row =
+    Format.fprintf ppf "  %s@." (String.concat "  " (List.mapi pad row))
+  in
+  Format.fprintf ppf "@.== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "   claim: %s@." t.claim;
+  Format.fprintf ppf "   expectation: %s@." t.expectation;
+  render_row t.headers;
+  render_row (List.mapi (fun i _ -> String.make w.(i) '-') t.headers);
+  List.iter render_row t.rows
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line t.headers :: List.map line t.rows) ^ "\n"
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 1) f = Printf.sprintf "%.*f" decimals f
+let cell_bool b = if b then "yes" else "no"
+let cell_opt f = function None -> "-" | Some x -> f x

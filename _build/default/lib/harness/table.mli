@@ -1,0 +1,25 @@
+(** Result tables: the harness's output format.
+
+    One table per experiment (per paper claim); rendered as aligned ASCII
+    for the console and as CSV for downstream plotting. *)
+
+type t = {
+  id : string;  (** Experiment id, e.g. "T1". *)
+  title : string;
+  claim : string;  (** The paper claim being validated. *)
+  expectation : string;  (** The predicted shape of the numbers. *)
+  headers : string list;
+  rows : string list list;
+}
+
+val make :
+  id:string -> title:string -> claim:string -> expectation:string ->
+  headers:string list -> rows:string list list -> t
+
+val render : Format.formatter -> t -> unit
+val to_csv : t -> string
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string
+val cell_opt : ('a -> string) -> 'a option -> string

@@ -1,0 +1,1 @@
+lib/kernel/counter_table.ml: Format History Int List

@@ -1,0 +1,1 @@
+lib/kernel/counter_table.mli: Format History

@@ -1,0 +1,1 @@
+lib/kernel/history.ml: Format Hashtbl Int List Map Set Value

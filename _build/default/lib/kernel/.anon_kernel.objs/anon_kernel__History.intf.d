@@ -1,0 +1,1 @@
+lib/kernel/history.mli: Format Map Set Value

@@ -1,0 +1,1 @@
+lib/kernel/pvalue.ml: Format List Set Value

@@ -1,0 +1,1 @@
+lib/kernel/pvalue.mli: Format Set Value

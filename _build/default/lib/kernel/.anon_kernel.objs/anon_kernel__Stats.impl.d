@@ -1,0 +1,1 @@
+lib/kernel/stats.ml: Float Format Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/kernel/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/kernel/value.ml: Format Hashtbl Int List Map Set

@@ -1,0 +1,51 @@
+type t = int History.Map.t
+(* Invariant: all stored values are >= 1; absent means 0. *)
+
+let empty = History.Map.empty
+let get t h = match History.Map.find_opt h t with None -> 0 | Some c -> c
+let set t h c = if c <= 0 then History.Map.remove h t else History.Map.add h c t
+
+let min_merge = function
+  | [] -> empty
+  | t0 :: ts ->
+    (* Keys must be present in every table; fold keeps the running minimum
+       and drops keys missing from any later table. *)
+    let keep_min acc t =
+      History.Map.filter_map
+        (fun h c -> match History.Map.find_opt h t with
+          | None -> None
+          | Some c' -> Some (min c c'))
+        acc
+    in
+    List.fold_left keep_min t0 ts
+
+let prefix_max t h =
+  History.fold_prefixes (fun p acc -> max acc (get t p)) h 0
+
+let bump_prefix_max t h = set t h (1 + prefix_max t h)
+
+let table_max t = History.Map.fold (fun _ c acc -> max acc c) t 0
+
+let is_max t h = get t h >= table_max t
+
+let max_binding t =
+  History.Map.fold
+    (fun h c best ->
+      match best with
+      | None -> Some (h, c)
+      | Some (h', c') ->
+        if c > c' || (c = c' && History.compare_lexicographic h h' < 0)
+        then Some (h, c)
+        else best)
+    t None
+
+let bindings t = History.Map.bindings t
+let cardinal t = History.Map.cardinal t
+let compare = History.Map.compare Int.compare
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let pp_binding ppf (h, c) = Format.fprintf ppf "%a↦%d" History.pp h c in
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_binding)
+    (bindings t)

@@ -1,0 +1,47 @@
+(** History counter tables (the [C] variable of Alg. 3).
+
+    Conceptually [C] maps {e every} history to a natural number, defaulting
+    to 0; only non-zero entries are stored ("no memory is allocated for
+    histories it has not yet heard of"). The two operations the algorithm
+    performs each round are:
+
+    - line 8: pointwise [min] over all received tables (with default 0 this
+      keeps exactly the keys present in {e all} tables), and
+    - line 9: [C\[m.HISTORY\] := 1 + max {C\[H\] | H prefix of m.HISTORY}].
+
+    Tables travel inside messages, so they support structural comparison for
+    message-set deduplication. *)
+
+type t
+
+val empty : t
+
+val get : t -> History.t -> int
+(** Counter of a history, defaulting to 0. *)
+
+val set : t -> History.t -> int -> t
+(** [set t h c] stores [c]; storing 0 removes the entry. *)
+
+val min_merge : t list -> t
+(** Pointwise minimum with default 0 of a list of tables: a key survives
+    only if present (non-zero) in every table, with the minimum value.
+    [min_merge []] is [empty]. *)
+
+val bump_prefix_max : t -> History.t -> t
+(** Alg. 3 line 9: [C\[h\] := 1 + max {C\[H\] | H prefix of h}] (the max is
+    at least 0, over the default). *)
+
+val is_max : t -> History.t -> bool
+(** Alg. 3 leader test: [∀H, C\[h\] ≥ C\[H\]] — whether [h]'s counter ties
+    the table's maximum (trivially true on an all-zero table). *)
+
+val max_binding : t -> (History.t * int) option
+(** Some entry of maximal counter, [None] if the table is all-zero. Ties
+    are broken by lexicographic history order so the result is
+    deterministic. *)
+
+val bindings : t -> (History.t * int) list
+val cardinal : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

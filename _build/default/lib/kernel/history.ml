@@ -1,0 +1,76 @@
+type t = { id : int; len : int; node : node }
+
+and node = Root | Snoc of t * Value.t
+
+(* Intern table: (parent id, value) -> history.  Append-only; the table can
+   only grow, so ids are stable for the lifetime of the process. *)
+
+module Key = struct
+  type t = int * Value.t
+
+  let equal (i1, v1) (i2, v2) = Int.equal i1 i2 && Value.equal v1 v2
+  let hash (i, v) = (i * 0x9e3779b1) lxor Value.hash v
+end
+
+module Table = Hashtbl.Make (Key)
+
+let table : t Table.t = Table.create 4096
+let next_id = ref 1
+let empty = { id = 0; len = 0; node = Root }
+
+let snoc h v =
+  let key = (h.id, v) in
+  match Table.find_opt table key with
+  | Some h' -> h'
+  | None ->
+    let h' = { id = !next_id; len = h.len + 1; node = Snoc (h, v) } in
+    incr next_id;
+    Table.add table key h';
+    h'
+
+let of_list vs = List.fold_left snoc empty vs
+
+let to_list h =
+  let rec go acc h =
+    match h.node with Root -> acc | Snoc (p, v) -> go (v :: acc) p
+  in
+  go [] h
+
+let length h = h.len
+let last h = match h.node with Root -> None | Snoc (_, v) -> Some v
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let compare_lexicographic a b = List.compare Value.compare (to_list a) (to_list b)
+let hash h = Hashtbl.hash h.id
+
+let rec drop_to len h = if h.len <= len then h else
+  match h.node with
+  | Root -> h
+  | Snoc (p, _) -> drop_to len p
+
+let is_prefix ~prefix h =
+  prefix.len <= h.len && equal prefix (drop_to prefix.len h)
+
+let prefixes h =
+  let rec go acc h =
+    match h.node with Root -> h :: acc | Snoc (p, _) -> go (h :: acc) p
+  in
+  go [] h
+
+let fold_prefixes f h init = List.fold_left (fun acc p -> f p acc) init (prefixes h)
+
+let pp ppf h =
+  Format.fprintf ppf "⟨@[%a@]⟩"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "·") Value.pp)
+    (to_list h)
+
+let interned_count () = !next_id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

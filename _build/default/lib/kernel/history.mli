@@ -1,0 +1,56 @@
+(** Hash-consed proposal histories (Alg. 3).
+
+    A history is the sequence of values a process has appended to its
+    [HISTORY] variable, one per round. Histories are interned in a global
+    table so that equality is O(1), hashing is O(1), and the prefix walks
+    required by the counter table (Alg. 3 line 9) are O(length difference).
+
+    Interning is append-only and shared between simulations; it only caches
+    structure and never affects algorithm semantics. *)
+
+type t
+
+val empty : t
+(** The empty history (the root of the intern trie). *)
+
+val snoc : t -> Value.t -> t
+(** [snoc h v] is the history [h] extended with [v]. *)
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+val length : t -> int
+val last : t -> Value.t option
+(** Last appended value; [None] on [empty]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Arbitrary total order (by intern id), suitable for [Map]/[Set] keys.
+    Not the prefix order. *)
+
+val compare_lexicographic : t -> t -> int
+(** Lexicographic order on the underlying value sequences: a deterministic,
+    run-independent total order used where observable tie-breaking matters. *)
+
+val hash : t -> int
+
+val is_prefix : prefix:t -> t -> bool
+(** [is_prefix ~prefix:h1 h2] holds iff [h1] is a (not necessarily proper)
+    prefix of [h2]. [empty] is a prefix of everything. *)
+
+val prefixes : t -> t list
+(** All prefixes of [h] from [empty] up to and including [h] itself,
+    shortest first. Length [length h + 1]. *)
+
+val fold_prefixes : (t -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_prefixes f h init] folds [f] over every prefix of [h] (including
+    [empty] and [h]), shortest first. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [⟨v1·v2·…⟩]. *)
+
+val interned_count : unit -> int
+(** Number of distinct histories interned so far (diagnostics / benches). *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

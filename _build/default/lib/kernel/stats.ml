@@ -1,0 +1,65 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let percentile xs p =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | sorted ->
+    let n = List.length sorted in
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int n)) |> max 1 |> min n
+    in
+    List.nth sorted (rank - 1)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | _ ->
+    {
+      count = List.length xs;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = List.fold_left min Float.max_float xs;
+      p50 = percentile xs 50.0;
+      p95 = percentile xs 95.0;
+      max = List.fold_left max Float.min_float xs;
+    }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+let histogram ~bucket xs =
+  if bucket <= 0 then invalid_arg "Stats.histogram: bucket must be positive";
+  let tbl = Hashtbl.create 16 in
+  let bucket_of x = if x >= 0 then x / bucket * bucket else ((x - bucket + 1) / bucket) * bucket in
+  List.iter
+    (fun x ->
+      let b = bucket_of x in
+      Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    xs;
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.0f p50=%.0f p95=%.0f max=%.0f"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.max

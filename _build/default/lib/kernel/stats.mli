@@ -1,0 +1,30 @@
+(** Small summary-statistics helpers for the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Summary of a non-empty sample. @raise Invalid_argument on []. *)
+
+val summarize_ints : int list -> summary
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on the sorted
+    sample. Non-empty sample required. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val histogram : bucket:int -> int list -> (int * int) list
+(** [histogram ~bucket xs] buckets integer samples into intervals of width
+    [bucket]; returns [(bucket_start, count)] pairs, increasing, skipping
+    empty buckets. *)
+
+val pp_summary : Format.formatter -> summary -> unit

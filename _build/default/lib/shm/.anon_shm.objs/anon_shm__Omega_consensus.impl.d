@@ -1,0 +1,1 @@
+lib/shm/omega_consensus.ml: Anon_giraf Anon_kernel Array Int64 List Program Rng Scheduler Value

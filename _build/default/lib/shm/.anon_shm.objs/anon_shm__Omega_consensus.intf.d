@@ -1,0 +1,1 @@
+lib/shm/omega_consensus.mli: Anon_giraf Anon_kernel Scheduler

@@ -1,0 +1,1 @@
+lib/shm/scheduler.ml: Anon_kernel Array Fun List Program Rng Stdlib

@@ -1,0 +1,1 @@
+lib/shm/scheduler.mli: Program

@@ -1,0 +1,1 @@
+lib/shm/weak_set_mwmr.ml: Anon_giraf Anon_kernel Array List Option Program Scheduler Value Ws_common

@@ -1,0 +1,1 @@
+lib/shm/weak_set_mwmr.mli: Anon_giraf Anon_kernel Scheduler Ws_common

@@ -1,0 +1,1 @@
+lib/shm/weak_set_swmr.mli: Anon_giraf Anon_kernel Scheduler Ws_common

@@ -1,0 +1,1 @@
+lib/shm/ws_common.ml: Anon_giraf Anon_kernel Fun List Scheduler Value

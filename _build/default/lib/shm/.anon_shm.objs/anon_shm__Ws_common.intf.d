@@ -1,0 +1,1 @@
+lib/shm/ws_common.mli: Anon_giraf Anon_kernel Scheduler

@@ -1,0 +1,16 @@
+type ('v, 'r) t =
+  | Read of int * ('v -> ('v, 'r) t)
+  | Write of int * 'v * (unit -> ('v, 'r) t)
+  | Query of (int -> ('v, 'r) t)
+  | Done of 'r
+
+let read r k = Read (r, k)
+let write r v k = Write (r, v, k)
+let query k = Query k
+let return r = Done r
+
+let read_all ~lo ~hi k =
+  let rec go i acc =
+    if i > hi then k (List.rev acc) else Read (i, fun v -> go (i + 1) (v :: acc))
+  in
+  go lo []

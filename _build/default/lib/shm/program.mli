@@ -1,0 +1,25 @@
+(** Shared-memory programs in continuation-passing style.
+
+    A program is a tree of atomic steps: each [Read]/[Write] touches one
+    register and continues with the observed value. The scheduler
+    interleaves programs one atomic step at a time, which makes every
+    execution linearizable by construction — registers of the paper are
+    abstract atomic objects, and this is their standard operational
+    model. *)
+
+type ('v, 'r) t =
+  | Read of int * ('v -> ('v, 'r) t)
+  | Write of int * 'v * (unit -> ('v, 'r) t)
+  | Query of (int -> ('v, 'r) t)
+      (** Ask the scheduler's oracle (e.g. an Ω leader hint) — a local
+          step, no register access. *)
+  | Done of 'r
+
+val read : int -> ('v -> ('v, 'r) t) -> ('v, 'r) t
+val write : int -> 'v -> (unit -> ('v, 'r) t) -> ('v, 'r) t
+val query : (int -> ('v, 'r) t) -> ('v, 'r) t
+val return : 'r -> ('v, 'r) t
+
+val read_all : lo:int -> hi:int -> ('v list -> ('v, 'r) t) -> ('v, 'r) t
+(** Read registers [lo..hi] one atomic step at a time (low to high) and
+    continue with the values in index order. *)

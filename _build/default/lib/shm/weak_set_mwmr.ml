@@ -1,0 +1,31 @@
+open Anon_kernel
+
+type op = Ws_common.op = Add of Value.t | Get
+
+type outcome = { ops : Anon_giraf.Checker.ws_op list; steps : int }
+
+let add_prog v = Program.write v true (fun () -> Program.return (Ws_common.Added v))
+
+let get_prog ~domain =
+  Program.read_all ~lo:0 ~hi:(domain - 1) (fun flags ->
+      let set =
+        List.fold_left
+          (fun (i, acc) flag -> (i + 1, if flag then Value.Set.add i acc else acc))
+          (0, Value.Set.empty) flags
+        |> snd
+      in
+      Program.return (Ws_common.Got set))
+
+let run ~config ~domain ~workload =
+  let registers = Array.make domain false in
+  let script pid = Option.value ~default:[] (List.assoc_opt pid workload) in
+  let clients ~pid ~op_index =
+    match List.nth_opt (script pid) op_index with
+    | None -> None
+    | Some (Add v) ->
+      if v < 0 || v >= domain then invalid_arg "Weak_set_mwmr: value out of domain";
+      Some (add_prog v)
+    | Some Get -> Some (get_prog ~domain)
+  in
+  let out = Scheduler.run ~config ~registers ~clients () in
+  { ops = Ws_common.ops_of_run ~n:config.Scheduler.n ~script out; steps = out.steps }

@@ -1,0 +1,22 @@
+(** Proposition 3 — a weak-set from multi-writer multi-reader registers,
+    when the value domain is finite.
+
+    One boolean register per possible value: [add v] sets register [v]
+    (one atomic step); [get] scans the domain. No process identities are
+    needed anywhere — this construction works for anonymous processes,
+    which is exactly why the paper cares about it. *)
+
+type op = Ws_common.op = Add of Anon_kernel.Value.t | Get
+
+type outcome = {
+  ops : Anon_giraf.Checker.ws_op list;
+  steps : int;
+}
+
+val run :
+  config:Scheduler.config ->
+  domain:int ->
+  workload:(int * op list) list ->
+  outcome
+(** [domain] is the (finite) number of possible values; every added value
+    must lie in [\[0, domain)]. *)

@@ -1,0 +1,28 @@
+open Anon_kernel
+
+type op = Ws_common.op = Add of Value.t | Get
+
+type outcome = { ops : Anon_giraf.Checker.ws_op list; steps : int }
+
+let add_prog ~me v =
+  Program.read me (fun own ->
+      Program.write me (Value.Set.add v own) (fun () ->
+          Program.return (Ws_common.Added v)))
+
+let get_prog ~n =
+  Program.read_all ~lo:0 ~hi:(n - 1) (fun sets ->
+      Program.return
+        (Ws_common.Got (List.fold_left Value.Set.union Value.Set.empty sets)))
+
+let run ~config ~workload =
+  let n = config.Scheduler.n in
+  let registers = Array.make n Value.Set.empty in
+  let script pid = Option.value ~default:[] (List.assoc_opt pid workload) in
+  let clients ~pid ~op_index =
+    match List.nth_opt (script pid) op_index with
+    | None -> None
+    | Some (Add v) -> Some (add_prog ~me:pid v)
+    | Some Get -> Some (get_prog ~n)
+  in
+  let out = Scheduler.run ~config ~registers ~clients () in
+  { ops = Ws_common.ops_of_run ~n ~script out; steps = out.steps }

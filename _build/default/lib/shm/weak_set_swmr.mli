@@ -1,0 +1,19 @@
+(** Proposition 2 — a weak-set from single-writer multi-reader registers,
+    when the set of participating processes is known.
+
+    Process [i] owns register [i], holding the set of values it has added.
+    [add v] reads the own register and writes it back with [v] included
+    (two atomic steps, safe because only the owner writes); [get] reads all
+    [n] registers and returns their union. Both are wait-free. *)
+
+type op = Ws_common.op = Add of Anon_kernel.Value.t | Get
+
+type outcome = {
+  ops : Anon_giraf.Checker.ws_op list;  (** On the scheduler's step clock. *)
+  steps : int;
+}
+
+val run :
+  config:Scheduler.config -> workload:(int * op list) list -> outcome
+(** Execute per-process operation scripts under the configured
+    interleaving/crash schedule. *)

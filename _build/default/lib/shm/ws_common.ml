@@ -1,0 +1,48 @@
+open Anon_kernel
+module Checker = Anon_giraf.Checker
+
+type op = Add of Value.t | Get
+type result = Added of Value.t | Got of Value.Set.t
+
+let ops_of_run ~n ~script (out : result Scheduler.outcome) =
+  let completed =
+    List.map
+      (fun (c : result Scheduler.completion) ->
+        match c.result with
+        | Added v ->
+          Checker.Ws_add
+            {
+              add_client = c.pid;
+              add_value = v;
+              add_invoked = c.invoked;
+              add_completed = Some c.completed;
+            }
+        | Got set ->
+          Checker.Ws_get
+            {
+              get_client = c.pid;
+              get_result = set;
+              get_invoked = c.invoked;
+              get_completed = c.completed;
+            })
+      out.completions
+  in
+  let interrupted =
+    List.concat_map
+      (fun pid ->
+        let done_ops =
+          List.length
+            (List.filter
+               (fun (c : result Scheduler.completion) -> c.pid = pid)
+               out.completions)
+        in
+        match List.nth_opt (script pid) done_ops with
+        | Some (Add v) when List.mem pid out.pending ->
+          [
+            Checker.Ws_add
+              { add_client = pid; add_value = v; add_invoked = 0; add_completed = None };
+          ]
+        | Some (Add _) | Some Get | None -> [])
+      (List.init n Fun.id)
+  in
+  completed @ interrupted

@@ -1,0 +1,16 @@
+(** Shared plumbing of the register-based weak-set constructions: the
+    client operation alphabet and the translation from scheduler
+    completions to checkable weak-set operation records. *)
+
+type op = Add of Anon_kernel.Value.t | Get
+
+type result = Added of Anon_kernel.Value.t | Got of Anon_kernel.Value.Set.t
+
+val ops_of_run :
+  n:int ->
+  script:(int -> op list) ->
+  result Scheduler.outcome ->
+  Anon_giraf.Checker.ws_op list
+(** Completed operations become [Ws_add]/[Ws_get] records on the step
+    clock; an [Add] interrupted by a crash is recorded as an incomplete
+    add so the checker knows its value may legitimately surface. *)

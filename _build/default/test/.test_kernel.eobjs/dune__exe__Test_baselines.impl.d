@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Anon_baselines Anon_giraf Anon_kernel Fun List Printf Rng

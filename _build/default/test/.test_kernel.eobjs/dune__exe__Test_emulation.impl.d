@@ -1,0 +1,1 @@
+test/test_emulation.ml: Alcotest Anon_consensus Anon_giraf Array Int List Option Printf

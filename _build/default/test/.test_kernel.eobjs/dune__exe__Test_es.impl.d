@@ -1,0 +1,1 @@
+test/test_es.ml: Alcotest Anon_consensus Anon_giraf Anon_harness Anon_kernel List Printf QCheck QCheck_alcotest Rng Value

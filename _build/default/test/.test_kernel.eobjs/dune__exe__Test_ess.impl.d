@@ -1,0 +1,1 @@
+test/test_ess.ml: Alcotest Anon_consensus Anon_giraf Anon_kernel Counter_table Format Hashtbl History List Option Printf Pvalue QCheck QCheck_alcotest Rng

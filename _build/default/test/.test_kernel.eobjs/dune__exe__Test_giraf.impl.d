@@ -1,0 +1,1 @@
+test/test_giraf.ml: Alcotest Anon_giraf Anon_kernel Format Int List Option QCheck QCheck_alcotest Rng String Value

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Anon_consensus Anon_giraf Anon_harness Format Int List String

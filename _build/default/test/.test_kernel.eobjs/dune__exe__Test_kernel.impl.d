@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Anon_kernel Counter_table Format Fun History Int Int64 List Pvalue QCheck QCheck_alcotest Rng Stats Value

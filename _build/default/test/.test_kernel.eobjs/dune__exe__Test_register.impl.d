@@ -1,0 +1,1 @@
+test/test_register.ml: Alcotest Anon_consensus Anon_giraf Anon_kernel Fun List Printf QCheck QCheck_alcotest Rng Value

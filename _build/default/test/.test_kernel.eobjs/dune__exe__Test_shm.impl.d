@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Anon_giraf Anon_kernel Anon_shm Array Format Fun List Printf Rng Value

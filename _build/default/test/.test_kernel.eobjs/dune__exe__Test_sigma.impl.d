@@ -1,0 +1,1 @@
+test/test_sigma.ml: Alcotest Anon_consensus List

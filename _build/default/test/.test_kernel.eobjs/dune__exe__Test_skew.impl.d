@@ -1,0 +1,1 @@
+test/test_skew.ml: Alcotest Anon_consensus Anon_giraf Anon_kernel Array List Option QCheck QCheck_alcotest Rng

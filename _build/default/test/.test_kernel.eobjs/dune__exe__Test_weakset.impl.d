@@ -1,0 +1,1 @@
+test/test_weakset.ml: Alcotest Anon_consensus Anon_giraf Anon_kernel Format List Option Printf Rng Value

@@ -1,0 +1,210 @@
+(* Tests for the known-network baselines: the event-driven simulator, ABD
+   register emulation, heartbeat-Ω, and FloodSet. *)
+
+open Anon_kernel
+module G = Anon_giraf
+module B = Anon_baselines
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Event_net ------------------------------------------------------------------ *)
+
+module Echo = struct
+  let name = "echo"
+
+  type state = int list (* senders heard from *)
+  type msg = Ping | Pong
+  type cmd = Send_ping of int
+  type out = Got_pong of int
+
+  let init ~me:_ ~n:_ = ([], [])
+
+  let on_message st ~me:_ ~now:_ ~src msg =
+    match msg with
+    | Ping -> (st, [ B.Event_net.Send { dst = src; msg = Pong } ])
+    | Pong -> (src :: st, [ B.Event_net.Emit (Got_pong src) ])
+
+  let on_timer st ~me:_ ~now:_ ~tag:_ = (st, [])
+
+  let on_command st ~me:_ ~now:_ (Send_ping dst) =
+    (st, [ B.Event_net.Send { dst; msg = Ping } ])
+end
+
+module Echo_net = B.Event_net.Make (Echo)
+
+let test_event_net_echo () =
+  let config = B.Event_net.default_config ~n:3 ~seed:1 () in
+  let out = Echo_net.run config ~injections:[ (1, 0, Echo.Send_ping 2) ] in
+  check_int "one pong" 1 (List.length out.emissions);
+  (match out.emissions with
+  | [ (_, pid, Echo.Got_pong src) ] ->
+    check_int "pong at p0" 0 pid;
+    check_int "from p2" 2 src
+  | _ -> Alcotest.fail "unexpected emissions");
+  check_int "two messages" 2 out.messages_sent
+
+let test_event_net_crash_ignores () =
+  let config = B.Event_net.default_config ~n:3 ~seed:1 ~crash_at:[ (2, 0) ] () in
+  let out = Echo_net.run config ~injections:[ (1, 0, Echo.Send_ping 2) ] in
+  check_int "no pong from crashed" 0 (List.length out.emissions)
+
+let test_event_net_determinism () =
+  let run () =
+    let config = B.Event_net.default_config ~n:4 ~seed:8 () in
+    (Echo_net.run config
+       ~injections:[ (1, 0, Echo.Send_ping 1); (1, 2, Echo.Send_ping 3) ])
+      .emissions
+  in
+  check_bool "same seed same run" true (run () = run ())
+
+(* --- ABD --------------------------------------------------------------------------- *)
+
+let abd_config ?(n = 5) ?(seed = 9) ?(crash_at = []) () =
+  B.Event_net.default_config ~n ~seed ~horizon:50_000 ~crash_at ()
+
+let test_abd_read_after_write () =
+  let out =
+    B.Abd.run ~config:(abd_config ())
+      ~injections:[ (1, 0, B.Abd.Write 42); (200, 1, B.Abd.Read) ]
+  in
+  check_int "both complete" 2 (List.length out.ops);
+  let read = List.find (fun (r : B.Abd.op_record) -> r.kind = `Read) out.ops in
+  Alcotest.(check (option int)) "reads the write" (Some 42) read.value
+
+let test_abd_atomicity_over_seeds () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.make seed in
+      let n = 3 + (2 * Rng.int rng 2) in
+      let crash_at = if Rng.bool rng then [ (n - 1, 100 + Rng.int rng 300) ] else [] in
+      let injections =
+        List.concat_map
+          (fun pid ->
+            List.init 4 (fun i ->
+                let time = 1 + Rng.int rng 500 in
+                let cmd =
+                  if Rng.bool rng then B.Abd.Write ((1000 * pid) + i) else B.Abd.Read
+                in
+                (time, pid, cmd)))
+          (List.init n Fun.id)
+      in
+      let out = B.Abd.run ~config:(abd_config ~n ~seed ~crash_at ()) ~injections in
+      Alcotest.(check (list string))
+        (Printf.sprintf "atomic (seed %d)" seed)
+        [] (B.Abd.check_atomic out.ops))
+    (List.init 25 (fun i -> i + 1))
+
+let test_abd_hangs_without_majority () =
+  (* 3 of 5 crash at time 0: no majority, every op hangs, none misbehaves. *)
+  let crash_at = [ (2, 0); (3, 0); (4, 0) ] in
+  let out =
+    B.Abd.run
+      ~config:(abd_config ~crash_at ())
+      ~injections:[ (1, 0, B.Abd.Write 1); (5, 1, B.Abd.Read) ]
+  in
+  check_int "nothing completes" 0 (List.length out.ops);
+  check_int "both hung" 2 out.hung
+
+let test_abd_checker_flags_regression () =
+  let ops =
+    [
+      { B.Abd.pid = 0; kind = `Write; value = Some 1; ts = (2, 0); started = 0; completed = 5 };
+      { B.Abd.pid = 1; kind = `Read; value = Some 9; ts = (1, 9); started = 10; completed = 15 };
+    ]
+  in
+  check_bool "ts regression flagged" true (B.Abd.check_atomic ops <> [])
+
+(* --- heartbeat Ω --------------------------------------------------------------------- *)
+
+let hb_config ?(n = 5) ?(seed = 4) ?(crash_at = []) ~gst () =
+  let slow ~src:_ ~dst:_ ~now:_ rng = Rng.int_in rng 1 40 in
+  let fast ~src:_ ~dst:_ ~now:_ rng = Rng.int_in rng 1 3 in
+  B.Event_net.default_config ~n ~seed ~horizon:3000 ~crash_at
+    ~delay:(B.Event_net.gst_delay ~gst ~before:slow ~after:fast)
+    ()
+
+let test_omega_hb_stabilizes () =
+  let out = B.Omega_heartbeat.run ~config:(hb_config ~gst:500 ()) ~heartbeat_period:5 ~timeout:15 in
+  check_bool "unanimous stable leader" true (out.stabilization_time <> None);
+  match out.final_leaders with
+  | (_, l) :: _ -> check_bool "leader is a pid" true (l >= 0 && l < 5)
+  | [] -> Alcotest.fail "no leaders"
+
+let test_omega_hb_crashed_leader_replaced () =
+  (* p0 would win (smallest id) but crashes: the survivors converge on a
+     live leader. *)
+  let out =
+    B.Omega_heartbeat.run
+      ~config:(hb_config ~crash_at:[ (0, 600) ] ~gst:100 ())
+      ~heartbeat_period:5 ~timeout:15
+  in
+  List.iter
+    (fun (pid, leader) ->
+      check_bool (Printf.sprintf "p%d not following the dead" pid) true (leader <> 0))
+    out.final_leaders;
+  check_bool "still unanimous" true (out.stabilization_time <> None)
+
+(* --- FloodSet ---------------------------------------------------------------------------- *)
+
+module Flood2 = B.Floodset.Make (struct
+  let failures_bound = 2
+end)
+
+module Flood_runner = G.Runner.Make (Flood2)
+
+let test_floodset_decides_f_plus_1 () =
+  let config =
+    G.Runner.default_config ~horizon:20 ~inputs:[ 5; 2; 8; 1; 9 ]
+      ~crash:(G.Crash.none ~n:5) (G.Adversary.sync ())
+  in
+  let out = Flood_runner.run config in
+  check_bool "all decided" true out.all_correct_decided;
+  List.iter
+    (fun (_, round, v) ->
+      check_int "decides min" 1 v;
+      check_int "at round f+1" 3 round)
+    out.decisions
+
+let test_floodset_with_crashes () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.make seed in
+      let crash = G.Crash.random ~n:5 ~failures:2 ~max_round:3 rng in
+      let config =
+        G.Runner.default_config ~horizon:20 ~seed ~inputs:[ 5; 2; 8; 1; 9 ] ~crash
+          (G.Adversary.sync ())
+      in
+      let out = Flood_runner.run config in
+      check_bool "terminates" true out.all_correct_decided;
+      check_int "no violations" 0 (List.length (G.Checker.check_consensus out.trace)))
+    (List.init 30 (fun i -> i + 1))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "event-net",
+        [
+          Alcotest.test_case "echo" `Quick test_event_net_echo;
+          Alcotest.test_case "crash ignores" `Quick test_event_net_crash_ignores;
+          Alcotest.test_case "determinism" `Quick test_event_net_determinism;
+        ] );
+      ( "abd",
+        [
+          Alcotest.test_case "read after write" `Quick test_abd_read_after_write;
+          Alcotest.test_case "atomicity over seeds" `Quick test_abd_atomicity_over_seeds;
+          Alcotest.test_case "hangs without majority" `Quick test_abd_hangs_without_majority;
+          Alcotest.test_case "checker sanity" `Quick test_abd_checker_flags_regression;
+        ] );
+      ( "omega-heartbeat",
+        [
+          Alcotest.test_case "stabilizes" `Quick test_omega_hb_stabilizes;
+          Alcotest.test_case "crashed leader replaced" `Quick
+            test_omega_hb_crashed_leader_replaced;
+        ] );
+      ( "floodset",
+        [
+          Alcotest.test_case "decides at f+1" `Quick test_floodset_decides_f_plus_1;
+          Alcotest.test_case "with crashes" `Quick test_floodset_with_crashes;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+(* Tests for the abstract weak-set object and the MS emulation (Alg. 5 /
+   Thm. 4). *)
+
+module G = Anon_giraf
+module C = Anon_consensus
+module Obj = C.Weak_set_obj
+module Emu = C.Ms_emulation.Make (C.Es_consensus)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Weak_set_obj ------------------------------------------------------------- *)
+
+let test_obj_visibility () =
+  let t = Obj.create ~compare:Int.compare () in
+  Obj.begin_add t ~now:10 ~latency:5 42;
+  Alcotest.(check (list int)) "invisible before completion" [] (Obj.get t ~now:12);
+  Alcotest.(check (list int)) "visible at completion" [ 42 ] (Obj.get t ~now:15);
+  check_bool "not completed early" false (Obj.completed t ~now:12 42);
+  check_bool "completed at 15" true (Obj.completed t ~now:15 42)
+
+let test_obj_visible_early () =
+  let t = Obj.create ~compare:Int.compare () in
+  Obj.begin_add t ~now:0 ~latency:10 ~visible_after:2 7;
+  Alcotest.(check (list int)) "visible before completion" [ 7 ] (Obj.get t ~now:3);
+  check_bool "still not completed" false (Obj.completed t ~now:3 7)
+
+let test_obj_dedup () =
+  let t = Obj.create ~compare:Int.compare () in
+  Obj.begin_add t ~now:0 ~latency:2 1;
+  Obj.begin_add t ~now:1 ~latency:2 1;
+  Alcotest.(check (list int)) "single entry" [ 1 ] (Obj.all_started t)
+
+let test_obj_latency_validation () =
+  let t = Obj.create ~compare:Int.compare () in
+  Alcotest.check_raises "latency >= 1"
+    (Invalid_argument "Weak_set_obj.begin_add: latency must be >= 1") (fun () ->
+      Obj.begin_add t ~now:0 ~latency:0 1);
+  Alcotest.check_raises "visible_after range"
+    (Invalid_argument "Weak_set_obj.begin_add: visible_after out of range") (fun () ->
+      Obj.begin_add t ~now:0 ~latency:2 ~visible_after:3 1)
+
+(* --- Ms_emulation ---------------------------------------------------------------- *)
+
+let emu_config ?(n = 4) ?(seed = 11) ?(latency = C.Ms_emulation.uniform_latency ~max:4)
+    ?(horizon_rounds = 60) ?crash () =
+  let crash = Option.value ~default:(G.Crash.none ~n) crash in
+  C.Ms_emulation.default_config
+    ~inputs:(List.init n (fun i -> i + 1))
+    ~crash ~horizon_rounds ~seed ~latency ()
+
+let test_emulation_satisfies_ms () =
+  List.iter
+    (fun seed ->
+      let out = Emu.run (emu_config ~seed ()) in
+      check_int
+        (Printf.sprintf "MS property (seed %d)" seed)
+        0
+        (List.length (G.Checker.check_env out.trace));
+      check_int "hosted safety" 0
+        (List.length (G.Checker.check_consensus ~expect_termination:false out.trace)))
+    (List.init 20 (fun i -> 100 + i))
+
+let test_emulation_rounds_progress () =
+  let out = Emu.run (emu_config ~latency:(C.Ms_emulation.fixed_latency 1) ()) in
+  Array.iter (fun r -> check_bool "made progress" true (r >= 1)) out.rounds_completed;
+  check_bool "hosted algorithm decided under fast adds" true out.all_correct_decided
+
+let test_emulation_with_crash () =
+  let n = 4 in
+  let crash =
+    G.Crash.of_events ~n [ { G.Crash.pid = 2; round = 5; broadcast = G.Crash.Silent } ]
+  in
+  let out = Emu.run (emu_config ~n ~crash ()) in
+  check_bool "crashed process stops" true (out.rounds_completed.(2) <= 5);
+  check_int "MS property still holds" 0 (List.length (G.Checker.check_env out.trace));
+  check_int "safety still holds" 0
+    (List.length (G.Checker.check_consensus ~expect_termination:false out.trace))
+
+let test_emulation_alternating_latency () =
+  (* The 2-process alternating schedule: the source alternates by parity.
+     Anonymity makes early identical messages merge, so the hosted
+     algorithm may decide — what Thm. 4 promises (and we check) is only
+     the MS property of the emulated rounds. *)
+  let config =
+    C.Ms_emulation.default_config ~inputs:[ 0; 1 ] ~crash:(G.Crash.none ~n:2)
+      ~horizon_rounds:100 ~seed:5
+      ~latency:(C.Ms_emulation.alternating_latency ~fast:1 ~slow:4)
+      ()
+  in
+  let out = Emu.run config in
+  check_int "MS property" 0 (List.length (G.Checker.check_env out.trace));
+  check_int "hosted safety" 0
+    (List.length (G.Checker.check_consensus ~expect_termination:false out.trace))
+
+let test_emulation_trace_shape () =
+  let out = Emu.run (emu_config ()) in
+  let rounds = out.trace.rounds in
+  check_bool "rounds recorded" true (rounds <> []);
+  List.iteri
+    (fun i (info : G.Trace.round_info) -> check_int "consecutive rounds" (i + 1) info.round)
+    rounds
+
+let () =
+  Alcotest.run "ms-emulation"
+    [
+      ( "weak-set-object",
+        [
+          Alcotest.test_case "visibility" `Quick test_obj_visibility;
+          Alcotest.test_case "visible early" `Quick test_obj_visible_early;
+          Alcotest.test_case "dedup" `Quick test_obj_dedup;
+          Alcotest.test_case "latency validation" `Quick test_obj_latency_validation;
+        ] );
+      ( "emulation",
+        [
+          Alcotest.test_case "satisfies MS (Thm. 4)" `Quick test_emulation_satisfies_ms;
+          Alcotest.test_case "rounds progress" `Quick test_emulation_rounds_progress;
+          Alcotest.test_case "with crash" `Quick test_emulation_with_crash;
+          Alcotest.test_case "alternating latency" `Quick test_emulation_alternating_latency;
+          Alcotest.test_case "trace shape" `Quick test_emulation_trace_shape;
+        ] );
+    ]

@@ -1,0 +1,559 @@
+(* Tests for the GIRAF substrate: crash schedules, mailboxes, adversaries,
+   the runner's round/delivery semantics, and the trace checkers. *)
+
+open Anon_kernel
+module G = Anon_giraf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let pids = Alcotest.(check (list int))
+
+(* --- Crash ------------------------------------------------------------------ *)
+
+let ev pid round broadcast = { G.Crash.pid; round; broadcast }
+
+let test_crash_none () =
+  let c = G.Crash.none ~n:4 in
+  pids "all correct" [ 0; 1; 2; 3 ] (G.Crash.correct c);
+  check_int "no failures" 0 (G.Crash.failures c)
+
+let test_crash_of_events () =
+  let c = G.Crash.of_events ~n:4 [ ev 1 3 G.Crash.Silent; ev 3 1 G.Crash.Broadcast_all ] in
+  pids "correct" [ 0; 2 ] (G.Crash.correct c);
+  check_bool "p1 faulty" false (G.Crash.is_correct c 1);
+  Alcotest.(check (option int)) "crash round" (Some 3) (G.Crash.crash_round c 1);
+  Alcotest.(check (option int)) "no crash" None (G.Crash.crash_round c 0);
+  check_int "crashing at 3" 1 (List.length (G.Crash.crashing_at c ~round:3))
+
+let test_crash_validation () =
+  Alcotest.check_raises "dup pid" (Invalid_argument "Crash.of_events: duplicate pid")
+    (fun () ->
+      ignore (G.Crash.of_events ~n:2 [ ev 0 1 G.Crash.Silent; ev 0 2 G.Crash.Silent ]));
+  Alcotest.check_raises "pid range" (Invalid_argument "Crash.of_events: pid out of range")
+    (fun () -> ignore (G.Crash.of_events ~n:2 [ ev 5 1 G.Crash.Silent ]));
+  Alcotest.check_raises "round >= 1" (Invalid_argument "Crash.of_events: round must be >= 1")
+    (fun () -> ignore (G.Crash.of_events ~n:2 [ ev 0 0 G.Crash.Silent ]))
+
+let prop_crash_random =
+  QCheck.Test.make ~name:"random schedule respects counts and rounds" ~count:100
+    QCheck.(pair small_int (int_range 0 8))
+    (fun (seed, failures) ->
+      let rng = Rng.make seed in
+      let c = G.Crash.random ~n:8 ~failures ~max_round:10 rng in
+      G.Crash.failures c = failures
+      && List.for_all
+           (fun (e : G.Crash.event) -> e.round >= 1 && e.round <= 10)
+           (G.Crash.events c))
+
+(* --- Mailbox ----------------------------------------------------------------- *)
+
+let make_mailbox () = G.Mailbox.create ~compare:String.compare ()
+
+let test_mailbox_current_dedup () =
+  let mb = make_mailbox () in
+  G.Mailbox.schedule mb ~arrival:1 ~sent:1 "a";
+  G.Mailbox.schedule mb ~arrival:1 ~sent:1 "a";
+  G.Mailbox.schedule mb ~arrival:1 ~sent:1 "b";
+  let fresh = G.Mailbox.drain mb ~upto:1 in
+  check_int "all arrivals reported fresh" 3 (List.length fresh);
+  Alcotest.(check (list string)) "current deduped and sorted" [ "a"; "b" ]
+    (G.Mailbox.current mb ~round:1)
+
+let test_mailbox_late_messages () =
+  let mb = make_mailbox () in
+  G.Mailbox.schedule mb ~arrival:3 ~sent:1 "late";
+  Alcotest.(check (list string)) "nothing before drain" [] (G.Mailbox.current mb ~round:1);
+  let fresh1 = G.Mailbox.drain mb ~upto:2 in
+  check_int "not arrived yet" 0 (List.length fresh1);
+  let fresh2 = G.Mailbox.drain mb ~upto:3 in
+  Alcotest.(check (list (pair int string))) "late tagged with sent round" [ (1, "late") ] fresh2;
+  Alcotest.(check (list string)) "merged into its round" [ "late" ]
+    (G.Mailbox.current mb ~round:1)
+
+let test_mailbox_drain_once () =
+  let mb = make_mailbox () in
+  G.Mailbox.schedule mb ~arrival:1 ~sent:1 "x";
+  ignore (G.Mailbox.drain mb ~upto:1);
+  check_int "second drain empty" 0 (List.length (G.Mailbox.drain mb ~upto:1))
+
+(* --- Adversary ----------------------------------------------------------------- *)
+
+let ctx ~round ~senders ~obligated ~correct ~alive =
+  { G.Adversary.round; senders; obligated; correct; alive }
+
+let all_pids = [ 0; 1; 2; 3 ]
+
+let test_adversary_sync () =
+  let plan =
+    G.Adversary.plan (G.Adversary.sync ())
+      (ctx ~round:5 ~senders:all_pids ~obligated:all_pids ~correct:all_pids
+         ~alive:all_pids)
+      (Rng.make 1)
+  in
+  check_int "every sender planned" 4 (List.length plan.deliveries);
+  List.iter
+    (fun (s, ds) ->
+      check_int "covers others" 3 (List.length ds);
+      List.iter
+        (fun (d : G.Adversary.delivery) ->
+          check_bool "timely" true (d.arrival = 5);
+          check_bool "not self" true (d.receiver <> s))
+        ds)
+    plan.deliveries
+
+let source_covers (plan : G.Adversary.plan) obligated =
+  match plan.source with
+  | None -> false
+  | Some s ->
+    let ds = Option.value ~default:[] (List.assoc_opt s plan.deliveries) in
+    List.for_all
+      (fun q ->
+        q = s
+        || List.exists
+             (fun (d : G.Adversary.delivery) -> d.receiver = q && d.arrival = 5)
+             ds)
+      obligated
+
+let test_adversary_ms_source () =
+  let adv = G.Adversary.ms ~rotation:G.Adversary.Round_robin () in
+  let plan =
+    G.Adversary.plan adv
+      (ctx ~round:5 ~senders:all_pids ~obligated:all_pids ~correct:all_pids
+         ~alive:all_pids)
+      (Rng.make 1)
+  in
+  check_bool "source covers obligated" true (source_covers plan all_pids)
+
+let test_adversary_ms_rotation () =
+  let adv = G.Adversary.ms ~rotation:G.Adversary.Round_robin () in
+  let src round =
+    (G.Adversary.plan adv
+       (ctx ~round ~senders:all_pids ~obligated:all_pids ~correct:all_pids
+          ~alive:all_pids)
+       (Rng.make 1))
+      .source
+  in
+  check_bool "rotates" true (src 1 <> src 2)
+
+let test_adversary_source_is_correct_sender () =
+  (* Sources must survive the round: candidates are correct senders. *)
+  let adv = G.Adversary.ms ~rotation:G.Adversary.Random_source () in
+  for round = 1 to 20 do
+    let plan =
+      G.Adversary.plan adv
+        (ctx ~round ~senders:[ 0; 1; 2 ] ~obligated:[ 0; 1 ] ~correct:[ 0; 1 ]
+           ~alive:[ 0; 1; 2 ])
+        (Rng.make round)
+    in
+    match plan.source with
+    | Some s -> check_bool "source correct" true (List.mem s [ 0; 1 ])
+    | None -> Alcotest.fail "expected a source"
+  done
+
+let test_adversary_es_post_gst () =
+  let adv = G.Adversary.es ~gst:10 () in
+  let plan =
+    G.Adversary.plan adv
+      (ctx ~round:10 ~senders:all_pids ~obligated:all_pids ~correct:all_pids
+         ~alive:all_pids)
+      (Rng.make 1)
+  in
+  List.iter
+    (fun (_, ds) ->
+      List.iter
+        (fun (d : G.Adversary.delivery) -> check_int "all timely post-gst" 10 d.arrival)
+        ds)
+    plan.deliveries
+
+let test_adversary_blocking_alternates () =
+  let adv = G.Adversary.es_blocking ~gst:100 () in
+  let src round =
+    (G.Adversary.plan adv
+       (ctx ~round ~senders:all_pids ~obligated:all_pids ~correct:all_pids
+          ~alive:all_pids)
+       (Rng.make 1))
+      .source
+  in
+  Alcotest.(check (option int)) "odd source" (Some 0) (src 1);
+  Alcotest.(check (option int)) "even source" (Some 1) (src 2)
+
+(* --- Runner: a probe algorithm that records its inboxes --------------------- *)
+
+module Probe = struct
+  let name = "probe"
+
+  type msg = int (* the sender's input value: constant per process *)
+  type state = { me : Value.t; log : (int * int list) list }
+
+  let msg_compare = Int.compare
+  let msg_size _ = 1
+  let pp_msg = Format.pp_print_int
+  let initialize v = ({ me = v; log = [] }, v)
+
+  (* Decide own value at round 4; the message is always the input value. *)
+  let compute st ~round ~inbox:{ G.Intf.current; fresh = _ } =
+    let st = { st with log = (round, current) :: st.log } in
+    if round = 4 then (st, st.me, Some st.me) else (st, st.me, None)
+end
+
+module Probe_runner = G.Runner.Make (Probe)
+
+let probe_config ?(inputs = [ 1; 2; 3 ]) ?(crash = G.Crash.none ~n:3)
+    ?(adversary = G.Adversary.sync ()) ?(horizon = 20) () =
+  G.Runner.default_config ~horizon ~seed:9 ~inputs ~crash adversary
+
+let test_runner_rounds_and_decisions () =
+  let out = Probe_runner.run (probe_config ()) in
+  check_bool "all decided" true out.all_correct_decided;
+  Alcotest.(check (option int)) "decision round" (Some 4) (G.Runner.decision_round out);
+  check_int "three decisions" 3 (List.length out.decisions);
+  List.iter
+    (fun (p, r, v) ->
+      check_int "own value" (p + 1) v;
+      check_int "at 4" 4 r)
+    out.decisions;
+  check_int "rounds executed" 5 out.rounds_executed
+
+let test_runner_inbox_contents () =
+  let seen = ref [] in
+  let observe ~pid ~round st =
+    if round >= 1 then seen := (pid, round, st.Probe.log) :: !seen
+  in
+  ignore (Probe_runner.run ~observe (probe_config ()));
+  (* Under sync every round-k inbox holds everybody's (distinct) values. *)
+  check_bool "observations recorded" true (!seen <> []);
+  List.iter
+    (fun (_, round, log) ->
+      match List.assoc_opt round log with
+      | Some current -> Alcotest.(check (list int)) "full inbox" [ 1; 2; 3 ] current
+      | None -> Alcotest.fail "round not logged")
+    !seen
+
+let silent_adversary () =
+  G.Adversary.scripted ~name:"silent" ~env:G.Env.Async (fun ctx _ ->
+      { G.Adversary.source = None;
+        deliveries = List.map (fun p -> (p, [])) ctx.senders })
+
+let test_runner_own_message_always_present () =
+  (* Even under a fully silent adversary (no deliveries at all), each
+     process sees its own message (Alg. 1 line 10). *)
+  let ok = ref true in
+  let observe ~pid ~round:_ st =
+    match st.Probe.log with
+    | (_, current) :: _ -> if current <> [ pid + 1 ] then ok := false
+    | [] -> ()
+  in
+  ignore (Probe_runner.run ~observe (probe_config ~adversary:(silent_adversary ()) ()));
+  check_bool "own message only" true !ok
+
+let test_runner_crash_stops_process () =
+  let crash = G.Crash.of_events ~n:3 [ ev 1 2 G.Crash.Silent ] in
+  let out = Probe_runner.run (probe_config ~crash ()) in
+  check_bool "correct still decide" true out.all_correct_decided;
+  check_bool "p1 did not decide" true
+    (not (List.exists (fun (p, _, _) -> p = 1) out.decisions));
+  (* p1 sends round 1 normally and round 2 as its (silent) crash-round
+     broadcast, then takes no more steps. *)
+  let p1_sends =
+    List.length
+      (List.filter
+         (fun (info : G.Trace.round_info) -> List.mem 1 info.senders)
+         out.trace.rounds)
+  in
+  check_int "p1 sent rounds 1 and 2 only" 2 p1_sends;
+  check_bool "p1 listed as crashing in round 2" true
+    (List.exists
+       (fun (info : G.Trace.round_info) -> info.round = 2 && List.mem 1 info.crashing)
+       out.trace.rounds)
+
+let test_runner_identical_messages_merge () =
+  (* Two processes with the same input send identical messages: receivers
+     must see ONE message (anonymity). *)
+  let merged = ref true in
+  let observe ~pid:_ ~round:_ st =
+    match st.Probe.log with
+    | (_, current) :: _ ->
+      if List.length current <> List.length (List.sort_uniq Int.compare current) then
+        merged := false
+    | [] -> ()
+  in
+  let out = Probe_runner.run ~observe (probe_config ~inputs:[ 7; 7; 3 ] ()) in
+  check_bool "deduped" true !merged;
+  check_bool "decided" true out.all_correct_decided
+
+let test_runner_horizon () =
+  let module Never = G.Runner.Make (struct
+    include Probe
+
+    let compute st ~round ~inbox =
+      let st, m, _ = compute st ~round ~inbox in
+      (st, m, None)
+  end) in
+  let out = Never.run (probe_config ~adversary:(silent_adversary ()) ~horizon:17 ()) in
+  check_int "runs to horizon" 17 out.rounds_executed;
+  check_bool "nobody decided" true (out.decisions = [])
+
+(* --- Env / Trace / Dispatch ----------------------------------------------------- *)
+
+let test_env_pp_and_gst () =
+  Alcotest.(check string) "es" "ES(gst=7)" (G.Env.to_string (G.Env.Es { gst = 7 }));
+  Alcotest.(check string) "ms" "MS" (G.Env.to_string G.Env.Ms);
+  Alcotest.(check (option int)) "sync gst" (Some 1) (G.Env.gst G.Env.Sync);
+  Alcotest.(check (option int)) "ms gst" None (G.Env.gst G.Env.Ms);
+  check_bool "async needs no source" false (G.Env.requires_source G.Env.Async ~round:3);
+  check_bool "ms needs a source" true (G.Env.requires_source G.Env.Ms ~round:3)
+
+let test_trace_accessors () =
+  let info =
+    {
+      G.Trace.round = 2;
+      senders = [ 0; 1 ];
+      crashing = [];
+      source = Some 0;
+      timely = [ (0, [ 1 ]) ];
+      obligated = [ 0; 1 ];
+      decided = [ (1, 9) ];
+      msg_sizes = [ (0, 3) ];
+    }
+  in
+  pids "timely_to" [ 1 ] (G.Trace.timely_to info 0);
+  pids "timely_to absent" [] (G.Trace.timely_to info 1);
+  let t =
+    { G.Trace.n = 2; inputs = [| 9; 9 |]; crash = G.Crash.none ~n:2; env = G.Env.Ms;
+      rounds = [ info ] }
+  in
+  Alcotest.(check (list (triple int int int))) "decisions" [ (1, 2, 9) ]
+    (G.Trace.decisions t);
+  check_int "last round" 2 (G.Trace.last_round t);
+  (* Rendering smoke: must not raise and must mention the round. *)
+  let s = Format.asprintf "%a" G.Trace.pp t in
+  check_bool "pp mentions decisions" true
+    (String.length s > 0 && String.contains s '9')
+
+let test_dispatch_crash_modes () =
+  let deliveries = ref [] in
+  let schedule ~receiver ~arrival ~sent:_ _msg =
+    deliveries := (receiver, arrival) :: !deliveries
+  in
+  let run broadcast =
+    deliveries := [];
+    let stats =
+      G.Dispatch.dispatch ~round:3
+        ~outgoing:[ { G.Dispatch.sender = 0; msg = "m" } ]
+        ~crashing_events:[ { G.Crash.pid = 0; round = 3; broadcast } ]
+        ~eligible:(fun _ -> true)
+        ~receivers:[ 0; 1; 2; 3 ]
+        ~plan:{ G.Adversary.source = None; deliveries = [] }
+        ~crash_rng:(Rng.make 1) ~schedule
+    in
+    (stats, List.filter (fun (r, _) -> r <> 0) !deliveries)
+  in
+  let _, silent = run G.Crash.Silent in
+  check_int "silent reaches nobody" 0 (List.length silent);
+  let _, all = run G.Crash.Broadcast_all in
+  check_int "broadcast-all reaches everyone else" 3 (List.length all);
+  let _, subset = run G.Crash.Broadcast_subset in
+  check_bool "subset within others" true (List.length subset <= 3);
+  (* Self-delivery always happens regardless of crash mode. *)
+  check_bool "self delivery" true
+    (List.exists (fun (r, a) -> r = 0 && a = 3) !deliveries)
+
+let test_service_random_workload () =
+  let rng = Rng.make 11 in
+  let w =
+    G.Service_runner.random_workload ~n:6 ~ops_per_client:5 ~max_start:20
+      ~value_range:10_000 rng
+  in
+  check_int "six clients" 6 (List.length w);
+  let adds =
+    List.concat_map
+      (fun (_, ops) ->
+        List.filter_map
+          (fun (_, op) ->
+            match op with
+            | G.Service_runner.Do_add v -> Some v
+            | G.Service_runner.Do_get | G.Service_runner.Do_add_with _ -> None)
+          ops)
+      w
+  in
+  check_int "added values are globally distinct" (List.length adds)
+    (List.length (List.sort_uniq Int.compare adds));
+  List.iter
+    (fun (_, ops) ->
+      let starts = List.map fst ops in
+      check_bool "scripts sorted by start round" true
+        (List.sort Int.compare starts = starts))
+    w
+
+(* --- Checker ------------------------------------------------------------------ *)
+
+let base_round ~round ~senders ~obligated ~timely =
+  {
+    G.Trace.round;
+    senders;
+    crashing = [];
+    source = None;
+    timely;
+    obligated;
+    decided = [];
+    msg_sizes = [];
+  }
+
+let mk_trace ?(env = G.Env.Ms) ?(crash = G.Crash.none ~n:3) ~rounds () =
+  { G.Trace.n = 3; inputs = [| 1; 2; 3 |]; crash; env; rounds }
+
+let test_checker_ms_ok () =
+  let r1 =
+    base_round ~round:1 ~senders:[ 0; 1; 2 ] ~obligated:[ 0; 1; 2 ]
+      ~timely:[ (0, [ 1; 2 ]) ]
+  in
+  check_int "no violation" 0
+    (List.length (G.Checker.check_env (mk_trace ~rounds:[ r1 ] ())))
+
+let test_checker_ms_no_source () =
+  let r1 =
+    base_round ~round:1 ~senders:[ 0; 1; 2 ] ~obligated:[ 0; 1; 2 ]
+      ~timely:[ (0, [ 1 ]); (1, [ 0 ]) ]
+  in
+  check_int "violation" 1
+    (List.length (G.Checker.check_env (mk_trace ~rounds:[ r1 ] ())))
+
+let test_checker_ms_faulty_source_ok () =
+  (* A per-round source need not be correct — only present and covering. *)
+  let crash = G.Crash.of_events ~n:3 [ ev 0 5 G.Crash.Silent ] in
+  let r1 =
+    base_round ~round:1 ~senders:[ 0; 1; 2 ] ~obligated:[ 1; 2 ]
+      ~timely:[ (0, [ 1; 2 ]) ]
+  in
+  check_int "faulty source accepted" 0
+    (List.length (G.Checker.check_env (mk_trace ~crash ~rounds:[ r1 ] ())))
+
+let test_checker_es_post_gst () =
+  let pre =
+    base_round ~round:1 ~senders:[ 0; 1; 2 ] ~obligated:[ 0; 1; 2 ]
+      ~timely:[ (0, [ 1; 2 ]) ]
+  in
+  let post_bad =
+    base_round ~round:2 ~senders:[ 0; 1; 2 ] ~obligated:[ 0; 1; 2 ]
+      ~timely:[ (0, [ 1; 2 ]) ]
+  in
+  let vs =
+    G.Checker.check_env
+      (mk_trace ~env:(G.Env.Es { gst = 2 }) ~rounds:[ pre; post_bad ] ())
+  in
+  (* p1 and p2 are correct senders but not timely to everybody. *)
+  check_int "two lagging senders flagged" 2 (List.length vs)
+
+let test_checker_ess_handover () =
+  (* The stable source may change only when the previous one halted. *)
+  let r k s ~senders =
+    base_round ~round:k ~senders ~obligated:senders
+      ~timely:[ (s, List.filter (fun q -> q <> s) senders) ]
+  in
+  let ok =
+    [ r 1 0 ~senders:[ 0; 1; 2 ]; r 2 0 ~senders:[ 0; 1; 2 ]; r 3 1 ~senders:[ 1; 2 ] ]
+  in
+  check_int "handover after halt ok" 0
+    (List.length
+       (G.Checker.check_env (mk_trace ~env:(G.Env.Ess { gst = 1 }) ~rounds:ok ())));
+  let bad = [ r 1 0 ~senders:[ 0; 1; 2 ]; r 2 1 ~senders:[ 0; 1; 2 ] ] in
+  check_int "change while alive flagged" 1
+    (List.length
+       (G.Checker.check_env (mk_trace ~env:(G.Env.Ess { gst = 1 }) ~rounds:bad ())))
+
+let decided_round ~round ~decided =
+  { (base_round ~round ~senders:[] ~obligated:[] ~timely:[]) with G.Trace.decided }
+
+let test_checker_consensus () =
+  let tr = mk_trace ~rounds:[ decided_round ~round:4 ~decided:[ (0, 1); (1, 2) ] ] () in
+  let vs = G.Checker.check_consensus ~expect_termination:false tr in
+  check_int "agreement violation" 1 (List.length vs);
+  let tr = mk_trace ~rounds:[ decided_round ~round:4 ~decided:[ (0, 99) ] ] () in
+  let vs = G.Checker.check_consensus ~expect_termination:false tr in
+  check_int "validity violation" 1 (List.length vs);
+  let tr = mk_trace ~rounds:[ decided_round ~round:4 ~decided:[ (0, 1) ] ] () in
+  let vs = G.Checker.check_consensus ~expect_termination:true tr in
+  check_int "termination violation" 1 (List.length vs)
+
+let test_checker_weak_set () =
+  let ops =
+    [
+      G.Checker.Ws_add
+        { add_client = 0; add_value = 5; add_invoked = 1; add_completed = Some 3 };
+      G.Checker.Ws_get
+        { get_client = 1; get_result = Value.Set.empty; get_invoked = 5; get_completed = 5 };
+    ]
+  in
+  check_int "lost add" 1 (List.length (G.Checker.check_weak_set ops));
+  check_int "faulty client excused" 0
+    (List.length (G.Checker.check_weak_set ~correct:[ 0 ] ops));
+  let phantom =
+    [
+      G.Checker.Ws_get
+        {
+          get_client = 1;
+          get_result = Value.Set.singleton 9;
+          get_invoked = 5;
+          get_completed = 5;
+        };
+    ]
+  in
+  check_int "phantom value" 1 (List.length (G.Checker.check_weak_set phantom))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "giraf"
+    [
+      ( "crash",
+        [
+          Alcotest.test_case "none" `Quick test_crash_none;
+          Alcotest.test_case "of_events" `Quick test_crash_of_events;
+          Alcotest.test_case "validation" `Quick test_crash_validation;
+          qc prop_crash_random;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "current dedup" `Quick test_mailbox_current_dedup;
+          Alcotest.test_case "late messages" `Quick test_mailbox_late_messages;
+          Alcotest.test_case "drain once" `Quick test_mailbox_drain_once;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "sync" `Quick test_adversary_sync;
+          Alcotest.test_case "ms source" `Quick test_adversary_ms_source;
+          Alcotest.test_case "ms rotation" `Quick test_adversary_ms_rotation;
+          Alcotest.test_case "source is correct sender" `Quick
+            test_adversary_source_is_correct_sender;
+          Alcotest.test_case "es post gst" `Quick test_adversary_es_post_gst;
+          Alcotest.test_case "blocking alternates" `Quick
+            test_adversary_blocking_alternates;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "rounds and decisions" `Quick
+            test_runner_rounds_and_decisions;
+          Alcotest.test_case "inbox contents" `Quick test_runner_inbox_contents;
+          Alcotest.test_case "own message" `Quick test_runner_own_message_always_present;
+          Alcotest.test_case "crash stops process" `Quick test_runner_crash_stops_process;
+          Alcotest.test_case "identical messages merge" `Quick
+            test_runner_identical_messages_merge;
+          Alcotest.test_case "horizon" `Quick test_runner_horizon;
+        ] );
+      ( "env-trace-dispatch",
+        [
+          Alcotest.test_case "env pp/gst" `Quick test_env_pp_and_gst;
+          Alcotest.test_case "trace accessors" `Quick test_trace_accessors;
+          Alcotest.test_case "dispatch crash modes" `Quick test_dispatch_crash_modes;
+          Alcotest.test_case "random workload" `Quick test_service_random_workload;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "ms ok" `Quick test_checker_ms_ok;
+          Alcotest.test_case "ms no source" `Quick test_checker_ms_no_source;
+          Alcotest.test_case "faulty source ok" `Quick test_checker_ms_faulty_source_ok;
+          Alcotest.test_case "es post gst" `Quick test_checker_es_post_gst;
+          Alcotest.test_case "ess handover" `Quick test_checker_ess_handover;
+          Alcotest.test_case "consensus" `Quick test_checker_consensus;
+          Alcotest.test_case "weak set" `Quick test_checker_weak_set;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the experiment harness: tables, batch runs, the registry, and
+   regression pins on the cheap experiments' verdict columns. *)
+
+module G = Anon_giraf
+module H = Anon_harness
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Table ----------------------------------------------------------------------- *)
+
+let mk_table rows =
+  H.Table.make ~id:"X" ~title:"t" ~claim:"c" ~expectation:"e"
+    ~headers:[ "a"; "b" ] ~rows
+
+let test_table_ragged () =
+  Alcotest.check_raises "ragged row" (Invalid_argument "Table.make: ragged row in X")
+    (fun () -> ignore (mk_table [ [ "1" ] ]))
+
+let test_table_render () =
+  let t = mk_table [ [ "1"; "2" ] ] in
+  let s = Format.asprintf "%a" H.Table.render t in
+  check_bool "has id" true (String.length s > 0 && String.contains s 'X')
+
+let test_table_csv () =
+  let t = mk_table [ [ "x,y"; "z\"w" ] ] in
+  Alcotest.(check string) "escaped csv" "a,b\n\"x,y\",\"z\"\"w\"\n" (H.Table.to_csv t)
+
+let test_table_cells () =
+  Alcotest.(check string) "int" "3" (H.Table.cell_int 3);
+  Alcotest.(check string) "float" "3.1" (H.Table.cell_float 3.14);
+  Alcotest.(check string) "bool" "yes" (H.Table.cell_bool true);
+  Alcotest.(check string) "opt none" "-" (H.Table.cell_opt string_of_int None);
+  Alcotest.(check string) "opt some" "4" (H.Table.cell_opt string_of_int (Some 4))
+
+(* --- Runs ------------------------------------------------------------------------- *)
+
+let test_seeds_distinct () =
+  let s = H.Runs.seeds 50 in
+  check_int "distinct" 50 (List.length (List.sort_uniq Int.compare s))
+
+module Es_runs = H.Runs.Of (Anon_consensus.Es_consensus)
+
+let test_batch_counts () =
+  let b =
+    Es_runs.batch ~horizon:100
+      ~inputs:(H.Runs.distinct_inputs ~n:4)
+      ~crash:(fun _ -> G.Crash.none ~n:4)
+      ~adversary:(fun _ -> G.Adversary.sync ())
+      ~seeds:(H.Runs.seeds 5) ()
+  in
+  check_int "runs" 5 b.runs;
+  check_int "all decided" 5 b.decided;
+  check_int "decision rounds collected" 5 (List.length b.decision_rounds);
+  check_int "no violations" 0 (H.Runs.safety_violations b);
+  check_bool "mean present" true (H.Runs.mean_decision b <> None)
+
+(* --- Registry ---------------------------------------------------------------------- *)
+
+let test_registry_ids_unique () =
+  let ids = List.map (fun (e : H.Registry.experiment) -> e.id) H.Registry.all in
+  check_int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
+  check_int "all experiments present" 19 (List.length ids)
+
+let test_registry_find () =
+  check_bool "finds t9 case-insensitively" true (H.Registry.find "t9" <> None);
+  check_bool "unknown" true (H.Registry.find "nope" = None)
+
+(* --- regression pins on cheap experiments ------------------------------------------- *)
+
+let column table ~header =
+  let t : H.Table.t = table in
+  match
+    List.find_index (fun h -> h = header) t.headers
+  with
+  | None -> Alcotest.failf "missing column %s" header
+  | Some i -> List.map (fun row -> List.nth row i) t.rows
+
+let test_t9_all_defeated () =
+  let t = H.Exp_impossibility.t9 () in
+  check_int "four candidates" 4 (List.length t.rows);
+  List.iter
+    (fun verdict -> check_bool "defeated" true (verdict <> ""))
+    (column t ~header:"verdict")
+
+let test_a2_violations () =
+  let t = H.Exp_ablations.a2 () in
+  List.iter
+    (fun v -> check_bool "agreement broken under literal model" true (int_of_string v > 0))
+    (column t ~header:"agreement-viol");
+  List.iter
+    (fun v ->
+      check_bool "inadmissible under strengthened model" true (int_of_string v > 0))
+    (column t ~header:"env-viol (strengthened model)")
+
+let test_t8_no_decisions () =
+  let t = H.Exp_impossibility.t8 () in
+  List.iter (fun v -> check_int "no decisions" 0 (int_of_string v)) (column t ~header:"decided");
+  List.iter
+    (fun v -> check_int "no safety violations" 0 (int_of_string v))
+    (column t ~header:"safety-viol")
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "ragged" `Quick test_table_ragged;
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "seeds distinct" `Quick test_seeds_distinct;
+          Alcotest.test_case "batch counts" `Quick test_batch_counts;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "ids unique" `Quick test_registry_ids_unique;
+          Alcotest.test_case "find" `Quick test_registry_find;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "T9 defeats all" `Quick test_t9_all_defeated;
+          Alcotest.test_case "A2 model sensitivity" `Quick test_a2_violations;
+          Alcotest.test_case "T8 no decisions" `Quick test_t8_no_decisions;
+        ] );
+    ]

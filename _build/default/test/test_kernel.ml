@@ -1,0 +1,347 @@
+(* Unit and property tests for the kernel: RNG, values, histories, counter
+   tables, statistics. *)
+
+open Anon_kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Rng ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.make 7 and b = Rng.make 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.make 7 and b = Rng.make 8 in
+  let different = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then different := true
+  done;
+  check_bool "different seeds diverge" true !different
+
+let test_rng_split_independent () =
+  let a = Rng.make 7 in
+  let c = Rng.split a in
+  let x = Rng.bits64 a and y = Rng.bits64 c in
+  check_bool "split stream differs" false (Int64.equal x y)
+
+let test_rng_copy () =
+  let a = Rng.make 3 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.make 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    check_bool "0 <= x < 7" true (x >= 0 && x < 7)
+  done
+
+let test_rng_int_in_bounds () =
+  let rng = Rng.make 2 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in rng (-3) 4 in
+    check_bool "-3 <= x <= 4" true (x >= -3 && x <= 4)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.make 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Rng.int_in: lo > hi") (fun () ->
+      ignore (Rng.int_in rng 3 2))
+
+let test_rng_chance_extremes () =
+  let rng = Rng.make 1 in
+  check_bool "p=0 never" false (Rng.chance rng 0.0);
+  check_bool "p=1 always" true (Rng.chance rng 1.0)
+
+let test_rng_pick () =
+  let rng = Rng.make 5 in
+  for _ = 1 to 100 do
+    check_bool "pick from list" true (List.mem (Rng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick rng []))
+
+let test_rng_subset () =
+  let rng = Rng.make 5 in
+  let l = List.init 20 Fun.id in
+  check_int "p=1 keeps all" 20 (List.length (Rng.subset rng ~p:1.0 l));
+  check_int "p=0 keeps none" 0 (List.length (Rng.subset rng ~p:0.0 l));
+  let sub = Rng.subset rng ~p:0.5 l in
+  check_bool "subset order preserved" true (List.sort compare sub = sub)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, l) ->
+      let rng = Rng.make seed in
+      List.sort compare (Rng.shuffle rng l) = List.sort compare l)
+
+let prop_float_bounds =
+  QCheck.Test.make ~name:"float within bound" ~count:200 QCheck.small_int (fun seed ->
+      let rng = Rng.make seed in
+      let x = Rng.float rng 10.0 in
+      x >= 0.0 && x < 10.0)
+
+(* --- Value / Pvalue -------------------------------------------------------- *)
+
+let test_value_max_of () =
+  check_int "max" 9 (Value.max_of [ 3; 9; 1 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Value.max_of: empty list") (fun () ->
+      ignore (Value.max_of []))
+
+let test_value_pp_set () =
+  let s = Value.set_of_list [ 3; 1; 2 ] in
+  Alcotest.(check string) "sorted render" "{1, 2, 3}" (Format.asprintf "%a" Value.pp_set s)
+
+let test_pvalue_order () =
+  check_bool "bot below" true (Pvalue.compare Pvalue.bot (Pvalue.v min_int) < 0);
+  check_bool "values ordered" true (Pvalue.compare (Pvalue.v 1) (Pvalue.v 2) < 0);
+  check_bool "bot = bot" true (Pvalue.equal Pvalue.bot Pvalue.bot)
+
+let test_pvalue_max_value () =
+  let s = Pvalue.Set.of_list [ Pvalue.bot; Pvalue.v 3; Pvalue.v 7 ] in
+  Alcotest.(check (option int)) "max ignores bot" (Some 7) (Pvalue.max_value s);
+  let only_bot = Pvalue.Set.singleton Pvalue.bot in
+  Alcotest.(check (option int)) "only bot" None (Pvalue.max_value only_bot);
+  Alcotest.(check (option int)) "empty" None (Pvalue.max_value Pvalue.Set.empty)
+
+let test_pvalue_subset_of_val_bot () =
+  let s = Pvalue.Set.of_list [ Pvalue.bot; Pvalue.v 3 ] in
+  check_bool "{3,bot} subset of {3,bot}" true (Pvalue.subset_of_val_bot 3 s);
+  check_bool "{3,bot} not subset of {4,bot}" false (Pvalue.subset_of_val_bot 4 s);
+  check_bool "empty always" true (Pvalue.subset_of_val_bot 0 Pvalue.Set.empty)
+
+let prop_pvalue_values_of_set =
+  QCheck.Test.make ~name:"values_of_set drops bot and sorts" ~count:200
+    QCheck.(small_list small_int)
+    (fun vs ->
+      let s = Pvalue.Set.of_list (Pvalue.bot :: List.map Pvalue.v vs) in
+      Pvalue.values_of_set s = List.sort_uniq Int.compare vs)
+
+(* --- History --------------------------------------------------------------- *)
+
+let test_history_roundtrip () =
+  let h = History.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3 ] (History.to_list h);
+  check_int "length" 3 (History.length h);
+  Alcotest.(check (option int)) "last" (Some 3) (History.last h);
+  Alcotest.(check (option int)) "empty last" None (History.last History.empty)
+
+let test_history_interning () =
+  let a = History.of_list [ 4; 5 ] and b = History.of_list [ 4; 5 ] in
+  check_bool "equal" true (History.equal a b);
+  check_int "compare 0" 0 (History.compare a b);
+  check_bool "hash equal" true (History.hash a = History.hash b)
+
+let test_history_prefix () =
+  let h = History.of_list [ 1; 2; 3 ] in
+  check_bool "empty prefix" true (History.is_prefix ~prefix:History.empty h);
+  check_bool "proper prefix" true (History.is_prefix ~prefix:(History.of_list [ 1; 2 ]) h);
+  check_bool "self prefix" true (History.is_prefix ~prefix:h h);
+  check_bool "not prefix (longer)" false
+    (History.is_prefix ~prefix:(History.of_list [ 1; 2; 3; 4 ]) h);
+  check_bool "not prefix (diverged)" false
+    (History.is_prefix ~prefix:(History.of_list [ 1; 9 ]) h)
+
+let test_history_prefixes () =
+  let h = History.of_list [ 1; 2 ] in
+  let ps = History.prefixes h in
+  check_int "count" 3 (List.length ps);
+  Alcotest.(check (list (list int))) "shortest first"
+    [ []; [ 1 ]; [ 1; 2 ] ]
+    (List.map History.to_list ps)
+
+let prop_history_roundtrip =
+  QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:300
+    QCheck.(small_list small_int)
+    (fun vs -> History.to_list (History.of_list vs) = vs)
+
+let prop_history_prefix_model =
+  QCheck.Test.make ~name:"is_prefix matches list model" ~count:300
+    QCheck.(pair (small_list small_int) (small_list small_int))
+    (fun (a, b) ->
+      let rec list_prefix a b =
+        match a, b with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: a', y :: b' -> x = y && list_prefix a' b'
+      in
+      History.is_prefix ~prefix:(History.of_list a) (History.of_list b)
+      = list_prefix a b)
+
+let prop_history_lexicographic =
+  QCheck.Test.make ~name:"compare_lexicographic matches list compare" ~count:300
+    QCheck.(pair (small_list small_int) (small_list small_int))
+    (fun (a, b) ->
+      let c =
+        History.compare_lexicographic (History.of_list a) (History.of_list b)
+      in
+      compare c 0 = compare (List.compare Int.compare a b) 0)
+
+(* --- Counter_table ---------------------------------------------------------- *)
+
+let h1 = History.of_list [ 1 ]
+let h12 = History.of_list [ 1; 2 ]
+let h123 = History.of_list [ 1; 2; 3 ]
+let h9 = History.of_list [ 9 ]
+
+let test_ct_get_set () =
+  let t = Counter_table.set Counter_table.empty h1 4 in
+  check_int "set/get" 4 (Counter_table.get t h1);
+  check_int "default 0" 0 (Counter_table.get t h9);
+  let t = Counter_table.set t h1 0 in
+  check_int "set 0 removes" 0 (Counter_table.cardinal t)
+
+let test_ct_min_merge () =
+  let t1 = Counter_table.set (Counter_table.set Counter_table.empty h1 3) h12 5 in
+  let t2 = Counter_table.set (Counter_table.set Counter_table.empty h1 2) h9 7 in
+  let m = Counter_table.min_merge [ t1; t2 ] in
+  check_int "common key min" 2 (Counter_table.get m h1);
+  check_int "missing key drops (h12)" 0 (Counter_table.get m h12);
+  check_int "missing key drops (h9)" 0 (Counter_table.get m h9);
+  check_int "empty merge" 0 (Counter_table.cardinal (Counter_table.min_merge []))
+
+let test_ct_bump_prefix_max () =
+  let t = Counter_table.set Counter_table.empty h1 4 in
+  let t = Counter_table.bump_prefix_max t h123 in
+  check_int "1 + max over prefixes" 5 (Counter_table.get t h123);
+  (* Bumping again now sees its own entry. *)
+  let t = Counter_table.bump_prefix_max t h123 in
+  check_int "rebump" 6 (Counter_table.get t h123);
+  let t2 = Counter_table.bump_prefix_max Counter_table.empty h9 in
+  check_int "bump from zero" 1 (Counter_table.get t2 h9)
+
+let test_ct_is_max () =
+  let t = Counter_table.set (Counter_table.set Counter_table.empty h1 3) h9 5 in
+  check_bool "h9 is max" true (Counter_table.is_max t h9);
+  check_bool "h1 is not" false (Counter_table.is_max t h1);
+  check_bool "all-zero table: anything is max" true
+    (Counter_table.is_max Counter_table.empty h12)
+
+let test_ct_max_binding () =
+  Alcotest.(check bool) "empty" true (Counter_table.max_binding Counter_table.empty = None);
+  let t = Counter_table.set (Counter_table.set Counter_table.empty h1 5) h9 5 in
+  (match Counter_table.max_binding t with
+  | Some (h, 5) ->
+    (* Ties broken lexicographically: ⟨1⟩ < ⟨9⟩. *)
+    check_bool "lexicographic tie-break" true (History.equal h h1)
+  | Some _ | None -> Alcotest.fail "expected a max binding of 5")
+
+let prop_ct_min_merge_model =
+  (* min_merge against a naive model over a tiny key universe. *)
+  let table_gen =
+    QCheck.Gen.(
+      list_size (int_bound 4)
+        (pair (int_bound 3) (int_range 1 5))
+      |> map (fun kvs ->
+             List.fold_left
+               (fun t (k, v) -> Counter_table.set t (History.of_list [ k ]) v)
+               Counter_table.empty kvs))
+  in
+  QCheck.Test.make ~name:"min_merge pointwise min with default 0" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 4) table_gen))
+    (fun tables ->
+      let merged = Counter_table.min_merge tables in
+      List.for_all
+        (fun k ->
+          let h = History.of_list [ k ] in
+          let expected =
+            List.fold_left (fun acc t -> min acc (Counter_table.get t h)) max_int tables
+          in
+          Counter_table.get merged h = expected)
+        [ 0; 1; 2; 3 ])
+
+(* --- Stats ------------------------------------------------------------------ *)
+
+let test_stats_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (Stats.stddev [ 5.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p1" 1.0 (Stats.percentile xs 1.0)
+
+let test_stats_summarize () =
+  let s = Stats.summarize_ints [ 1; 2; 3; 4; 5 ] in
+  check_int "count" 5 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.max
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bucket:10 [ 1; 5; 11; 25; 27 ] in
+  Alcotest.(check (list (pair int int))) "buckets" [ (0, 2); (10, 1); (20, 2) ] h
+
+let prop_stats_histogram_total =
+  QCheck.Test.make ~name:"histogram counts sum to sample size" ~count:200
+    QCheck.(small_list small_nat)
+    (fun xs ->
+      let h = Stats.histogram ~bucket:3 xs in
+      List.fold_left (fun acc (_, c) -> acc + c) 0 h = List.length xs)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "kernel"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "invalid args" `Quick test_rng_int_invalid;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "subset" `Quick test_rng_subset;
+          qc prop_shuffle_permutation;
+          qc prop_float_bounds;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "max_of" `Quick test_value_max_of;
+          Alcotest.test_case "pp_set" `Quick test_value_pp_set;
+          Alcotest.test_case "pvalue order" `Quick test_pvalue_order;
+          Alcotest.test_case "pvalue max_value" `Quick test_pvalue_max_value;
+          Alcotest.test_case "subset_of_val_bot" `Quick test_pvalue_subset_of_val_bot;
+          qc prop_pvalue_values_of_set;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_history_roundtrip;
+          Alcotest.test_case "interning" `Quick test_history_interning;
+          Alcotest.test_case "prefix" `Quick test_history_prefix;
+          Alcotest.test_case "prefixes" `Quick test_history_prefixes;
+          qc prop_history_roundtrip;
+          qc prop_history_prefix_model;
+          qc prop_history_lexicographic;
+        ] );
+      ( "counter-table",
+        [
+          Alcotest.test_case "get/set" `Quick test_ct_get_set;
+          Alcotest.test_case "min_merge" `Quick test_ct_min_merge;
+          Alcotest.test_case "bump_prefix_max" `Quick test_ct_bump_prefix_max;
+          Alcotest.test_case "is_max" `Quick test_ct_is_max;
+          Alcotest.test_case "max_binding" `Quick test_ct_max_binding;
+          qc prop_ct_min_merge_model;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "summarize" `Quick test_stats_summarize;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          qc prop_stats_histogram_total;
+        ] );
+    ]

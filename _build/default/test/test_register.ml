@@ -1,0 +1,137 @@
+(* Tests for the regular register layered on the weak-set (Prop. 1). *)
+
+open Anon_kernel
+module G = Anon_giraf
+module Reg = Anon_consensus.Register_of_weak_set
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- codec ----------------------------------------------------------------------- *)
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:300
+    QCheck.(pair (int_bound (Reg.value_capacity - 1)) (int_bound 10_000))
+    (fun (value, rank) ->
+      Reg.decode (Reg.encode ~value ~rank) = (value, rank))
+
+let test_codec_bounds () =
+  Alcotest.check_raises "value too large"
+    (Invalid_argument "Register_of_weak_set.encode: value out of range") (fun () ->
+      ignore (Reg.encode ~value:Reg.value_capacity ~rank:0))
+
+let test_read_of_set () =
+  let set =
+    Value.set_of_list
+      [ Reg.encode ~value:7 ~rank:0; Reg.encode ~value:3 ~rank:2; Reg.encode ~value:9 ~rank:1 ]
+  in
+  Alcotest.(check (option int)) "max rank wins" (Some 3) (Reg.read_of_set set);
+  Alcotest.(check (option int)) "empty register" None (Reg.read_of_set Value.Set.empty);
+  let tie =
+    Value.set_of_list [ Reg.encode ~value:3 ~rank:2; Reg.encode ~value:8 ~rank:2 ]
+  in
+  Alcotest.(check (option int)) "rank tie: max value" (Some 8) (Reg.read_of_set tie)
+
+(* --- runs --------------------------------------------------------------------------- *)
+
+let run ?(n = 4) ?(seed = 3) workload =
+  Reg.run ~crash:(G.Crash.none ~n)
+    ~adversary:(G.Adversary.ms ~rotation:G.Adversary.Round_robin ~noise:0.2 ())
+    ~horizon:300 ~seed ~workload
+
+let test_read_after_write () =
+  let out =
+    run [ (0, [ (2, Reg.Write 11) ]); (1, [ (60, Reg.Read) ]) ]
+  in
+  let reads = List.filter (fun (r : Reg.record) -> r.op = Reg.Read) out.records in
+  List.iter
+    (fun (r : Reg.record) ->
+      Alcotest.(check (option int)) "reads last write" (Some 11) r.result)
+    reads;
+  check_int "one read" 1 (List.length reads)
+
+let test_sequential_writes_increase_rank () =
+  let out = run [ (0, [ (2, Reg.Write 5); (40, Reg.Write 6) ]); (1, [ (100, Reg.Read) ]) ] in
+  let writes =
+    List.filter_map
+      (fun (r : Reg.record) ->
+        match r.op, r.rank with Reg.Write v, Some rank -> Some (v, rank) | _, _ -> None)
+      out.records
+  in
+  (match writes with
+  | [ (5, r1); (6, r2) ] -> check_bool "rank strictly grows" true (r2 > r1)
+  | _ -> Alcotest.fail "expected two completed writes");
+  let reads = List.filter (fun (r : Reg.record) -> r.op = Reg.Read) out.records in
+  List.iter
+    (fun (r : Reg.record) -> Alcotest.(check (option int)) "latest wins" (Some 6) r.result)
+    reads
+
+let test_regularity_over_seeds () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.make seed in
+      let n = 2 + Rng.int rng 5 in
+      let workload =
+        List.init n (fun pid ->
+            List.init 5 (fun i ->
+                let start = 1 + Rng.int rng 80 in
+                if Rng.bool rng then (start, Reg.Write ((100 * pid) + i)) else (start, Reg.Read))
+            |> List.sort compare
+            |> fun ops -> (pid, ops))
+      in
+      let out = run ~n ~seed workload in
+      check_int
+        (Printf.sprintf "regularity (seed %d)" seed)
+        0
+        (List.length (Reg.check_regular out.records));
+      check_int
+        (Printf.sprintf "weak-set layer (seed %d)" seed)
+        0
+        (List.length (G.Checker.check_weak_set ~correct:(List.init n Fun.id) out.ws_ops)))
+    (List.init 20 (fun i -> 400 + i))
+
+let test_checker_flags_stale_read () =
+  (* Sanity of the checker itself: a read returning an old value after a
+     newer write completed must be flagged. *)
+  let records =
+    [
+      { Reg.client = 0; op = Reg.Write 5; invoked = 1; completed = Some 5; result = None; rank = Some 0 };
+      { Reg.client = 0; op = Reg.Write 6; invoked = 10; completed = Some 15; result = None; rank = Some 1 };
+      { Reg.client = 1; op = Reg.Read; invoked = 20; completed = Some 25; result = Some 5; rank = None };
+    ]
+  in
+  check_int "stale read flagged" 1 (List.length (Reg.check_regular records))
+
+let test_checker_allows_concurrent () =
+  let records =
+    [
+      { Reg.client = 0; op = Reg.Write 5; invoked = 1; completed = Some 5; result = None; rank = Some 0 };
+      { Reg.client = 2; op = Reg.Write 7; invoked = 18; completed = Some 30; result = None; rank = Some 1 };
+      (* Read overlaps the write of 7: both 5 and 7 acceptable. *)
+      { Reg.client = 1; op = Reg.Read; invoked = 20; completed = Some 25; result = Some 7; rank = None };
+    ]
+  in
+  check_int "concurrent value accepted" 0 (List.length (Reg.check_regular records))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "register-of-weak-set"
+    [
+      ( "codec",
+        [
+          qc prop_codec_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_codec_bounds;
+          Alcotest.test_case "read_of_set" `Quick test_read_of_set;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "read after write" `Quick test_read_after_write;
+          Alcotest.test_case "sequential writes" `Quick test_sequential_writes_increase_rank;
+          Alcotest.test_case "regularity over seeds" `Quick test_regularity_over_seeds;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "flags stale read" `Quick test_checker_flags_stale_read;
+          Alcotest.test_case "allows concurrent" `Quick test_checker_allows_concurrent;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+(* Tests for the shared-memory substrate: scheduler, the two register-based
+   weak-set constructions (Props. 2-3), and the Ω-based consensus
+   baseline. *)
+
+open Anon_kernel
+module G = Anon_giraf
+module S = Anon_shm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Program / Scheduler ---------------------------------------------------- *)
+
+let test_program_read_all () =
+  let prog = S.Program.read_all ~lo:0 ~hi:2 (fun vs -> S.Program.return vs) in
+  (* Execute by hand against a small array. *)
+  let regs = [| 10; 20; 30 |] in
+  let rec exec = function
+    | S.Program.Read (r, k) -> exec (k regs.(r))
+    | S.Program.Write (r, v, k) ->
+      regs.(r) <- v;
+      exec (k ())
+    | S.Program.Query k -> exec (k 0)
+    | S.Program.Done vs -> vs
+  in
+  Alcotest.(check (list int)) "reads in order" [ 10; 20; 30 ] (exec prog)
+
+let counter_client ~pid:_ ~op_index =
+  if op_index >= 3 then None
+  else
+    Some
+      (S.Program.read 0 (fun v -> S.Program.write 0 (v + 1) (fun () -> S.Program.return v)))
+
+let test_scheduler_runs_all_ops () =
+  let config = S.Scheduler.default_config ~n:3 () in
+  let registers = [| 0 |] in
+  let out = S.Scheduler.run ~config ~registers ~clients:counter_client () in
+  check_int "9 completions" 9 (List.length out.completions);
+  (* Read-increment-write is not atomic: concurrent increments may be
+     lost — evidence the scheduler interleaves at single-access
+     granularity. *)
+  check_bool "counter between 3 and 9" true (registers.(0) >= 3 && registers.(0) <= 9);
+  Alcotest.(check (list int)) "nothing pending" [] out.pending
+
+let test_scheduler_round_robin_counter_exact () =
+  (* Under round-robin with equal-length clients the interleaving is
+     read/read/read, write/write/write...: each batch of 3 increments
+     collapses to 1, so the counter ends at exactly 3. *)
+  let config = S.Scheduler.default_config ~n:3 ~policy:S.Scheduler.Round_robin () in
+  let registers = [| 0 |] in
+  let out = S.Scheduler.run ~config ~registers ~clients:counter_client () in
+  check_int "9 completions" 9 (List.length out.completions);
+  check_int "lost updates are deterministic" 3 registers.(0)
+
+let test_scheduler_determinism () =
+  let run () =
+    let config = S.Scheduler.default_config ~n:3 ~seed:5 () in
+    let registers = [| 0 |] in
+    (S.Scheduler.run ~config ~registers ~clients:counter_client ()).completions
+  in
+  check_bool "same seed, same schedule" true (run () = run ())
+
+let test_scheduler_crash () =
+  let config = S.Scheduler.default_config ~n:2 ~crash_at:[ (1, 0) ] () in
+  let registers = [| 0 |] in
+  let out = S.Scheduler.run ~config ~registers ~clients:counter_client () in
+  check_bool "only client 0 completes" true
+    (List.for_all (fun (c : int S.Scheduler.completion) -> c.pid = 0) out.completions);
+  check_int "three ops" 3 (List.length out.completions)
+
+let test_scheduler_oracle () =
+  let clients ~pid:_ ~op_index =
+    if op_index > 0 then None
+    else Some (S.Program.query (fun hint -> S.Program.return hint))
+  in
+  let config = S.Scheduler.default_config ~n:2 () in
+  let out =
+    S.Scheduler.run ~config ~registers:[| 0 |]
+      ~oracle:(fun ~pid ~step:_ -> 100 + pid)
+      ~clients ()
+  in
+  List.iter
+    (fun (c : int S.Scheduler.completion) -> check_int "oracle answer" (100 + c.pid) c.result)
+    out.completions
+
+(* --- weak-set constructions --------------------------------------------------- *)
+
+let ws_workload ~n rng =
+  List.init n (fun pid ->
+      let ops =
+        List.init 8 (fun i ->
+            if Rng.bool rng then S.Ws_common.Add ((16 * pid) + i) else S.Ws_common.Get)
+      in
+      (pid, ops))
+
+let test_construction name run_it =
+  List.iter
+    (fun seed ->
+      let rng = Rng.make (seed * 3) in
+      let n = 2 + Rng.int rng 5 in
+      let crash_at = if seed mod 2 = 0 then [ (0, 30 + Rng.int rng 100) ] else [] in
+      let config =
+        S.Scheduler.default_config ~n ~seed
+          ~policy:(if seed mod 3 = 0 then S.Scheduler.Bursty 10 else S.Scheduler.Random_steps)
+          ~crash_at ()
+      in
+      let correct =
+        List.filter (fun p -> not (List.mem_assoc p crash_at)) (List.init n Fun.id)
+      in
+      let ops = run_it ~config ~workload:(ws_workload ~n rng) ~n in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s seed %d" name seed)
+        []
+        (List.map (Format.asprintf "%a" G.Checker.pp_violation)
+           (G.Checker.check_weak_set ~correct ops)))
+    (List.init 30 (fun i -> i + 1))
+
+let test_swmr_semantics () =
+  test_construction "swmr" (fun ~config ~workload ~n:_ ->
+      (S.Weak_set_swmr.run ~config ~workload).ops)
+
+let test_mwmr_semantics () =
+  test_construction "mwmr" (fun ~config ~workload ~n ->
+      (S.Weak_set_mwmr.run ~config ~domain:(16 * n) ~workload).ops)
+
+let test_mwmr_domain_check () =
+  let config = S.Scheduler.default_config ~n:1 () in
+  Alcotest.check_raises "domain enforced"
+    (Invalid_argument "Weak_set_mwmr: value out of domain") (fun () ->
+      ignore (S.Weak_set_mwmr.run ~config ~domain:4 ~workload:[ (0, [ S.Ws_common.Add 9 ]) ]))
+
+let test_swmr_sequential_visibility () =
+  (* A single client: add then get must see the value (round-robin makes
+     it fully sequential). *)
+  let config = S.Scheduler.default_config ~n:1 ~policy:S.Scheduler.Round_robin () in
+  let out =
+    S.Weak_set_swmr.run ~config ~workload:[ (0, [ S.Ws_common.Add 5; S.Ws_common.Get ]) ]
+  in
+  let got =
+    List.filter_map
+      (function
+        | G.Checker.Ws_get g -> Some (Value.Set.elements g.get_result)
+        | G.Checker.Ws_add _ -> None)
+      out.ops
+  in
+  Alcotest.(check (list (list int))) "get after add" [ [ 5 ] ] got
+
+(* --- Omega consensus ------------------------------------------------------------ *)
+
+let test_omega_decides_and_agrees () =
+  List.iter
+    (fun seed ->
+      let n = 5 in
+      let config = S.Scheduler.default_config ~n ~seed ~max_steps:500_000 () in
+      let proposals = [ 7; 3; 9; 1; 5 ] in
+      let oracle =
+        S.Omega_consensus.stabilizing_oracle ~n ~stabilize_at:200 ~leader:0 ~seed
+      in
+      let out = S.Omega_consensus.run ~config ~proposals ~oracle in
+      Alcotest.(check (list int)) "everyone decides" [] out.undecided;
+      check_int "agreement + validity" 0
+        (List.length (S.Omega_consensus.check ~proposals out)))
+    (List.init 20 (fun i -> i + 1))
+
+let test_omega_leader_crash () =
+  (* The stable leader is p1; p0 (initial random hints' favourite) crashes
+     early. Safety and termination must survive. *)
+  let n = 4 in
+  let config = S.Scheduler.default_config ~n ~seed:9 ~max_steps:500_000 ~crash_at:[ (0, 40) ] () in
+  let proposals = [ 4; 3; 2; 1 ] in
+  let oracle = S.Omega_consensus.stabilizing_oracle ~n ~stabilize_at:300 ~leader:1 ~seed:9 in
+  let out = S.Omega_consensus.run ~config ~proposals ~oracle in
+  check_int "no violations" 0 (List.length (S.Omega_consensus.check ~proposals out));
+  check_bool "the correct processes decide" true
+    (List.for_all (fun pid -> pid = 0) out.undecided)
+
+let test_omega_safe_without_stabilization () =
+  (* A forever-random oracle cannot guarantee termination, but Paxos-style
+     ballots keep it safe. *)
+  let n = 4 in
+  let config = S.Scheduler.default_config ~n ~seed:17 ~max_steps:30_000 () in
+  let proposals = [ 1; 2; 3; 4 ] in
+  let oracle = S.Omega_consensus.stabilizing_oracle ~n ~stabilize_at:max_int ~leader:0 ~seed:17 in
+  let out = S.Omega_consensus.run ~config ~proposals ~oracle in
+  check_int "safe regardless" 0 (List.length (S.Omega_consensus.check ~proposals out))
+
+let () =
+  Alcotest.run "shm"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "read_all" `Quick test_program_read_all;
+          Alcotest.test_case "runs all ops" `Quick test_scheduler_runs_all_ops;
+          Alcotest.test_case "round-robin lost updates" `Quick
+            test_scheduler_round_robin_counter_exact;
+          Alcotest.test_case "determinism" `Quick test_scheduler_determinism;
+          Alcotest.test_case "crash" `Quick test_scheduler_crash;
+          Alcotest.test_case "oracle" `Quick test_scheduler_oracle;
+        ] );
+      ( "weak-sets",
+        [
+          Alcotest.test_case "swmr semantics (Prop. 2)" `Quick test_swmr_semantics;
+          Alcotest.test_case "mwmr semantics (Prop. 3)" `Quick test_mwmr_semantics;
+          Alcotest.test_case "mwmr domain" `Quick test_mwmr_domain_check;
+          Alcotest.test_case "swmr sequential visibility" `Quick
+            test_swmr_sequential_visibility;
+        ] );
+      ( "omega-consensus",
+        [
+          Alcotest.test_case "decides and agrees" `Quick test_omega_decides_and_agrees;
+          Alcotest.test_case "leader crash" `Quick test_omega_leader_crash;
+          Alcotest.test_case "safe without stabilization" `Quick
+            test_omega_safe_without_stabilization;
+        ] );
+    ]

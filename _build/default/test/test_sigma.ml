@@ -1,0 +1,82 @@
+(* Tests for Prop. 4: the two-run adversary against Σ emulators. *)
+
+module C = Anon_consensus
+module S = C.Sigma
+
+let check_bool = Alcotest.(check bool)
+
+let verdict_of (module Cand : S.CANDIDATE) = S.two_run_attack (module Cand) ~horizon:200
+
+let test_window_candidate () =
+  match S.builtin_candidates with
+  | window :: _ -> (
+    match verdict_of window with
+    | S.Intersection_violated { out_p0 = [ 0 ]; out_p1 = [ 1 ]; _ } -> ()
+    | v -> Alcotest.failf "expected intersection violation, got %a" S.pp_verdict v)
+  | [] -> Alcotest.fail "no candidates"
+
+let test_all_candidates_lose () =
+  List.iter
+    (fun (module Cand : S.CANDIDATE) ->
+      match verdict_of (module Cand) with
+      | S.Completeness_violated _ | S.Intersection_violated _ -> ())
+    S.builtin_candidates
+
+let test_expected_failure_modes () =
+  let names_and_kinds =
+    List.map
+      (fun (module Cand : S.CANDIDATE) ->
+        ( Cand.name,
+          match verdict_of (module Cand) with
+          | S.Completeness_violated { run; _ } ->
+            (match run with `R1 -> "completeness-r1" | `R2 -> "completeness-r2")
+          | S.Intersection_violated _ -> "intersection" ))
+      S.builtin_candidates
+  in
+  Alcotest.(check (list (pair string string)))
+    "failure modes"
+    [
+      ("trust-heard-within-3", "intersection");
+      ("trust-all-ever-heard", "completeness-r2");
+      ("trust-static-membership", "completeness-r1");
+      ("trust-most-recent-majority", "completeness-r1");
+    ]
+    names_and_kinds
+
+(* A candidate that aggressively trusts only itself: perfect completeness
+   in both runs, so it must lose on intersection — the proof's essence. *)
+module Trust_self : S.CANDIDATE = struct
+  let name = "trust-only-self"
+
+  type state = int
+
+  let init ~n:_ ~me = me
+  let step st ~round:_ ~heard_from:_ = st
+  let trusted me = [ me ]
+end
+
+let test_trust_self_loses_intersection () =
+  match verdict_of (module Trust_self) with
+  | S.Intersection_violated { t = 1; _ } -> ()
+  | v -> Alcotest.failf "expected immediate intersection violation, got %a" S.pp_verdict v
+
+let test_attack_deterministic () =
+  List.iter
+    (fun (module Cand : S.CANDIDATE) ->
+      check_bool "stable verdict" true
+        (verdict_of (module Cand) = verdict_of (module Cand)))
+    S.builtin_candidates
+
+let () =
+  Alcotest.run "sigma"
+    [
+      ( "two-run attack",
+        [
+          Alcotest.test_case "window candidate" `Quick test_window_candidate;
+          Alcotest.test_case "all candidates lose" `Quick test_all_candidates_lose;
+          Alcotest.test_case "expected failure modes" `Quick test_expected_failure_modes;
+          Alcotest.test_case "trust-self loses intersection" `Quick
+            test_trust_self_loses_intersection;
+          Alcotest.test_case "deterministic" `Quick test_attack_deterministic;
+        ] );
+    ]
