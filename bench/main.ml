@@ -15,6 +15,7 @@ module K = Anon_kernel
 module G = Anon_giraf
 module C = Anon_consensus
 module H = Anon_harness
+module O = Anon_obs
 
 (* --- part 1: the experiment tables ---------------------------------------- *)
 
@@ -33,10 +34,10 @@ let run_experiments ids =
   Format.printf "=== Experiment tables (paper claims, reconstructed evaluation) ===@.";
   List.iter
     (fun (e : H.Registry.experiment) ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = O.Clock.now_ns () in
       let table = e.build () in
       H.Table.render Format.std_formatter table;
-      Format.printf "   [%.2fs]@." (Unix.gettimeofday () -. t0))
+      Format.printf "   [%.2fs]@." (O.Clock.ns_to_s (O.Clock.since_ns t0)))
     experiments
 
 (* --- part 2: bechamel ------------------------------------------------------- *)
@@ -123,6 +124,41 @@ let bench_ess_run =
          in
          R.run config))
 
+(* Instrumentation overhead: the same ES run with observability off, with
+   a live metrics registry, and with metrics + an in-memory event sink.
+   The "off" variant still passes ~recorder (the default [off] handle), so
+   the comparison isolates the cost of live instruments, not of the
+   optional argument. *)
+
+let es_obs_config =
+  G.Runner.default_config ~horizon:100
+    ~inputs:(List.init 8 (fun i -> i + 1))
+    ~crash:(G.Crash.none ~n:8)
+    (G.Adversary.es_blocking ~gst:10 ())
+
+let bench_es_run_obs_off =
+  Test.make ~name:"obs: ES run, recorder off"
+    (Staged.stage (fun () ->
+         let module R = G.Runner.Make (C.Es_consensus) in
+         R.run ~recorder:O.Recorder.off es_obs_config))
+
+let bench_es_run_obs_metrics =
+  Test.make ~name:"obs: ES run, metrics on"
+    (Staged.stage (fun () ->
+         let module R = G.Runner.Make (C.Es_consensus) in
+         let recorder = O.Recorder.create ~metrics:(O.Metrics.create ()) () in
+         R.run ~recorder es_obs_config))
+
+let bench_es_run_obs_events =
+  Test.make ~name:"obs: ES run, metrics + memory sink"
+    (Staged.stage (fun () ->
+         let module R = G.Runner.Make (C.Es_consensus) in
+         let recorder =
+           O.Recorder.create ~metrics:(O.Metrics.create ())
+             ~sink:(O.Sink.memory ~capacity:8192) ()
+         in
+         R.run ~recorder es_obs_config))
+
 let bench_weakset_run =
   Test.make ~name:"run: weak-set in MS, n=8, 3 ops/client"
     (Staged.stage (fun () ->
@@ -190,6 +226,9 @@ let all_benches =
       bench_ess_compute;
       bench_es_run;
       bench_ess_run;
+      bench_es_run_obs_off;
+      bench_es_run_obs_metrics;
+      bench_es_run_obs_events;
       bench_weakset_run;
       bench_emulation_run;
       bench_skew_run;
@@ -223,7 +262,33 @@ let run_bechamel () =
       if ns < 1_000.0 then Format.printf "  %-50s %10.1f ns@." name ns
       else if ns < 1_000_000.0 then Format.printf "  %-50s %10.2f µs@." name (ns /. 1e3)
       else Format.printf "  %-50s %10.2f ms@." name (ns /. 1e6))
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
+  (* Instrumentation overhead relative to the recorder-off baseline. *)
+  let find needle =
+    List.find_map
+      (fun (name, ns) ->
+        if
+          String.length name >= String.length needle
+          && String.sub name (String.length name - String.length needle)
+               (String.length needle)
+             = needle
+        then Some ns
+        else None)
+      !rows
+  in
+  match find "recorder off" with
+  | None -> ()
+  | Some base when base <= 0.0 || Float.is_nan base -> ()
+  | Some base ->
+    let report label needle =
+      match find needle with
+      | Some ns when not (Float.is_nan ns) ->
+        Format.printf "  instrumentation overhead (%s): %+.1f%%@." label
+          (100.0 *. ((ns /. base) -. 1.0))
+      | Some _ | None -> ()
+    in
+    report "metrics" "metrics on";
+    report "metrics + events" "memory sink"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -5,6 +5,7 @@
      weakset    drive the MS weak-set with a random workload
      emulate    run Alg. 5's MS emulation hosting the ES algorithm
      sigma      replay the Prop. 4 two-run adversary
+     metrics    run a seed batch with instrumentation on; print the merged snapshot
      experiment run one experiment table (or all) from the registry
      list       list experiment ids *)
 
@@ -12,6 +13,7 @@ open Cmdliner
 module G = Anon_giraf
 module C = Anon_consensus
 module H = Anon_harness
+module O = Anon_obs
 
 let ppf = Format.std_formatter
 
@@ -33,6 +35,43 @@ let failures_arg =
 
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the full round-by-round trace.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ] ~doc:"Collect run metrics and print them after the run.")
+
+let json_trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json-trace" ] ~docv:"FILE"
+           ~doc:"Stream structured events (one JSON object per line) to $(docv).")
+
+(* Build a recorder from the [--metrics] / [--json-trace FILE] options,
+   run [f] with it, then print the metrics table and close the trace
+   file. *)
+let with_recorder ~metrics ~json_trace f =
+  let registry = if metrics then O.Metrics.create () else O.Metrics.disabled in
+  let oc =
+    Option.map
+      (fun path ->
+        try open_out path
+        with Sys_error msg ->
+          Format.eprintf "anonc: cannot open trace file: %s@." msg;
+          exit 1)
+      json_trace
+  in
+  let sink = match oc with None -> O.Sink.null | Some oc -> O.Sink.jsonl oc in
+  let recorder = O.Recorder.create ~metrics:registry ~sink () in
+  let finally () =
+    O.Recorder.flush recorder;
+    Option.iter close_out oc
+  in
+  Fun.protect ~finally (fun () ->
+      let result = f recorder in
+      if metrics then O.Metrics.render ppf (O.Metrics.snapshot registry);
+      (match json_trace with
+      | Some path -> Format.fprintf ppf "json trace written to %s@." path
+      | None -> ());
+      result)
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -79,7 +118,7 @@ let report_outcome ~trace (outcome : G.Runner.outcome) =
     (G.Checker.check_consensus ~expect_termination:false outcome.trace)
 
 let run_cmd =
-  let run algo schedule n gst seed horizon failures trace =
+  let run algo schedule n gst seed horizon failures trace metrics json_trace =
     let rng = Anon_kernel.Rng.make seed in
     let inputs =
       match schedule with
@@ -94,23 +133,24 @@ let run_cmd =
       G.Env.pp (G.Adversary.env adversary)
       (String.concat ";" (List.map string_of_int inputs))
       G.Crash.pp crash;
-    match algo with
-    | Es ->
-      let module R = G.Runner.Make (C.Es_consensus) in
-      report_outcome ~trace (R.run config)
-    | Ess ->
-      let module R = G.Runner.Make (C.Ess_consensus) in
-      report_outcome ~trace (R.run config)
+    with_recorder ~metrics ~json_trace (fun recorder ->
+        match algo with
+        | Es ->
+          let module R = G.Runner.Make (C.Es_consensus) in
+          report_outcome ~trace (R.run ~recorder config)
+        | Ess ->
+          let module R = G.Runner.Make (C.Ess_consensus) in
+          report_outcome ~trace (R.run ~recorder config))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one consensus simulation.")
     Term.(
       const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg $ horizon_arg
-      $ failures_arg $ trace_arg)
+      $ failures_arg $ trace_arg $ metrics_arg $ json_trace_arg)
 
 (* --- weakset -------------------------------------------------------------- *)
 
 let weakset_cmd =
-  let run n seed horizon failures ops =
+  let run n seed horizon failures ops metrics json_trace =
     let rng = Anon_kernel.Rng.make seed in
     let crash = G.Crash.random ~n ~failures ~max_round:horizon rng in
     let workload =
@@ -121,23 +161,24 @@ let weakset_cmd =
       { G.Service_runner.n; crash; adversary = G.Adversary.ms (); horizon; seed }
     in
     let module W = G.Service_runner.Make (C.Weak_set_ms) in
-    let out = W.run config ~workload in
-    List.iter
-      (fun (a : G.Service_runner.add_record) ->
-        Format.fprintf ppf "add p%d v=%d: round %d to %s@." a.client a.value
-          a.invoked_round
-          (match a.completed_round with None -> "pending" | Some r -> string_of_int r))
-      out.adds;
-    let viol = G.Checker.check_weak_set ~correct:(G.Crash.correct crash) out.ops in
-    Format.fprintf ppf "ops: %d; weak-set semantics: %s@." (List.length out.ops)
-      (if viol = [] then "ok" else string_of_int (List.length viol) ^ " violations");
-    List.iter (fun v -> Format.fprintf ppf "  %a@." G.Checker.pp_violation v) viol
+    with_recorder ~metrics ~json_trace (fun recorder ->
+        let out = W.run ~recorder config ~workload in
+        List.iter
+          (fun (a : G.Service_runner.add_record) ->
+            Format.fprintf ppf "add p%d v=%d: round %d to %s@." a.client a.value
+              a.invoked_round
+              (match a.completed_round with None -> "pending" | Some r -> string_of_int r))
+          out.adds;
+        let viol = G.Checker.check_weak_set ~correct:(G.Crash.correct crash) out.ops in
+        Format.fprintf ppf "ops: %d; weak-set semantics: %s@." (List.length out.ops)
+          (if viol = [] then "ok" else string_of_int (List.length viol) ^ " violations");
+        List.iter (fun v -> Format.fprintf ppf "  %a@." G.Checker.pp_violation v) viol)
   in
   let ops_arg =
     Arg.(value & opt int 6 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per client.")
   in
   Cmd.v (Cmd.info "weakset" ~doc:"Drive the MS weak-set (Alg. 4).")
-    Term.(const run $ n_arg $ seed_arg $ Arg.(value & opt int 120 & info [ "horizon" ]) $ failures_arg $ ops_arg)
+    Term.(const run $ n_arg $ seed_arg $ Arg.(value & opt int 120 & info [ "horizon" ]) $ failures_arg $ ops_arg $ metrics_arg $ json_trace_arg)
 
 (* --- emulate -------------------------------------------------------------- *)
 
@@ -213,6 +254,54 @@ let sigma_cmd =
   Cmd.v (Cmd.info "sigma" ~doc:"Prop. 4: defeat candidate Σ emulators.")
     Term.(const run $ Arg.(value & opt int 200 & info [ "horizon" ]))
 
+(* --- metrics --------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run algo schedule n gst seed horizon failures runs json =
+    let batch =
+      let inputs rng =
+        match schedule with
+        | Blocking -> H.Exp_consensus.ordered_inputs ~n rng
+        | Noisy | Synchronous -> H.Runs.distinct_inputs ~n rng
+      in
+      let crash rng = G.Crash.random ~n ~failures ~max_round:(max 1 (gst + 10)) rng in
+      let adversary _ = adversary_of ~algo ~schedule ~gst in
+      let seeds = H.Runs.seeds ~base:seed runs in
+      match algo with
+      | Es ->
+        let module B = H.Runs.Of (C.Es_consensus) in
+        B.batch ~horizon ~metrics:true ~inputs ~crash ~adversary ~seeds ()
+      | Ess ->
+        let module B = H.Runs.Of (C.Ess_consensus) in
+        B.batch ~horizon ~metrics:true ~inputs ~crash ~adversary ~seeds ()
+    in
+    match batch.metrics with
+    | None -> ()
+    | Some snap ->
+      if json then print_endline (O.Json.to_string (O.Metrics.to_json snap))
+      else begin
+        Format.fprintf ppf
+          "%d runs (n=%d, gst=%d): %d decided, %d safety violations@."
+          batch.runs n gst batch.decided (H.Runs.safety_violations batch);
+        O.Metrics.render ppf snap;
+        match H.Runs.metrics_note batch with
+        | Some note -> Format.fprintf ppf "%s@." note
+        | None -> ()
+      end
+  in
+  let runs_arg =
+    Arg.(value & opt int 10 & info [ "runs" ] ~docv:"K" ~doc:"Seeds in the batch.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the merged snapshot as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a batch with instrumentation on; print the merged metrics.")
+    Term.(
+      const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg $ horizon_arg
+      $ failures_arg $ runs_arg $ json_arg)
+
 (* --- experiment / list ---------------------------------------------------- *)
 
 let experiment_cmd =
@@ -243,14 +332,27 @@ let experiment_cmd =
     Term.(const run $ ids_arg $ csv_arg)
 
 let list_cmd =
-  let run () =
-    List.iter (fun (e : H.Registry.experiment) -> print_endline e.id) H.Registry.all
+  let run json =
+    if json then
+      print_endline
+        (O.Json.to_string
+           (O.Json.List
+              (List.map
+                 (fun (e : H.Registry.experiment) ->
+                   O.Json.Obj
+                     [ ("id", O.Json.String e.id); ("title", O.Json.String e.title) ])
+                 H.Registry.all)))
+    else
+      List.iter (fun (e : H.Registry.experiment) -> print_endline e.id) H.Registry.all
   in
-  Cmd.v (Cmd.info "list" ~doc:"List experiment ids.") Term.(const run $ const ())
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit ids and titles as JSON.")
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids.") Term.(const run $ json_arg)
 
 let () =
   let info =
     Cmd.info "anonc" ~version:"1.0.0"
       ~doc:"Fault-tolerant consensus in unknown and anonymous networks (ICDCS'09 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; experiment_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; metrics_cmd; experiment_cmd; list_cmd ]))

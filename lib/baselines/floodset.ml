@@ -13,6 +13,7 @@ struct
   let msg_compare = Value.Set.compare
   let msg_size = Value.Set.cardinal
   let pp_msg = Value.pp_set
+  let leader _ = None
 
   let initialize v =
     let st = { seen = Value.Set.singleton v } in

@@ -65,6 +65,8 @@ module Impl (P : PARAMS) = struct
     Format.fprintf ppf "⟨%a,%a,%a⟩" Pvalue.pp_set m.m_proposed History.pp m.m_history
       Counter_table.pp m.m_counters
 
+  let leader st = Some st.leader_flag
+
   let message_of st =
     { m_proposed = st.proposed; m_history = st.history; m_counters = st.counters }
 

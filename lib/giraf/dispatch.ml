@@ -9,7 +9,7 @@ type stats = {
 }
 
 let dispatch ~round ~outgoing ~crashing_events ~eligible ~receivers ~plan ~crash_rng
-    ~schedule =
+    ?(on_deliver = fun ~sender:_ ~receiver:_ ~arrival:_ -> ()) ~schedule () =
   let timely = ref [] in
   let delivered = ref 0 in
   let timely_count = ref 0 in
@@ -17,6 +17,7 @@ let dispatch ~round ~outgoing ~crashing_events ~eligible ~receivers ~plan ~crash
     if d.receiver <> sender && eligible d.receiver then begin
       let arrival = max d.arrival round in
       schedule ~receiver:d.receiver ~arrival ~sent:round msg;
+      on_deliver ~sender ~receiver:d.receiver ~arrival;
       incr delivered;
       if arrival = round then begin
         incr timely_count;

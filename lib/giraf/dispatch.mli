@@ -20,11 +20,15 @@ val dispatch :
   receivers:int list ->
   plan:Adversary.plan ->
   crash_rng:Anon_kernel.Rng.t ->
+  ?on_deliver:(sender:int -> receiver:int -> arrival:int -> unit) ->
   schedule:(receiver:int -> arrival:int -> sent:int -> 'msg -> unit) ->
+  unit ->
   stats
 (** Self-delivery (always timely) is performed for every outbound message;
     crashing senders reach only the subset dictated by their crash event
     (chosen with [crash_rng] for [Broadcast_subset]); all other senders
     follow [plan]. [eligible] says whether a pid may still receive (alive,
     not halted); [receivers] lists the pids a crashing sender may target.
-    Arrivals are clamped to [>= round]. *)
+    Arrivals are clamped to [>= round]. [on_deliver] observes every
+    point-to-point delivery (self-deliveries excluded), after the
+    corresponding [schedule] call. *)

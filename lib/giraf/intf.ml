@@ -42,6 +42,12 @@ module type ALGORITHM = sig
 
   val pp_msg : Format.formatter -> msg -> unit
 
+  val leader : state -> bool option
+  (** Pseudo-leader introspection for instrumented runners: [Some flag]
+      when the algorithm maintains a self-leader estimate (Alg. 3 line 15),
+      [None] when it has no leader concept. Observability only — never
+      consulted by the execution semantics. *)
+
   val initialize : Anon_kernel.Value.t -> state * msg
   (** [initialize v] is the process's first step (Alg. 1 line 7): its
       proposal is [v]; returns the round-1 message. *)

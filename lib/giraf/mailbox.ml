@@ -34,3 +34,6 @@ let drain t ~upto =
   List.rev !fresh
 
 let current t ~round = Option.value ~default:[] (Hashtbl.find_opt t.rounds round)
+
+let pending t =
+  Hashtbl.fold (fun _ items acc -> acc + List.length items) t.buckets 0

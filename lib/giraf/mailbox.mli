@@ -18,3 +18,7 @@ val drain : 'msg t -> upto:int -> (int * 'msg) list
 val current : 'msg t -> round:int -> 'msg list
 (** The deduplicated, sorted message set [M_i\[round\]] as filled by
     [drain] so far. *)
+
+val pending : 'msg t -> int
+(** Number of scheduled deliveries not yet drained — the mailbox-growth
+    quantity sampled by instrumented runners. *)

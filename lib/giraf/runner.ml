@@ -44,10 +44,27 @@ module Make (A : Intf.ALGORITHM) = struct
     mutable st : A.state option;  (* None before initialize *)
     mutable halted : bool;  (* decided *)
     mutable crashed : bool;
+    mutable was_leader : bool;  (* last sampled A.leader, for transitions *)
     mailbox : A.msg Mailbox.t;
   }
 
-  let run ?observe config =
+  let run ?observe ?(recorder = Anon_obs.Recorder.off) config =
+    let module R = Anon_obs.Recorder in
+    let module M = Anon_obs.Metrics in
+    let module E = Anon_obs.Event in
+    let obs_on = R.active recorder in
+    let kernel_before = if obs_on then Some (R.kernel_baseline ()) else None in
+    let m_broadcasts = R.counter recorder "runner.broadcasts" in
+    let m_deliveries = R.counter recorder "runner.deliveries" in
+    let m_timely = R.counter recorder "runner.timely_deliveries" in
+    let m_decisions = R.counter recorder "runner.decisions" in
+    let m_crashes = R.counter recorder "runner.crashes" in
+    let m_leader_changes = R.counter recorder "runner.leader_changes" in
+    let m_rounds = R.gauge recorder "runner.rounds" in
+    let m_msg_size = R.histogram recorder "runner.msg_size" in
+    let m_mailbox = R.histogram recorder "runner.mailbox_pending" in
+    let t_compute = R.histogram recorder "phase.compute_us" in
+    let t_deliver = R.histogram recorder "phase.deliver_us" in
     let n = Array.length config.inputs in
     let rng = Rng.make config.seed in
     let crash_rng = Rng.split rng in
@@ -57,9 +74,11 @@ module Make (A : Intf.ALGORITHM) = struct
             st = None;
             halted = false;
             crashed = false;
+            was_leader = false;
             mailbox = Mailbox.create ~compare:A.msg_compare ();
           })
     in
+    R.emit recorder (fun () -> E.Run_start { algo = A.name; n; seed = config.seed });
     let correct = Crash.correct config.crash in
     let decisions = ref [] in
     let rounds = ref [] in
@@ -71,6 +90,7 @@ module Make (A : Intf.ALGORITHM) = struct
     let continue = ref true in
     while !continue && !round <= config.horizon do
       let k = !round in
+      R.emit recorder (fun () -> E.Round_start { round = k });
       let crashing_events =
         List.filter
           (fun (ev : Crash.event) ->
@@ -88,40 +108,57 @@ module Make (A : Intf.ALGORITHM) = struct
          send nothing. *)
       let decided_now = ref [] in
       let outgoing =
-        List.filter_map
-          (fun p ->
-            let proc = procs.(p) in
-            let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
-            let result =
-              if k = 1 then begin
-                let st, m = A.initialize config.inputs.(p) in
-                proc.st <- Some st;
-                Some m
-              end
-              else begin
-                let current = Mailbox.current proc.mailbox ~round:(k - 1) in
-                let st =
-                  match proc.st with Some st -> st | None -> assert false
+        M.time t_compute (fun () ->
+            List.filter_map
+              (fun p ->
+                let proc = procs.(p) in
+                let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
+                let result =
+                  if k = 1 then begin
+                    let st, m = A.initialize config.inputs.(p) in
+                    proc.st <- Some st;
+                    Some m
+                  end
+                  else begin
+                    let current = Mailbox.current proc.mailbox ~round:(k - 1) in
+                    let st =
+                      match proc.st with Some st -> st | None -> assert false
+                    in
+                    let st', m, dec =
+                      A.compute st ~round:(k - 1) ~inbox:{ Intf.current; fresh }
+                    in
+                    proc.st <- Some st';
+                    match dec with
+                    | None -> Some m
+                    | Some v ->
+                      proc.halted <- true;
+                      decided_now := (p, v) :: !decided_now;
+                      decisions := (p, k - 1, v) :: !decisions;
+                      None
+                  end
                 in
-                let st', m, dec =
-                  A.compute st ~round:(k - 1) ~inbox:{ Intf.current; fresh }
-                in
-                proc.st <- Some st';
-                match dec with
-                | None -> Some m
-                | Some v ->
-                  proc.halted <- true;
-                  decided_now := (p, v) :: !decided_now;
-                  decisions := (p, k - 1, v) :: !decisions;
-                  None
-              end
-            in
-            (match observe, proc.st with
-            | Some f, Some st -> f ~pid:p ~round:(k - 1) st
-            | None, _ | _, None -> ());
-            Option.map (fun m -> { Dispatch.sender = p; msg = m }) result)
-          participants
+                (match observe, proc.st with
+                | Some f, Some st -> f ~pid:p ~round:(k - 1) st
+                | None, _ | _, None -> ());
+                (if obs_on then
+                   match proc.st with
+                   | None -> ()
+                   | Some st -> (
+                     match A.leader st with
+                     | Some l when l <> proc.was_leader ->
+                       proc.was_leader <- l;
+                       M.incr m_leader_changes;
+                       R.emit recorder (fun () ->
+                           E.Leader { pid = p; round = k - 1; leader = l })
+                     | Some _ | None -> ()));
+                Option.map (fun m -> { Dispatch.sender = p; msg = m }) result)
+              participants)
       in
+      List.iter
+        (fun (p, v) ->
+          M.incr m_decisions;
+          R.emit recorder (fun () -> E.Decide { pid = p; round = k - 1; value = v }))
+        (List.rev !decided_now);
       (* Phase 2: adversarial deliveries. A source must reach every process
          that will compute this round — not only the correct ones. The
          paper's §2.3 literally quantifies timely links over correct
@@ -159,17 +196,32 @@ module Make (A : Intf.ALGORITHM) = struct
       in
       let plan = Adversary.plan config.adversary ctx rng in
       let stats =
-        Dispatch.dispatch ~round:k ~outgoing ~crashing_events
-          ~eligible:(fun q ->
-            q < n && (not procs.(q).crashed) && not procs.(q).halted)
-          ~receivers:alive_receivers ~plan ~crash_rng
-          ~schedule:(fun ~receiver ~arrival ~sent msg ->
-            Mailbox.schedule procs.(receiver).mailbox ~arrival ~sent msg)
+        M.time t_deliver (fun () ->
+            Dispatch.dispatch ~round:k ~outgoing ~crashing_events
+              ~eligible:(fun q ->
+                q < n && (not procs.(q).crashed) && not procs.(q).halted)
+              ~receivers:alive_receivers ~plan ~crash_rng
+              ~on_deliver:(fun ~sender ~receiver ~arrival ->
+                R.emit recorder (fun () ->
+                    E.Deliver { sender; receiver; round = k; arrival }))
+              ~schedule:(fun ~receiver ~arrival ~sent msg ->
+                Mailbox.schedule procs.(receiver).mailbox ~arrival ~sent msg)
+              ())
       in
       messages_sent := !messages_sent + List.length outgoing;
       deliveries := !deliveries + stats.delivered;
       timely_deliveries := !timely_deliveries + stats.timely_count;
-      List.iter (fun p -> procs.(p).crashed <- true) crashing_pids;
+      if obs_on then begin
+        M.incr ~by:(List.length outgoing) m_broadcasts;
+        M.incr ~by:stats.delivered m_deliveries;
+        M.incr ~by:stats.timely_count m_timely
+      end;
+      List.iter
+        (fun p ->
+          procs.(p).crashed <- true;
+          M.incr m_crashes;
+          R.emit recorder (fun () -> E.Crash { pid = p; round = k }))
+        crashing_pids;
       let info =
         {
           Trace.round = k;
@@ -186,6 +238,27 @@ module Make (A : Intf.ALGORITHM) = struct
         }
       in
       rounds := info :: !rounds;
+      if obs_on then begin
+        List.iter
+          (fun ({ Dispatch.sender; _ }, (_, size)) ->
+            M.observe m_msg_size (float_of_int size);
+            R.emit recorder (fun () ->
+                E.Broadcast { pid = sender; round = k; size }))
+          (List.combine outgoing info.msg_sizes);
+        Array.iter
+          (fun proc ->
+            if not proc.crashed then
+              M.observe m_mailbox (float_of_int (Mailbox.pending proc.mailbox)))
+          procs;
+        R.emit recorder (fun () ->
+            E.Round_end
+              {
+                round = k;
+                senders = List.length outgoing;
+                delivered = stats.delivered;
+                timely = stats.timely_count;
+              })
+      end;
       if config.stop_on_decision && undecided_correct () = [] then continue := false;
       incr round
     done;
@@ -198,11 +271,22 @@ module Make (A : Intf.ALGORITHM) = struct
         rounds = List.rev !rounds;
       }
     in
+    let all_correct_decided = undecided_correct () = [] in
+    let rounds_executed = min (!round - 1) config.horizon in
+    if obs_on then begin
+      M.set_gauge m_rounds (float_of_int rounds_executed);
+      (match kernel_before with
+      | Some b -> R.record_kernel recorder b
+      | None -> ());
+      R.emit recorder (fun () ->
+          E.Run_end { rounds = rounds_executed; decided = all_correct_decided });
+      R.flush recorder
+    end;
     {
       trace;
       decisions = List.rev !decisions;
-      all_correct_decided = undecided_correct () = [];
-      rounds_executed = min (!round - 1) config.horizon;
+      all_correct_decided;
+      rounds_executed;
       messages_sent = !messages_sent;
       deliveries = !deliveries;
       timely_deliveries = !timely_deliveries;

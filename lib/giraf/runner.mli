@@ -41,8 +41,13 @@ val decision_round : outcome -> int option
 module Make (A : Intf.ALGORITHM) : sig
   val run :
     ?observe:(pid:int -> round:int -> A.state -> unit) ->
+    ?recorder:Anon_obs.Recorder.t ->
     config -> outcome
   (** Simulate. [observe] is called after every [compute] with the
       post-state (for algorithm-specific instrumentation such as
-      pseudo-leader tracking); it must not mutate the state. *)
+      pseudo-leader tracking); it must not mutate the state.
+
+      [recorder] (default {!Anon_obs.Recorder.off}) receives the full
+      event stream (round/broadcast/deliver/decide/crash/leader) and the
+      [runner.*], [phase.*] and [kernel.*] metrics; see DESIGN.md §7. *)
 end

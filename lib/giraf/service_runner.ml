@@ -62,10 +62,23 @@ module Make (S : Intf.SERVICE) = struct
     mutable pending : pending_add option;
   }
 
-  let run config ~workload =
+  let run ?(recorder = Anon_obs.Recorder.off) config ~workload =
+    let module R = Anon_obs.Recorder in
+    let module M = Anon_obs.Metrics in
+    let module E = Anon_obs.Event in
+    let obs_on = R.active recorder in
+    let m_broadcasts = R.counter recorder "service.broadcasts" in
+    let m_deliveries = R.counter recorder "service.deliveries" in
+    let m_adds = R.counter recorder "service.ws_adds" in
+    let m_gets = R.counter recorder "service.ws_gets" in
+    let m_crashes = R.counter recorder "service.crashes" in
+    let m_add_latency = R.histogram recorder "service.ws_add_latency_rounds" in
+    let t_compute = R.histogram recorder "phase.compute_us" in
+    let t_deliver = R.histogram recorder "phase.deliver_us" in
     let n = config.n in
     if Crash.n config.crash <> n then
       invalid_arg "Service_runner.run: crash schedule size mismatch";
+    R.emit recorder (fun () -> E.Run_start { algo = S.name; n; seed = config.seed });
     let rng = Rng.make config.seed in
     let crash_rng = Rng.split rng in
     let procs =
@@ -98,49 +111,57 @@ module Make (S : Intf.SERVICE) = struct
       (* Phase 1: end-of-round — compute round k-1 (or initialize), send
          round-k message. Pending adds complete when BLOCK clears. *)
       let outgoing =
-        List.map
-          (fun p ->
-            let proc = procs.(p) in
-            let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
-            let m =
-              if k = 1 then begin
-                let st, m = S.initialize () in
-                proc.st <- Some st;
-                m
-              end
-              else begin
-                let current = Mailbox.current proc.mailbox ~round:(k - 1) in
-                let st =
-                  match proc.st with Some st -> st | None -> assert false
+        M.time t_compute (fun () ->
+            List.map
+              (fun p ->
+                let proc = procs.(p) in
+                let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
+                let m =
+                  if k = 1 then begin
+                    let st, m = S.initialize () in
+                    proc.st <- Some st;
+                    m
+                  end
+                  else begin
+                    let current = Mailbox.current proc.mailbox ~round:(k - 1) in
+                    let st =
+                      match proc.st with Some st -> st | None -> assert false
+                    in
+                    let st', m =
+                      S.compute st ~round:(k - 1) ~inbox:{ Intf.current; fresh }
+                    in
+                    proc.st <- Some st';
+                    (match proc.pending with
+                    | Some pa when not (S.add_pending st') ->
+                      proc.pending <- None;
+                      M.observe m_add_latency
+                        (float_of_int (k - 1 - pa.invoked_round));
+                      R.emit recorder (fun () ->
+                          E.Ws_add_done
+                            { pid = p; round = k - 1; value = pa.value });
+                      ops :=
+                        Checker.Ws_add
+                          {
+                            add_client = p;
+                            add_value = pa.value;
+                            add_invoked = pa.invoked;
+                            add_completed = Some compute_time;
+                          }
+                        :: !ops;
+                      adds :=
+                        {
+                          client = p;
+                          value = pa.value;
+                          invoked_round = pa.invoked_round;
+                          completed_round = Some (k - 1);
+                        }
+                        :: !adds
+                    | Some _ | None -> ());
+                    m
+                  end
                 in
-                let st', m = S.compute st ~round:(k - 1) ~inbox:{ Intf.current; fresh } in
-                proc.st <- Some st';
-                (match proc.pending with
-                | Some pa when not (S.add_pending st') ->
-                  proc.pending <- None;
-                  ops :=
-                    Checker.Ws_add
-                      {
-                        add_client = p;
-                        add_value = pa.value;
-                        add_invoked = pa.invoked;
-                        add_completed = Some compute_time;
-                      }
-                    :: !ops;
-                  adds :=
-                    {
-                      client = p;
-                      value = pa.value;
-                      invoked_round = pa.invoked_round;
-                      completed_round = Some (k - 1);
-                    }
-                    :: !adds
-                | Some _ | None -> ());
-                m
-              end
-            in
-            { Dispatch.sender = p; msg = m })
-          participants
+                { Dispatch.sender = p; msg = m })
+              participants)
       in
       (* Phase 2: deliveries. As in Runner, sources must reach every
          process that computes the round (not only correct ones). *)
@@ -166,14 +187,28 @@ module Make (S : Intf.SERVICE) = struct
       in
       let plan = Adversary.plan config.adversary ctx rng in
       let stats =
-        Dispatch.dispatch ~round:k ~outgoing ~crashing_events
-          ~eligible:(fun q -> q < n && not procs.(q).crashed)
-          ~receivers:alive_receivers ~plan ~crash_rng
-          ~schedule:(fun ~receiver ~arrival ~sent msg ->
-            Mailbox.schedule procs.(receiver).mailbox ~arrival ~sent msg)
+        M.time t_deliver (fun () ->
+            Dispatch.dispatch ~round:k ~outgoing ~crashing_events
+              ~eligible:(fun q -> q < n && not procs.(q).crashed)
+              ~receivers:alive_receivers ~plan ~crash_rng
+              ~on_deliver:(fun ~sender ~receiver ~arrival ->
+                R.emit recorder (fun () ->
+                    E.Deliver { sender; receiver; round = k; arrival }))
+              ~schedule:(fun ~receiver ~arrival ~sent msg ->
+                Mailbox.schedule procs.(receiver).mailbox ~arrival ~sent msg)
+              ())
       in
       messages_sent := !messages_sent + List.length outgoing;
-      List.iter (fun p -> procs.(p).crashed <- true) crashing_pids;
+      if obs_on then begin
+        M.incr ~by:(List.length outgoing) m_broadcasts;
+        M.incr ~by:stats.delivered m_deliveries
+      end;
+      List.iter
+        (fun p ->
+          procs.(p).crashed <- true;
+          M.incr m_crashes;
+          R.emit recorder (fun () -> E.Crash { pid = p; round = k }))
+        crashing_pids;
       (* Phase 3: client operations while in round k. One operation at a
          time per client; adds block until their value is written. *)
       List.iter
@@ -189,6 +224,10 @@ module Make (S : Intf.SERVICE) = struct
                 | Do_get ->
                   let result = S.get st in
                   proc.script <- rest;
+                  M.incr m_gets;
+                  R.emit recorder (fun () ->
+                      E.Ws_get
+                        { pid = p; round = k; size = Value.Set.cardinal result });
                   ops :=
                     Checker.Ws_get
                       {
@@ -201,11 +240,17 @@ module Make (S : Intf.SERVICE) = struct
                 | Do_add v ->
                   proc.st <- Some (S.add st v);
                   proc.script <- rest;
+                  M.incr m_adds;
+                  R.emit recorder (fun () ->
+                      E.Ws_add { pid = p; round = k; value = v });
                   proc.pending <- Some { value = v; invoked = op_time; invoked_round = k }
                 | Do_add_with f ->
                   let v = f (S.get st) in
                   proc.st <- Some (S.add st v);
                   proc.script <- rest;
+                  M.incr m_adds;
+                  R.emit recorder (fun () ->
+                      E.Ws_add { pid = p; round = k; value = v });
                   proc.pending <- Some { value = v; invoked = op_time; invoked_round = k }))
             | _ -> ())
         participants;
@@ -258,6 +303,11 @@ module Make (S : Intf.SERVICE) = struct
         rounds = List.rev !rounds;
       }
     in
+    if obs_on then begin
+      R.emit recorder (fun () ->
+          E.Run_end { rounds = config.horizon; decided = false });
+      R.flush recorder
+    end;
     {
       trace;
       ops = List.rev !ops;

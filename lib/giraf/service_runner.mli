@@ -57,5 +57,9 @@ type outcome = {
 }
 
 module Make (S : Intf.SERVICE) : sig
-  val run : config -> workload:workload -> outcome
+  val run : ?recorder:Anon_obs.Recorder.t -> config -> workload:workload -> outcome
+  (** [recorder] (default {!Anon_obs.Recorder.off}) receives weak-set
+      operation events ([Ws_add]/[Ws_add_done]/[Ws_get]) alongside the
+      generic delivery/crash stream, plus [service.*] and [phase.*]
+      metrics; see DESIGN.md §7. *)
 end

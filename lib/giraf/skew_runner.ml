@@ -60,9 +60,23 @@ module Make (A : Intf.ALGORITHM) = struct
       true
     end
 
-  let run ?(env = Env.Async) config =
+  let run ?(env = Env.Async) ?(recorder = Anon_obs.Recorder.off) config =
+    let module R = Anon_obs.Recorder in
+    let module M = Anon_obs.Metrics in
+    let module E = Anon_obs.Event in
+    let obs_on = R.active recorder in
+    let kernel_before = if obs_on then Some (R.kernel_baseline ()) else None in
+    let m_broadcasts = R.counter recorder "skew.broadcasts" in
+    let m_deliveries = R.counter recorder "skew.deliveries" in
+    let m_decisions = R.counter recorder "skew.decisions" in
+    let m_crashes = R.counter recorder "skew.crashes" in
+    let m_ticks = R.gauge recorder "skew.ticks" in
+    let m_msg_size = R.histogram recorder "skew.msg_size" in
+    let t_compute = R.histogram recorder "phase.compute_us" in
     let inputs = Array.of_list config.inputs in
     let n = Array.length inputs in
+    R.emit recorder (fun () ->
+        E.Run_start { algo = A.name; n; seed = config.seed });
     let rng = Rng.make config.seed in
     let crash_rng = Rng.split rng in
     let correct = Crash.correct config.crash in
@@ -103,30 +117,34 @@ module Make (A : Intf.ALGORITHM) = struct
       if next > config.max_rounds then proc.stopped <- true
       else begin
           let result =
-            if next = 1 then begin
-              let st, m = A.initialize inputs.(proc.pid) in
-              proc.st <- Some st;
-              Some m
-            end
-            else begin
-              let current = current_of proc (next - 1) in
-              Hashtbl.replace proc.compute_log (next - 1) current;
-              let fresh = List.rev proc.fresh in
-              proc.fresh <- [];
-              let st = match proc.st with Some st -> st | None -> assert false in
-              let st', m, dec =
-                A.compute st ~round:(next - 1) ~inbox:{ Intf.current; fresh }
-              in
-              proc.st <- Some st';
-              match dec with
-              | Some v ->
-                decisions := (proc.pid, next - 1, v) :: !decisions;
-                push decided_at (next - 1) (proc.pid, v);
-                proc.halted <- true;
-                proc.stopped <- true;
-                None
-              | None -> Some m
-            end
+            M.time t_compute (fun () ->
+                if next = 1 then begin
+                  let st, m = A.initialize inputs.(proc.pid) in
+                  proc.st <- Some st;
+                  Some m
+                end
+                else begin
+                  let current = current_of proc (next - 1) in
+                  Hashtbl.replace proc.compute_log (next - 1) current;
+                  let fresh = List.rev proc.fresh in
+                  proc.fresh <- [];
+                  let st = match proc.st with Some st -> st | None -> assert false in
+                  let st', m, dec =
+                    A.compute st ~round:(next - 1) ~inbox:{ Intf.current; fresh }
+                  in
+                  proc.st <- Some st';
+                  match dec with
+                  | Some v ->
+                    decisions := (proc.pid, next - 1, v) :: !decisions;
+                    push decided_at (next - 1) (proc.pid, v);
+                    proc.halted <- true;
+                    proc.stopped <- true;
+                    M.incr m_decisions;
+                    R.emit recorder (fun () ->
+                        E.Decide { pid = proc.pid; round = next - 1; value = v });
+                    None
+                  | None -> Some m
+                end)
           in
           match result with
           | None -> ()
@@ -136,6 +154,12 @@ module Make (A : Intf.ALGORITHM) = struct
             proc.fresh <- (next, m) :: proc.fresh;
             Hashtbl.replace sent_msgs (proc.pid, next) m;
             incr messages_broadcast;
+            if obs_on then begin
+              M.incr m_broadcasts;
+              M.observe m_msg_size (float_of_int (A.msg_size m));
+              R.emit recorder (fun () ->
+                  E.Broadcast { pid = proc.pid; round = next; size = A.msg_size m })
+            end;
             (* Broadcast the whole round set: the relay that lets a
                receiver obtain a message through a third party. *)
             let snapshot = current_of proc next in
@@ -167,7 +191,9 @@ module Make (A : Intf.ALGORITHM) = struct
               receivers;
             if crashing_now then begin
               proc.stopped <- true;
-              push crashed_at next proc.pid
+              push crashed_at next proc.pid;
+              M.incr m_crashes;
+              R.emit recorder (fun () -> E.Crash { pid = proc.pid; round = next })
             end
             else
               proc.next_fire <-
@@ -185,7 +211,11 @@ module Make (A : Intf.ALGORITHM) = struct
             let proc = procs.(q) in
             if not proc.stopped then
               List.iter
-                (fun m -> if insert proc ~k m then proc.fresh <- (k, m) :: proc.fresh)
+                (fun m ->
+                  if insert proc ~k m then begin
+                    proc.fresh <- (k, m) :: proc.fresh;
+                    M.incr m_deliveries
+                  end)
                 msgs)
           (List.rev evs);
         Hashtbl.remove events !t);
@@ -250,11 +280,21 @@ module Make (A : Intf.ALGORITHM) = struct
         rounds = List.init max_round (fun i -> round_info (i + 1));
       }
     in
+    let decided = all_correct_decided () in
+    let ticks = Stdlib.min !t config.horizon_ticks in
+    if obs_on then begin
+      M.set_gauge m_ticks (float_of_int ticks);
+      (match kernel_before with
+      | Some b -> R.record_kernel recorder b
+      | None -> ());
+      R.emit recorder (fun () -> E.Run_end { rounds = max_round; decided });
+      R.flush recorder
+    end;
     {
       trace;
       decisions = List.rev !decisions;
-      all_correct_decided = all_correct_decided ();
-      ticks = Stdlib.min !t config.horizon_ticks;
+      all_correct_decided = decided;
+      ticks;
       rounds_completed = Array.map (fun p -> p.round) procs;
     }
 end

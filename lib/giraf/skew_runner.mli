@@ -53,9 +53,13 @@ type outcome = {
 }
 
 module Make (A : Intf.ALGORITHM) : sig
-  val run : ?env:Env.t -> config -> outcome
+  val run : ?env:Env.t -> ?recorder:Anon_obs.Recorder.t -> config -> outcome
   (** Simulate; [env] (default [Async]) is recorded in the trace for the
       checker — this runner's pace/delay adversaries make no environment
       promise by themselves, so check against the guarantee your functions
-      actually provide. *)
+      actually provide.
+
+      [recorder] (default {!Anon_obs.Recorder.off}) receives the
+      broadcast/decide/crash event stream and [skew.*] / [phase.*] /
+      [kernel.*] metrics; see DESIGN.md §7. *)
 end

@@ -15,38 +15,52 @@ let ns = [ 2; 4; 8; 16; 32 ]
 let ordered_inputs ~n _rng = List.init n (fun i -> i + 1)
 
 let t1 () =
+  let snaps = ref [] in
   let cell n gst =
     let batch =
-      Es_runs.batch ~horizon:400
+      Es_runs.batch ~horizon:400 ~metrics:true
         ~inputs:(ordered_inputs ~n)
         ~crash:(fun _ -> G.Crash.none ~n)
         ~adversary:(fun _ -> G.Adversary.es_blocking ~gst ())
         ~seeds:(Runs.seeds 10) ()
     in
     assert (Runs.safety_violations batch = 0);
+    (match batch.metrics with Some s -> snaps := s :: !snaps | None -> ());
     Table.cell_opt (Table.cell_float ~decimals:1) (Runs.mean_decision batch)
   in
-  Table.make ~id:"T1" ~title:"ES consensus: decision round vs n and GST"
-    ~claim:"Thm. 1 — Alg. 2 terminates in ES; the blocking pre-GST schedule stalls it"
-    ~expectation:"decision lands a constant ~2 rounds after GST, independent of n"
-    ~headers:("n" :: List.map (fun g -> Printf.sprintf "gst=%d" g) gsts)
-    ~rows:
-      (List.map
-         (fun n -> Table.cell_int n :: List.map (fun gst -> cell n gst) gsts)
-         ns)
+  let rows =
+    List.map
+      (fun n -> Table.cell_int n :: List.map (fun gst -> cell n gst) gsts)
+      ns
+  in
+  let notes =
+    match !snaps with
+    | [] -> []
+    | ss -> [ Runs.note_of_snapshot (Anon_obs.Metrics.merge (List.rev ss)) ]
+  in
+  Table.with_notes notes
+    (Table.make ~id:"T1" ~title:"ES consensus: decision round vs n and GST"
+       ~claim:"Thm. 1 — Alg. 2 terminates in ES; the blocking pre-GST schedule stalls it"
+       ~expectation:"decision lands a constant ~2 rounds after GST, independent of n"
+       ~headers:("n" :: List.map (fun g -> Printf.sprintf "gst=%d" g) gsts)
+       ~rows)
 
 (* --- T2 ------------------------------------------------------------------ *)
 
 let t2 () =
   let n = 16 in
+  let notes = ref [] in
   let row failures =
     let batch =
-      Es_runs.batch ~horizon:400
+      Es_runs.batch ~horizon:400 ~metrics:true
         ~inputs:(Runs.distinct_inputs ~n)
         ~crash:(fun rng -> G.Crash.random ~n ~failures ~max_round:30 rng)
         ~adversary:(fun _ -> G.Adversary.es ~gst:25 ~noise:0.2 ())
         ~seeds:(Runs.seeds 100) ()
     in
+    (match Runs.metrics_note batch with
+    | Some note -> notes := Printf.sprintf "crashes=%d %s" failures note :: !notes
+    | None -> ());
     [
       Table.cell_int failures;
       Table.cell_int batch.runs;
@@ -57,11 +71,13 @@ let t2 () =
       Table.cell_opt (Table.cell_float ~decimals:1) (Runs.mean_decision batch);
     ]
   in
-  Table.make ~id:"T2" ~title:"ES consensus under crashes (n=16, gst=25)"
-    ~claim:"Thm. 1 — safety and termination hold for any number of crashes"
-    ~expectation:"0 violations in every column; all runs decide"
-    ~headers:[ "crashes"; "runs"; "decided"; "agreement-viol"; "validity-viol"; "env-viol"; "mean-round" ]
-    ~rows:(List.map row [ 0; 4; 8; 12 ])
+  let rows = List.map row [ 0; 4; 8; 12 ] in
+  Table.with_notes (List.rev !notes)
+    (Table.make ~id:"T2" ~title:"ES consensus under crashes (n=16, gst=25)"
+       ~claim:"Thm. 1 — safety and termination hold for any number of crashes"
+       ~expectation:"0 violations in every column; all runs decide"
+       ~headers:[ "crashes"; "runs"; "decided"; "agreement-viol"; "validity-viol"; "env-viol"; "mean-round" ]
+       ~rows)
 
 (* --- T3 ------------------------------------------------------------------ *)
 

@@ -3,6 +3,7 @@
 
 type experiment = {
   id : string;
+  title : string;  (** Static short title (no build needed to list it). *)
   build : unit -> Table.t;
 }
 

@@ -9,6 +9,7 @@ type batch = {
   agreement_violations : int;
   validity_violations : int;
   messages : int list;
+  metrics : Anon_obs.Metrics.snapshot option;
 }
 
 let mean_decision b =
@@ -18,6 +19,37 @@ let mean_decision b =
 
 let safety_violations b = b.agreement_violations + b.validity_violations
 
+let note_of_snapshot snap =
+    let c name =
+      Option.value ~default:0 (List.assoc_opt name snap.Anon_obs.Metrics.counters)
+    in
+    let broadcasts = c "runner.broadcasts" in
+    let deliveries = c "runner.deliveries" in
+    let timely = c "runner.timely_deliveries" in
+    let hits = c "kernel.history.intern_hits" in
+    let misses = c "kernel.history.intern_misses" in
+    let timely_pct =
+      if deliveries = 0 then 0.
+      else 100. *. float_of_int timely /. float_of_int deliveries
+    in
+    let hit_pct =
+      if hits + misses = 0 then 0.
+      else 100. *. float_of_int hits /. float_of_int (hits + misses)
+    in
+    let compute_us =
+      match List.assoc_opt "phase.compute_us" snap.histograms with
+      | Some samples when Array.length samples > 0 ->
+        Printf.sprintf "; compute %.1fus/round mean"
+          (Stats.mean (Array.to_list samples))
+      | Some _ | None -> ""
+    in
+    Printf.sprintf
+      "metrics: %d broadcasts, %d deliveries (%.1f%% timely), history \
+       interning %.1f%% hits (%d/%d)%s"
+      broadcasts deliveries timely_pct hit_pct hits (hits + misses) compute_us
+
+let metrics_note b = Option.map note_of_snapshot b.metrics
+
 let seeds ?(base = 1000) n = List.init n (fun i -> base + (7919 * i))
 
 let distinct_inputs ~n rng = Rng.shuffle rng (List.init n (fun i -> i + 1))
@@ -25,7 +57,8 @@ let distinct_inputs ~n rng = Rng.shuffle rng (List.init n (fun i -> i + 1))
 module Of (A : G.Intf.ALGORITHM) = struct
   module R = G.Runner.Make (A)
 
-  let batch ?(horizon = 300) ?observe ~inputs ~crash ~adversary ~seeds () =
+  let batch ?(horizon = 300) ?observe ?(metrics = false) ~inputs ~crash ~adversary
+      ~seeds () =
     let empty =
       {
         runs = 0;
@@ -35,8 +68,11 @@ module Of (A : G.Intf.ALGORITHM) = struct
         agreement_violations = 0;
         validity_violations = 0;
         messages = [];
+        metrics = None;
       }
     in
+    let snapshots = ref [] in
+    let result =
     List.fold_left
       (fun acc seed ->
         let rng = Rng.make seed in
@@ -44,7 +80,16 @@ module Of (A : G.Intf.ALGORITHM) = struct
         let crash = crash (Rng.split rng) in
         let adversary = adversary (Rng.split rng) in
         let config = G.Runner.default_config ~horizon ~seed ~inputs ~crash adversary in
-        let outcome = R.run ?observe config in
+        let recorder =
+          if metrics then
+            Anon_obs.Recorder.create ~metrics:(Anon_obs.Metrics.create ()) ()
+          else Anon_obs.Recorder.off
+        in
+        let outcome = R.run ?observe ~recorder config in
+        if metrics then
+          snapshots :=
+            Anon_obs.Metrics.snapshot (Anon_obs.Recorder.metrics recorder)
+            :: !snapshots;
         let env = G.Checker.check_env outcome.trace in
         let cons =
           G.Checker.check_consensus ~expect_termination:false outcome.trace
@@ -67,6 +112,15 @@ module Of (A : G.Intf.ALGORITHM) = struct
             acc.validity_violations
             + count (function G.Checker.Validity_violation _ -> true | _ -> false) cons;
           messages = outcome.messages_sent :: acc.messages;
+          metrics = acc.metrics;
         })
       empty seeds
+    in
+    {
+      result with
+      metrics =
+        (match !snapshots with
+        | [] -> None
+        | snaps -> Some (Anon_obs.Metrics.merge (List.rev snaps)));
+    }
 end

@@ -10,15 +10,29 @@ type batch = {
   agreement_violations : int;
   validity_violations : int;
   messages : int list;  (** Broadcasts per run. *)
+  metrics : Anon_obs.Metrics.snapshot option;
+      (** Merged per-run snapshots; [Some] iff the batch ran with
+          [~metrics:true]. Counters are batch totals, histogram samples
+          pool across runs. *)
 }
 
 val mean_decision : batch -> float option
 val safety_violations : batch -> int
 
+val note_of_snapshot : Anon_obs.Metrics.snapshot -> string
+(** One-line instrumentation summary (broadcast/delivery/timeliness
+    totals, history-interning hit rate, mean compute time) for table
+    footnotes. *)
+
+val metrics_note : batch -> string option
+(** [note_of_snapshot] over {!batch.metrics}; [None] when the batch
+    carried no metrics. *)
+
 module Of (A : Anon_giraf.Intf.ALGORITHM) : sig
   val batch :
     ?horizon:int ->
     ?observe:(pid:int -> round:int -> A.state -> unit) ->
+    ?metrics:bool ->
     inputs:(Anon_kernel.Rng.t -> Anon_kernel.Value.t list) ->
     crash:(Anon_kernel.Rng.t -> Anon_giraf.Crash.t) ->
     adversary:(Anon_kernel.Rng.t -> Anon_giraf.Adversary.t) ->
@@ -26,7 +40,9 @@ module Of (A : Anon_giraf.Intf.ALGORITHM) : sig
     unit ->
     batch
   (** One run per seed; [inputs]/[crash]/[adversary] are drawn from a
-      seed-derived stream so batches are reproducible. *)
+      seed-derived stream so batches are reproducible. [metrics] (default
+      false) gives every run a fresh registry and merges the snapshots
+      into {!batch.metrics}. *)
 end
 
 val seeds : ?base:int -> int -> int list

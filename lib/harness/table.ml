@@ -3,6 +3,7 @@ type t = {
   title : string;
   claim : string;
   expectation : string;
+  notes : string list;
   headers : string list;
   rows : string list list;
 }
@@ -13,7 +14,9 @@ let make ~id ~title ~claim ~expectation ~headers ~rows =
       if List.length row <> List.length headers then
         invalid_arg ("Table.make: ragged row in " ^ id))
     rows;
-  { id; title; claim; expectation; headers; rows }
+  { id; title; claim; expectation; notes = []; headers; rows }
+
+let with_notes notes t = { t with notes = t.notes @ notes }
 
 let widths t =
   let cols = List.length t.headers in
@@ -36,7 +39,8 @@ let render ppf t =
   Format.fprintf ppf "   expectation: %s@." t.expectation;
   render_row t.headers;
   render_row (List.mapi (fun i _ -> String.make w.(i) '-') t.headers);
-  List.iter render_row t.rows
+  List.iter render_row t.rows;
+  List.iter (fun note -> Format.fprintf ppf "   note: %s@." note) t.notes
 
 let csv_escape s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then

@@ -8,6 +8,7 @@ type t = {
   title : string;
   claim : string;  (** The paper claim being validated. *)
   expectation : string;  (** The predicted shape of the numbers. *)
+  notes : string list;  (** Footnotes (e.g. instrumentation summaries). *)
   headers : string list;
   rows : string list list;
 }
@@ -15,6 +16,10 @@ type t = {
 val make :
   id:string -> title:string -> claim:string -> expectation:string ->
   headers:string list -> rows:string list list -> t
+(** [notes] starts empty; attach footnotes with {!with_notes}. *)
+
+val with_notes : string list -> t -> t
+(** Append footnotes (rendered after the rows, skipped in CSV). *)
 
 val render : Format.formatter -> t -> unit
 val to_csv : t -> string

@@ -5,7 +5,16 @@ let empty = History.Map.empty
 let get t h = match History.Map.find_opt h t with None -> 0 | Some c -> c
 let set t h c = if c <= 0 then History.Map.remove h t else History.Map.add h c t
 
-let min_merge = function
+(* Process-global operation counts, read as per-run deltas by the
+   observability layer. *)
+let min_merges = ref 0
+let prefix_bumps = ref 0
+let min_merge_ops () = !min_merges
+let prefix_bump_ops () = !prefix_bumps
+
+let min_merge ts =
+  incr min_merges;
+  match ts with
   | [] -> empty
   | t0 :: ts ->
     (* Keys must be present in every table; fold keeps the running minimum
@@ -22,7 +31,9 @@ let min_merge = function
 let prefix_max t h =
   History.fold_prefixes (fun p acc -> max acc (get t p)) h 0
 
-let bump_prefix_max t h = set t h (1 + prefix_max t h)
+let bump_prefix_max t h =
+  incr prefix_bumps;
+  set t h (1 + prefix_max t h)
 
 let table_max t = History.Map.fold (fun _ c acc -> max acc c) t 0
 

@@ -40,6 +40,13 @@ val max_binding : t -> (History.t * int) option
     are broken by lexicographic history order so the result is
     deterministic. *)
 
+val min_merge_ops : unit -> int
+(** Process-global count of [min_merge] calls. Monotone; observability
+    samples it before/after a run for deltas. *)
+
+val prefix_bump_ops : unit -> int
+(** Process-global count of [bump_prefix_max] calls. *)
+
 val bindings : t -> (History.t * int) list
 val cardinal : t -> int
 val compare : t -> t -> int

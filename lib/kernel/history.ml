@@ -18,11 +18,19 @@ let table : t Table.t = Table.create 4096
 let next_id = ref 1
 let empty = { id = 0; len = 0; node = Root }
 
+(* Process-global interning statistics. Two int bumps on the hot path; the
+   observability layer reads them as per-run deltas. *)
+let hits = ref 0
+let misses = ref 0
+
 let snoc h v =
   let key = (h.id, v) in
   match Table.find_opt table key with
-  | Some h' -> h'
+  | Some h' ->
+    incr hits;
+    h'
   | None ->
+    incr misses;
     let h' = { id = !next_id; len = h.len + 1; node = Snoc (h, v) } in
     incr next_id;
     Table.add table key h';
@@ -65,6 +73,8 @@ let pp ppf h =
     (to_list h)
 
 let interned_count () = !next_id
+let intern_hits () = !hits
+let intern_misses () = !misses
 
 module Ord = struct
   type nonrec t = t

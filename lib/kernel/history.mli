@@ -52,5 +52,12 @@ val pp : Format.formatter -> t -> unit
 val interned_count : unit -> int
 (** Number of distinct histories interned so far (diagnostics / benches). *)
 
+val intern_hits : unit -> int
+(** Process-global count of [snoc] calls answered from the intern table.
+    Monotone; observability samples it before/after a run for deltas. *)
+
+val intern_misses : unit -> int
+(** Process-global count of [snoc] calls that allocated a new history. *)
+
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t

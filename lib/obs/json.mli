@@ -1,0 +1,41 @@
+(** Minimal JSON values for the observability layer.
+
+    The container ships no JSON library, so the event sink and metric
+    exporters carry their own codec: a small value type, a canonical
+    single-line printer (what the JSONL sink writes), and a parser used by
+    tests and tooling to read the stream back. Only what JSONL export needs
+    is supported — no trailing commas, no comments, numbers are OCaml
+    [int]/[float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Canonical one-line rendering (no newlines, minimal whitespace), with
+    full string escaping — safe to embed as one JSONL record. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document. [Error msg] carries the byte offset of the
+    failure. Accepts exactly the subset [to_string] emits plus arbitrary
+    inter-token whitespace and [\u....] escapes. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+(** [Int n] (or an integral [Float]) as [n]. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+
+val equal : t -> t -> bool
+(** Structural equality; [Obj] field order is significant (canonical
+    printers keep it stable). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,197 @@
+open Anon_kernel
+
+(* Resizable sample buffer: histograms on hot paths must not allocate a
+   list cell per observation. *)
+type samples = { mutable data : float array; mutable len : int }
+
+let samples_create () = { data = Array.make 16 0.0; len = 0 }
+
+let samples_push s x =
+  if s.len = Array.length s.data then begin
+    let bigger = Array.make (2 * s.len) 0.0 in
+    Array.blit s.data 0 bigger 0 s.len;
+    s.data <- bigger
+  end;
+  s.data.(s.len) <- x;
+  s.len <- s.len + 1
+
+let samples_to_array s = Array.sub s.data 0 s.len
+
+type counter = No_counter | Counter of { mutable c : int }
+type gauge = No_gauge | Gauge of { mutable g : float; mutable set : bool }
+type histogram = No_histogram | Histogram of samples
+
+type t = {
+  enabled : bool;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    enabled = true;
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 16;
+  }
+
+let disabled =
+  {
+    enabled = false;
+    counters = Hashtbl.create 1;
+    gauges = Hashtbl.create 1;
+    histograms = Hashtbl.create 1;
+  }
+
+let is_enabled t = t.enabled
+
+let find_or_add tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some h -> h
+  | None ->
+    let h = make () in
+    Hashtbl.add tbl name h;
+    h
+
+let counter t name =
+  if not t.enabled then No_counter
+  else find_or_add t.counters name (fun () -> Counter { c = 0 })
+
+let incr ?(by = 1) = function No_counter -> () | Counter r -> r.c <- r.c + by
+let counter_value = function No_counter -> 0 | Counter r -> r.c
+
+let gauge t name =
+  if not t.enabled then No_gauge
+  else find_or_add t.gauges name (fun () -> Gauge { g = 0.0; set = false })
+
+let set_gauge g x =
+  match g with
+  | No_gauge -> ()
+  | Gauge r ->
+    r.g <- x;
+    r.set <- true
+
+let histogram t name =
+  if not t.enabled then No_histogram
+  else find_or_add t.histograms name (fun () -> Histogram (samples_create ()))
+
+let observe h x = match h with No_histogram -> () | Histogram s -> samples_push s x
+
+let time h f =
+  match h with
+  | No_histogram -> f ()
+  | Histogram s ->
+    let t0 = Clock.now_ns () in
+    let result = f () in
+    samples_push s (Clock.ns_to_us (Clock.since_ns t0));
+    result
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * float array) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun name h acc -> (name, f h) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot (t : t) =
+  {
+    counters = sorted_bindings t.counters counter_value;
+    gauges =
+      (Hashtbl.fold
+         (fun name g acc ->
+           match g with
+           | Gauge r when r.set -> (name, r.g) :: acc
+           | Gauge _ | No_gauge -> acc)
+         t.gauges []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b));
+    histograms =
+      sorted_bindings t.histograms (function
+        | No_histogram -> [||]
+        | Histogram s -> samples_to_array s);
+  }
+
+let reset (t : t) =
+  Hashtbl.iter (fun _ -> function No_counter -> () | Counter r -> r.c <- 0) t.counters;
+  Hashtbl.iter
+    (fun _ -> function
+      | No_gauge -> ()
+      | Gauge r ->
+        r.g <- 0.0;
+        r.set <- false)
+    t.gauges;
+  Hashtbl.iter
+    (fun _ -> function No_histogram -> () | Histogram s -> s.len <- 0)
+    t.histograms
+
+(* Merge sorted association lists, combining values under equal keys. *)
+let merge_assoc combine lists =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun (k, v) ->
+         Hashtbl.replace tbl k
+           (match Hashtbl.find_opt tbl k with
+           | None -> [ v ]
+           | Some vs -> v :: vs)))
+    lists;
+  Hashtbl.fold (fun k vs acc -> (k, combine (List.rev vs)) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge snapshots =
+  {
+    counters =
+      merge_assoc (List.fold_left ( + ) 0) (List.map (fun s -> s.counters) snapshots);
+    gauges = merge_assoc Stats.mean (List.map (fun s -> s.gauges) snapshots);
+    histograms =
+      merge_assoc Array.concat (List.map (fun s -> s.histograms) snapshots);
+  }
+
+let summaries s =
+  List.filter_map
+    (fun (name, samples) ->
+      if Array.length samples = 0 then None
+      else Some (name, Stats.summarize (Array.to_list samples)))
+    s.histograms
+
+let width rows =
+  List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 rows
+
+let render ppf s =
+  let w =
+    List.fold_left max 0 [ width s.counters; width s.gauges; width s.histograms ]
+  in
+  let pad name = name ^ String.make (w - String.length name) ' ' in
+  List.iter
+    (fun (name, c) -> Format.fprintf ppf "  %s %12d@." (pad name) c)
+    s.counters;
+  List.iter
+    (fun (name, g) -> Format.fprintf ppf "  %s %12.2f@." (pad name) g)
+    s.gauges;
+  List.iter
+    (fun (name, summary) ->
+      Format.fprintf ppf "  %s %a@." (pad name) Stats.pp_summary summary)
+    (summaries s)
+
+let summary_to_json (s : Stats.summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean", Json.Float s.mean);
+      ("stddev", Json.Float s.stddev);
+      ("min", Json.Float s.min);
+      ("p50", Json.Float s.p50);
+      ("p95", Json.Float s.p95);
+      ("max", Json.Float s.max);
+    ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, v) -> (k, summary_to_json v)) (summaries s)) );
+    ]

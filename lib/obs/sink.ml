@@ -1,0 +1,70 @@
+type ring = {
+  slots : Event.t option array;
+  mutable next : int;  (* write cursor *)
+  mutable stored : int;  (* <= capacity *)
+  mutable overwritten : int;
+}
+
+type stream = { oc : out_channel; mutable unflushed : int }
+
+type t =
+  | Null
+  | Memory of ring
+  | Jsonl of stream
+  | Tee of t list
+
+let null = Null
+
+let memory ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.memory: capacity must be positive";
+  Memory { slots = Array.make capacity None; next = 0; stored = 0; overwritten = 0 }
+
+let jsonl oc = Jsonl { oc; unflushed = 0 }
+let tee ts = Tee ts
+
+let rec is_null = function
+  | Null -> true
+  | Memory _ | Jsonl _ -> false
+  | Tee ts -> List.for_all is_null ts
+
+let rec emit t ev =
+  match t with
+  | Null -> ()
+  | Memory r ->
+    let cap = Array.length r.slots in
+    if r.stored = cap then r.overwritten <- r.overwritten + 1
+    else r.stored <- r.stored + 1;
+    r.slots.(r.next) <- Some ev;
+    r.next <- (r.next + 1) mod cap
+  | Jsonl s ->
+    output_string s.oc (Json.to_string (Event.to_json ev));
+    output_char s.oc '\n';
+    s.unflushed <- s.unflushed + 1;
+    if s.unflushed >= 256 then begin
+      flush_channel s;
+      s.unflushed <- 0
+    end
+  | Tee ts -> List.iter (fun t -> emit t ev) ts
+
+and flush_channel s = Stdlib.flush s.oc
+
+let rec events = function
+  | Null | Jsonl _ -> []
+  | Memory r ->
+    let cap = Array.length r.slots in
+    let start = (r.next - r.stored + cap) mod cap in
+    List.init r.stored (fun i ->
+        match r.slots.((start + i) mod cap) with
+        | Some ev -> ev
+        | None -> assert false)
+  | Tee ts -> List.concat_map events ts
+
+let rec dropped = function
+  | Null | Jsonl _ -> 0
+  | Memory r -> r.overwritten
+  | Tee ts -> List.fold_left (fun acc t -> acc + dropped t) 0 ts
+
+let rec flush = function
+  | Null | Memory _ -> ()
+  | Jsonl s -> flush_channel s
+  | Tee ts -> List.iter flush ts

@@ -1,0 +1,37 @@
+(** Pluggable event sinks.
+
+    A sink consumes {!Event.t}s as a run executes. Three built-ins:
+    [null] discards, [memory] keeps the last [capacity] events in a ring
+    buffer (for tests and interactive inspection), and [jsonl] streams one
+    JSON object per line to a channel (the machine-readable trace export).
+    [tee] fans one stream out to several sinks. *)
+
+type t
+
+val null : t
+(** Discards everything. [is_null null = true]; recorders skip event
+    construction entirely for a null sink. *)
+
+val memory : capacity:int -> t
+(** Ring buffer of the most recent [capacity] events. Older events are
+    overwritten; {!dropped} counts the overwrites. *)
+
+val jsonl : out_channel -> t
+(** Streams [Json.to_string (Event.to_json ev)] plus a newline per event.
+    The channel is flushed by {!flush} (and on every 256th event); the
+    caller closes it. *)
+
+val tee : t list -> t
+
+val is_null : t -> bool
+
+val emit : t -> Event.t -> unit
+
+val events : t -> Event.t list
+(** Buffered events, oldest first. Memory sinks only; [[]] otherwise
+    ([tee] concatenates its children's buffers). *)
+
+val dropped : t -> int
+(** Ring-buffer overwrites so far (0 for non-memory sinks). *)
+
+val flush : t -> unit

@@ -188,6 +188,7 @@ module Probe = struct
   let msg_compare = Int.compare
   let msg_size _ = 1
   let pp_msg = Format.pp_print_int
+  let leader _ = None
   let initialize v = ({ me = v; log = [] }, v)
 
   (* Decide own value at round 4; the message is always the input value. *)
@@ -344,7 +345,7 @@ let test_dispatch_crash_modes () =
         ~eligible:(fun _ -> true)
         ~receivers:[ 0; 1; 2; 3 ]
         ~plan:{ G.Adversary.source = None; deliveries = [] }
-        ~crash_rng:(Rng.make 1) ~schedule
+        ~crash_rng:(Rng.make 1) ~schedule ()
     in
     (stats, List.filter (fun (r, _) -> r <> 0) !deliveries)
   in

@@ -282,6 +282,32 @@ let test_stats_histogram () =
   let h = Stats.histogram ~bucket:10 [ 1; 5; 11; 25; 27 ] in
   Alcotest.(check (list (pair int int))) "buckets" [ (0, 2); (10, 1); (20, 2) ] h
 
+let test_stats_single_sample () =
+  let s = Stats.summarize [ 7.5 ] in
+  check_int "count" 1 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 7.5 s.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 0.0 s.stddev;
+  Alcotest.(check (float 1e-9)) "min" 7.5 s.min;
+  Alcotest.(check (float 1e-9)) "p50" 7.5 s.p50;
+  Alcotest.(check (float 1e-9)) "p95" 7.5 s.p95;
+  Alcotest.(check (float 1e-9)) "max" 7.5 s.max
+
+let test_stats_percentile_extremes () =
+  let xs = [ 3.0; 1.0; 4.0; 2.0 ] in
+  (* p=0 must clamp to the smallest sample, p=100 to the largest,
+     regardless of input order. *)
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p0 singleton" 9.0 (Stats.percentile [ 9.0 ] 0.0);
+  Alcotest.(check (float 1e-9)) "p100 singleton" 9.0 (Stats.percentile [ 9.0 ] 100.0)
+
+let test_stats_sparse_histogram () =
+  (* Widely separated samples: empty buckets are skipped, not emitted as
+     zero-count entries. *)
+  let h = Stats.histogram ~bucket:10 [ 1; 1000 ] in
+  Alcotest.(check (list (pair int int))) "sparse" [ (0, 1); (1000, 1) ] h;
+  Alcotest.(check (list (pair int int))) "empty" [] (Stats.histogram ~bucket:10 [])
+
 let prop_stats_histogram_total =
   QCheck.Test.make ~name:"histogram counts sum to sample size" ~count:200
     QCheck.(small_list small_nat)
@@ -341,6 +367,9 @@ let () =
           Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "summarize" `Quick test_stats_summarize;
+          Alcotest.test_case "single sample" `Quick test_stats_single_sample;
+          Alcotest.test_case "percentile extremes" `Quick test_stats_percentile_extremes;
+          Alcotest.test_case "sparse histogram" `Quick test_stats_sparse_histogram;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           qc prop_stats_histogram_total;
         ] );

@@ -1,0 +1,292 @@
+(* Tests for the observability layer: the JSON codec, the metrics
+   registry (including snapshot merge), the event sinks, and the recorder
+   threaded through a real runner. *)
+
+open Anon_obs
+module G = Anon_giraf
+module C = Anon_consensus
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Json ------------------------------------------------------------------- *)
+
+let json = Alcotest.testable Json.pp Json.equal
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a \"quoted\"\nline\\slash");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int 2; Json.Obj [] ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.check json "roundtrip" v v'
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_non_finite () =
+  (* nan/inf have no JSON encoding; the printer degrades them to null
+     rather than emitting an unparseable token. *)
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "tru";
+  bad "1 2"
+
+(* --- Metrics ---------------------------------------------------------------- *)
+
+let test_metrics_counters_gauges () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "a.count" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check_int "counter" 5 (Metrics.counter_value c);
+  let c' = Metrics.counter r "a.count" in
+  Metrics.incr c';
+  check_int "same cell" 6 (Metrics.counter_value c);
+  let g = Metrics.gauge r "a.gauge" in
+  Metrics.set_gauge g 2.5;
+  let h = Metrics.histogram r "a.hist_us" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 3.0;
+  let snap = Metrics.snapshot r in
+  Alcotest.(check (list (pair string int))) "counters" [ ("a.count", 6) ] snap.counters;
+  Alcotest.(check (list (pair string (float 1e-9)))) "gauges"
+    [ ("a.gauge", 2.5) ] snap.gauges;
+  (match snap.histograms with
+  | [ ("a.hist_us", samples) ] ->
+    Alcotest.(check (array (float 1e-9))) "samples" [| 1.0; 3.0 |] samples
+  | _ -> Alcotest.fail "histogram snapshot shape");
+  Metrics.reset r;
+  let snap = Metrics.snapshot r in
+  Alcotest.(check (list (pair string int))) "reset counters"
+    [ ("a.count", 0) ] snap.counters;
+  Alcotest.(check (list (pair string (float 1e-9)))) "reset gauges" [] snap.gauges
+
+let test_metrics_disabled_noop () =
+  let c = Metrics.counter Metrics.disabled "x" in
+  Metrics.incr c;
+  check_int "no-op counter" 0 (Metrics.counter_value c);
+  let h = Metrics.histogram Metrics.disabled "y" in
+  (* [time] on a no-op handle must still run the thunk. *)
+  check_int "time passthrough" 7 (Metrics.time h (fun () -> 7));
+  let snap = Metrics.snapshot Metrics.disabled in
+  check_int "empty snapshot" 0 (List.length snap.counters)
+
+let test_metrics_merge () =
+  let mk c g hs =
+    let r = Metrics.create () in
+    Metrics.incr ~by:c (Metrics.counter r "n");
+    (match g with
+    | Some v -> Metrics.set_gauge (Metrics.gauge r "g") v
+    | None -> ());
+    List.iter (Metrics.observe (Metrics.histogram r "h")) hs;
+    Metrics.snapshot r
+  in
+  let merged =
+    Metrics.merge [ mk 2 (Some 1.0) [ 1.0 ]; mk 3 (Some 3.0) [ 2.0; 4.0 ]; mk 5 None [] ]
+  in
+  (* Counters sum; gauges average over the runs that set them; histogram
+     samples concatenate in run order. *)
+  Alcotest.(check (list (pair string int))) "counters sum" [ ("n", 10) ] merged.counters;
+  Alcotest.(check (list (pair string (float 1e-9)))) "gauges mean"
+    [ ("g", 2.0) ] merged.gauges;
+  (match merged.histograms with
+  | [ ("h", samples) ] ->
+    Alcotest.(check (array (float 1e-9))) "samples concat" [| 1.0; 2.0; 4.0 |] samples
+  | _ -> Alcotest.fail "merged histogram shape")
+
+let test_metrics_json () =
+  let r = Metrics.create () in
+  Metrics.incr (Metrics.counter r "c");
+  Metrics.observe (Metrics.histogram r "h") 2.0;
+  let j = Metrics.to_json (Metrics.snapshot r) in
+  let open Json in
+  check_bool "counter in json" true
+    (Option.bind (member "counters" j) (member "c") = Some (Int 1));
+  check_bool "histogram count" true
+    (Option.bind (Option.bind (member "histograms" j) (member "h")) (member "count")
+    = Some (Int 1))
+
+(* --- Events ----------------------------------------------------------------- *)
+
+let event = Alcotest.testable Event.pp Event.equal
+
+let all_events =
+  [
+    Event.Run_start { algo = "es"; n = 4; seed = 7 };
+    Event.Run_end { rounds = 12; decided = true };
+    Event.Round_start { round = 3 };
+    Event.Round_end { round = 3; senders = 4; delivered = 12; timely = 9 };
+    Event.Broadcast { pid = 1; round = 3; size = 5 };
+    Event.Deliver { sender = 0; receiver = 2; round = 3; arrival = 4 };
+    Event.Decide { pid = 2; round = 5; value = 41 };
+    Event.Crash { pid = 3; round = 2 };
+    Event.Leader { pid = 0; round = 6; leader = false };
+    Event.Ws_add { pid = 1; round = 2; value = 10 };
+    Event.Ws_add_done { pid = 1; round = 4; value = 10 };
+    Event.Ws_get { pid = 2; round = 4; size = 3 };
+    Event.Shm_step { step = 17; pid = 1 };
+    Event.Shm_done { pid = 1; op_index = 2; invoked = 10; completed = 17 };
+  ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Event.of_json (Event.to_json ev) with
+      | Ok ev' -> Alcotest.check event "roundtrip" ev ev'
+      | Error e -> Alcotest.failf "decode failed (%s): %s" e (Json.to_string (Event.to_json ev)))
+    all_events
+
+(* --- Sinks ------------------------------------------------------------------ *)
+
+let test_sink_ring () =
+  let s = Sink.memory ~capacity:3 in
+  check_bool "not null" false (Sink.is_null s);
+  List.iteri (fun i _ -> Sink.emit s (Event.Round_start { round = i })) (List.init 5 Fun.id);
+  (* Capacity 3, 5 emits: the two oldest are overwritten. *)
+  Alcotest.(check (list event)) "last three, oldest first"
+    [
+      Event.Round_start { round = 2 };
+      Event.Round_start { round = 3 };
+      Event.Round_start { round = 4 };
+    ]
+    (Sink.events s);
+  check_int "dropped" 2 (Sink.dropped s)
+
+let test_sink_null_and_tee () =
+  check_bool "null" true (Sink.is_null Sink.null);
+  check_bool "tee of nulls" true (Sink.is_null (Sink.tee [ Sink.null; Sink.null ]));
+  let a = Sink.memory ~capacity:8 and b = Sink.memory ~capacity:8 in
+  let t = Sink.tee [ a; b ] in
+  check_bool "tee live" false (Sink.is_null t);
+  Sink.emit t (Event.Crash { pid = 0; round = 1 });
+  check_int "both children" 2 (List.length (Sink.events a) + List.length (Sink.events b))
+
+let test_sink_jsonl_roundtrip () =
+  let path = Filename.temp_file "anonc_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let s = Sink.jsonl oc in
+      List.iter (Sink.emit s) all_events;
+      Sink.flush s;
+      close_out oc;
+      let ic = open_in path in
+      let rec read acc =
+        match input_line ic with
+        | line -> (
+          match Json.of_string line with
+          | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e
+          | Ok j -> (
+            match Event.of_json j with
+            | Error e -> Alcotest.failf "bad event %S: %s" line e
+            | Ok ev -> read (ev :: acc)))
+        | exception End_of_file -> List.rev acc
+      in
+      let evs = read [] in
+      close_in ic;
+      Alcotest.(check (list event)) "file roundtrip" all_events evs)
+
+(* --- Recorder + runner integration ------------------------------------------ *)
+
+let test_recorder_off () =
+  check_bool "off is inactive" false (Recorder.active Recorder.off);
+  (* Event thunks must not run against the null sink. *)
+  Recorder.emit Recorder.off (fun () -> Alcotest.fail "thunk forced on null sink")
+
+let run_es ~recorder =
+  let module R = G.Runner.Make (C.Es_consensus) in
+  R.run ~recorder
+    (G.Runner.default_config ~horizon:100 ~seed:11
+       ~inputs:(List.init 6 (fun i -> i + 1))
+       ~crash:(G.Crash.none ~n:6)
+       (G.Adversary.es_blocking ~gst:8 ()))
+
+let test_runner_metrics_match_outcome () =
+  let registry = Metrics.create () in
+  let recorder = Recorder.create ~metrics:registry () in
+  let outcome = run_es ~recorder in
+  let snap = Metrics.snapshot registry in
+  let c name = Option.value ~default:0 (List.assoc_opt name snap.counters) in
+  (* The counters must agree exactly with the outcome the runner already
+     reports through its return value. *)
+  check_int "broadcasts" outcome.messages_sent (c "runner.broadcasts");
+  check_int "deliveries" outcome.deliveries (c "runner.deliveries");
+  check_int "timely" outcome.timely_deliveries (c "runner.timely_deliveries");
+  check_int "decisions" (List.length outcome.decisions) (c "runner.decisions");
+  check_bool "compute timer sampled" true
+    (List.mem_assoc "phase.compute_us" snap.histograms)
+
+let test_runner_event_stream () =
+  let sink = Sink.memory ~capacity:100_000 in
+  let recorder = Recorder.create ~sink () in
+  let outcome = run_es ~recorder in
+  let evs = Sink.events sink in
+  let count p = List.length (List.filter p evs) in
+  check_int "one run_start" 1
+    (count (function Event.Run_start _ -> true | _ -> false));
+  check_int "one run_end" 1 (count (function Event.Run_end _ -> true | _ -> false));
+  check_int "decide events" (List.length outcome.decisions)
+    (count (function Event.Decide _ -> true | _ -> false));
+  check_int "deliver events" outcome.deliveries
+    (count (function Event.Deliver _ -> true | _ -> false));
+  check_int "broadcast events" outcome.messages_sent
+    (count (function Event.Broadcast _ -> true | _ -> false));
+  (* Every decide event must match a decision in the outcome. *)
+  List.iter
+    (function
+      | Event.Decide { pid; round; value } ->
+        check_bool "decision recorded" true
+          (List.mem (pid, round, value) outcome.decisions)
+      | _ -> ())
+    evs
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite" `Quick test_json_non_finite;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters/gauges/histograms" `Quick
+            test_metrics_counters_gauges;
+          Alcotest.test_case "disabled no-op" `Quick test_metrics_disabled_noop;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "to_json" `Quick test_metrics_json;
+        ] );
+      ( "events",
+        [ Alcotest.test_case "json roundtrip" `Quick test_event_roundtrip ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "ring buffer" `Quick test_sink_ring;
+          Alcotest.test_case "null and tee" `Quick test_sink_null_and_tee;
+          Alcotest.test_case "jsonl roundtrip" `Quick test_sink_jsonl_roundtrip;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "off" `Quick test_recorder_off;
+          Alcotest.test_case "runner metrics" `Quick test_runner_metrics_match_outcome;
+          Alcotest.test_case "runner events" `Quick test_runner_event_stream;
+        ] );
+    ]
