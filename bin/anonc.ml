@@ -6,6 +6,7 @@
      emulate    run Alg. 5's MS emulation hosting the ES algorithm
      sigma      replay the Prop. 4 two-run adversary
      metrics    run a seed batch with instrumentation on; print the merged snapshot
+     fuzz       random-config fuzzing with shrinking + JSON repro/replay
      experiment run one experiment table (or all) from the registry
      list       list experiment ids *)
 
@@ -14,6 +15,7 @@ module G = Anon_giraf
 module C = Anon_consensus
 module H = Anon_harness
 module O = Anon_obs
+module Ch = Anon_chaos
 
 let ppf = Format.std_formatter
 
@@ -27,8 +29,10 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG 
 let gst_arg =
   Arg.(value & opt int 10 & info [ "gst" ] ~docv:"ROUND" ~doc:"Stabilization round.")
 
-let horizon_arg =
-  Arg.(value & opt int 300 & info [ "horizon" ] ~docv:"ROUNDS" ~doc:"Round limit.")
+(* One definition for every subcommand's --horizon (they differ only in
+   the default that suits the workload). *)
+let horizon_arg ?(default = 300) () =
+  Arg.(value & opt int default & info [ "horizon" ] ~docv:"ROUNDS" ~doc:"Round limit.")
 
 let failures_arg =
   Arg.(value & opt int 0 & info [ "failures" ] ~docv:"F" ~doc:"Crashing processes.")
@@ -125,7 +129,9 @@ let run_cmd =
       | Blocking -> H.Exp_consensus.ordered_inputs ~n rng
       | Noisy | Synchronous -> H.Runs.distinct_inputs ~n rng
     in
-    let crash = G.Crash.random ~n ~failures ~max_round:(max 1 (gst + 10)) rng in
+    let crash =
+      G.Crash.random ~n ~failures ~max_round:(max 1 (min horizon (gst + 10))) rng
+    in
     let adversary = adversary_of ~algo ~schedule ~gst in
     let config = G.Runner.default_config ~horizon ~seed ~inputs ~crash adversary in
     Format.fprintf ppf "algorithm: %s; env: %a; inputs: [%s]; crash: %a@."
@@ -144,15 +150,15 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one consensus simulation.")
     Term.(
-      const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg $ horizon_arg
-      $ failures_arg $ trace_arg $ metrics_arg $ json_trace_arg)
+      const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg
+      $ horizon_arg () $ failures_arg $ trace_arg $ metrics_arg $ json_trace_arg)
 
 (* --- weakset -------------------------------------------------------------- *)
 
 let weakset_cmd =
   let run n seed horizon failures ops metrics json_trace =
     let rng = Anon_kernel.Rng.make seed in
-    let crash = G.Crash.random ~n ~failures ~max_round:horizon rng in
+    let crash = G.Crash.random ~n ~failures ~max_round:(max 1 horizon) rng in
     let workload =
       G.Service_runner.random_workload ~n ~ops_per_client:ops
         ~max_start:(horizon / 2) ~value_range:10_000 rng
@@ -178,7 +184,9 @@ let weakset_cmd =
     Arg.(value & opt int 6 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per client.")
   in
   Cmd.v (Cmd.info "weakset" ~doc:"Drive the MS weak-set (Alg. 4).")
-    Term.(const run $ n_arg $ seed_arg $ Arg.(value & opt int 120 & info [ "horizon" ]) $ failures_arg $ ops_arg $ metrics_arg $ json_trace_arg)
+    Term.(
+      const run $ n_arg $ seed_arg $ horizon_arg ~default:120 () $ failures_arg
+      $ ops_arg $ metrics_arg $ json_trace_arg)
 
 (* --- emulate -------------------------------------------------------------- *)
 
@@ -252,7 +260,7 @@ let sigma_cmd =
       C.Sigma.builtin_candidates
   in
   Cmd.v (Cmd.info "sigma" ~doc:"Prop. 4: defeat candidate Σ emulators.")
-    Term.(const run $ Arg.(value & opt int 200 & info [ "horizon" ]))
+    Term.(const run $ horizon_arg ~default:200 ())
 
 (* --- metrics --------------------------------------------------------------- *)
 
@@ -264,7 +272,9 @@ let metrics_cmd =
         | Blocking -> H.Exp_consensus.ordered_inputs ~n rng
         | Noisy | Synchronous -> H.Runs.distinct_inputs ~n rng
       in
-      let crash rng = G.Crash.random ~n ~failures ~max_round:(max 1 (gst + 10)) rng in
+      let crash rng =
+        G.Crash.random ~n ~failures ~max_round:(max 1 (min horizon (gst + 10))) rng
+      in
       let adversary _ = adversary_of ~algo ~schedule ~gst in
       let seeds = H.Runs.seeds ~base:seed runs in
       match algo with
@@ -299,8 +309,79 @@ let metrics_cmd =
     (Cmd.info "metrics"
        ~doc:"Run a batch with instrumentation on; print the merged metrics.")
     Term.(
-      const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg $ horizon_arg
-      $ failures_arg $ runs_arg $ json_arg)
+      const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg
+      $ horizon_arg () $ failures_arg $ runs_arg $ json_arg)
+
+(* --- fuzz ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run runs seed inadmissible out replay =
+    match replay with
+    | Some path -> (
+      match Ch.Fuzz.replay ~path with
+      | Error e ->
+        Format.eprintf "anonc fuzz: cannot replay %s: %s@." path e;
+        exit 2
+      | Ok r ->
+        Format.fprintf ppf "replaying %a@." Ch.Scenario.pp r.case;
+        List.iter
+          (fun s -> Format.fprintf ppf "violation: %s@." s)
+          (Ch.Fuzz.violation_strings r.actual);
+        if r.matches then
+          Format.fprintf ppf "replay: reproduced the recorded violations@."
+        else begin
+          Format.fprintf ppf "replay: MISMATCH — repro file recorded %d violations@."
+            (List.length r.expected);
+          exit 1
+        end)
+    | None -> (
+      let report = Ch.Fuzz.campaign ~inadmissible ~runs ~seed () in
+      match report.finding with
+      | None ->
+        Format.fprintf ppf "fuzz: %d runs, no violations@." report.runs_done;
+        if inadmissible then begin
+          Format.eprintf
+            "anonc fuzz: inadmissible mode found nothing — the checker missed a \
+             forced model violation@.";
+          exit 1
+        end
+      | Some f ->
+        Format.fprintf ppf "fuzz: violation after %d runs@." report.runs_done;
+        Format.fprintf ppf "original: %a@." Ch.Scenario.pp f.original;
+        Format.fprintf ppf "shrunk:   %a (%d shrink candidates)@." Ch.Scenario.pp
+          f.case f.explored;
+        List.iter
+          (fun s -> Format.fprintf ppf "violation: %s@." s)
+          (Ch.Fuzz.violation_strings f.violations);
+        let path = Option.value out ~default:"fuzz-repro.json" in
+        Ch.Fuzz.write_repro ~path f;
+        Format.fprintf ppf "repro written to %s (replay with --replay)@." path;
+        exit 1)
+  in
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"K" ~doc:"Cases to sample.")
+  in
+  let inadmissible_arg =
+    Arg.(value & flag
+         & info [ "inadmissible" ]
+             ~doc:"Arm a deliberately model-violating fault mode in every case; the \
+                   campaign must then find a violation (checker self-test).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Repro file path (default fuzz-repro.json).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a repro file instead of fuzzing; exits 0 iff the recorded \
+                   violations reproduce identically.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz random configurations against the checker; shrink and save \
+             counterexamples.")
+    Term.(const run $ runs_arg $ seed_arg $ inadmissible_arg $ out_arg $ replay_arg)
 
 (* --- experiment / list ---------------------------------------------------- *)
 
@@ -355,4 +436,13 @@ let () =
     Cmd.info "anonc" ~version:"1.0.0"
       ~doc:"Fault-tolerant consensus in unknown and anonymous networks (ICDCS'09 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; metrics_cmd; experiment_cmd; list_cmd ]))
+  let group =
+    Cmd.group info
+      [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; metrics_cmd;
+        fuzz_cmd; experiment_cmd; list_cmd ]
+  in
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception G.Config_error.Invalid_config e ->
+    Format.eprintf "anonc: invalid configuration — %s@." (G.Config_error.to_string e);
+    exit 2

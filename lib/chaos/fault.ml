@@ -1,0 +1,214 @@
+open Anon_kernel
+module Adv = Anon_giraf.Adversary
+module Crash = Anon_giraf.Crash
+module R = Anon_obs.Recorder
+module M = Anon_obs.Metrics
+module E = Anon_obs.Event
+
+type inadmissible =
+  | Drop_obligated of { from_round : int }
+  | Unstable_source of { from_round : int }
+
+type spec = {
+  duplicate : float;
+  extra_delay : float;
+  max_extra : int;
+  reorder : float;
+  inadmissible : inadmissible option;
+}
+
+let none =
+  { duplicate = 0.; extra_delay = 0.; max_extra = 2; reorder = 0.; inadmissible = None }
+
+let is_noop s =
+  s.duplicate <= 0. && s.extra_delay <= 0. && s.reorder <= 0. && s.inadmissible = None
+
+let sample ?(inadmissible = None) rng =
+  {
+    duplicate = (if Rng.chance rng 0.6 then Rng.float rng 0.3 else 0.);
+    extra_delay = (if Rng.chance rng 0.6 then Rng.float rng 0.4 else 0.);
+    max_extra = Rng.int_in rng 1 4;
+    reorder = (if Rng.chance rng 0.6 then Rng.float rng 0.5 else 0.);
+    inadmissible;
+  }
+
+(* [reached info] of a sender: itself plus its timely receivers this round. *)
+let covers ~obligated ~round sender ds =
+  let timely =
+    List.filter_map
+      (fun (d : Adv.delivery) -> if d.arrival = round then Some d.receiver else None)
+      ds
+  in
+  let reached = sender :: timely in
+  List.for_all (fun q -> List.mem q reached) obligated
+
+(* Delay the delivery to the smallest obligated receiver <> sender, undoing
+   the sender's timely coverage. [None] when the sender only covers itself. *)
+let degrade ~obligated ~round sender ds =
+  match List.filter (fun q -> q <> sender) obligated with
+  | [] -> None
+  | q :: _ ->
+    let ds =
+      List.map
+        (fun (d : Adv.delivery) ->
+          if d.receiver = q && d.arrival = round then { d with arrival = round + 1 }
+          else d)
+        ds
+    in
+    Some (q, ds)
+
+(* Force [sender] timely to every obligated receiver. *)
+let promote ~obligated ~round ds =
+  List.map
+    (fun (d : Adv.delivery) ->
+      if List.mem d.receiver obligated then { d with arrival = round } else d)
+    ds
+
+let wrap ?(recorder = R.off) spec adv =
+  if is_noop spec then adv
+  else begin
+    let c_dup = R.counter recorder "fault.duplicates" in
+    let c_delay = R.counter recorder "fault.extra_delays" in
+    let c_reorder = R.counter recorder "fault.reorders" in
+    let c_drop = R.counter recorder "fault.drops" in
+    let c_swap = R.counter recorder "fault.source_swaps" in
+    let emit kind ~round ~sender ~receiver =
+      R.emit recorder (fun () -> E.Fault { kind; round; sender; receiver })
+    in
+    let inject (ctx : Adv.ctx) rng (plan : Adv.plan) =
+      let k = ctx.round in
+      (* Admissible layers: never touch a timely arrival, so every
+         obligation of the inner schedule survives. *)
+      let delay_late sender ds =
+        if spec.extra_delay <= 0. then ds
+        else
+          List.map
+            (fun (d : Adv.delivery) ->
+              if d.arrival > k && Rng.chance rng spec.extra_delay then begin
+                M.incr c_delay;
+                emit "extra_delay" ~round:k ~sender ~receiver:d.receiver;
+                { d with arrival = d.arrival + Rng.int_in rng 1 (max 1 spec.max_extra) }
+              end
+              else d)
+            ds
+      in
+      let reorder_late sender ds =
+        if spec.reorder <= 0. || not (Rng.chance rng spec.reorder) then ds
+        else
+          let late, timely =
+            List.partition (fun (d : Adv.delivery) -> d.arrival > k) ds
+          in
+          match late with
+          | [] | [ _ ] -> ds
+          | _ ->
+            M.incr c_reorder;
+            emit "reorder" ~round:k ~sender ~receiver:(-1);
+            let arrivals =
+              Rng.shuffle rng (List.map (fun (d : Adv.delivery) -> d.arrival) late)
+            in
+            timely
+            @ List.map2 (fun (d : Adv.delivery) arrival -> { d with arrival }) late arrivals
+      in
+      let duplicate_some sender ds =
+        if spec.duplicate <= 0. then ds
+        else
+          List.concat_map
+            (fun (d : Adv.delivery) ->
+              if Rng.chance rng spec.duplicate then begin
+                M.incr c_dup;
+                emit "duplicate" ~round:k ~sender ~receiver:d.receiver;
+                let echo = max d.arrival k + Rng.int_in rng 1 (max 1 spec.max_extra) in
+                [ d; { d with arrival = echo } ]
+              end
+              else [ d ])
+            ds
+      in
+      let deliveries =
+        List.map
+          (fun (s, ds) -> (s, duplicate_some s (reorder_late s (delay_late s ds))))
+          plan.Adv.deliveries
+      in
+      let plan = { plan with Adv.deliveries } in
+      (* Inadmissible layer last, so no admissible echo can restore a
+         timeliness we just took away (echoes are always late anyway). *)
+      match spec.inadmissible with
+      | Some (Drop_obligated { from_round }) when k >= from_round ->
+        let deliveries =
+          List.map
+            (fun (s, ds) ->
+              if covers ~obligated:ctx.obligated ~round:k s ds then
+                match degrade ~obligated:ctx.obligated ~round:k s ds with
+                | Some (q, ds') ->
+                  M.incr c_drop;
+                  emit "drop_obligated" ~round:k ~sender:s ~receiver:q;
+                  (s, ds')
+                | None -> (s, ds)
+              else (s, ds))
+            plan.Adv.deliveries
+        in
+        { plan with Adv.deliveries }
+      | Some (Unstable_source { from_round }) when k >= from_round -> (
+        match List.filter (fun s -> List.mem s ctx.correct) ctx.senders with
+        | [] | [ _ ] -> plan (* cannot alternate without two correct senders *)
+        | s0 :: s1 :: _ ->
+          let keep = if k mod 2 = 0 then s0 else s1 in
+          if plan.Adv.source <> Some keep then begin
+            M.incr c_swap;
+            emit "source_swap" ~round:k ~sender:keep ~receiver:(-1)
+          end;
+          (* Blocking shape (cf. [Adversary.ess_blocking]): only [keep] is
+             timely, every other link one round late. Each round has a
+             covering source (MS holds) but the alternation keeps the
+             algorithm from deciding, so enough demanding rounds survive
+             past [gst] for the stability check to see both parities. *)
+          let deliveries =
+            List.map
+              (fun (s, ds) ->
+                if s = keep then (s, promote ~obligated:ctx.obligated ~round:k ds)
+                else
+                  ( s,
+                    List.map
+                      (fun (d : Adv.delivery) ->
+                        if d.arrival = k then { d with arrival = k + 1 } else d)
+                      ds ))
+              plan.Adv.deliveries
+          in
+          { source = Some keep; deliveries })
+      | Some _ | None -> plan
+    in
+    Adv.map_plan ~rename:(fun n -> n ^ "+faults") inject adv
+  end
+
+(* --- crash-schedule shapes ------------------------------------------------- *)
+
+let distinct_pids ~n ~count rng =
+  if count < 0 || count > n then
+    invalid_arg (Printf.sprintf "Fault: %d failures among %d processes" count n);
+  let pids = Rng.shuffle rng (List.init n Fun.id) in
+  List.filteri (fun i _ -> i < count) pids
+
+let random_broadcast rng =
+  match Rng.int_in rng 0 2 with
+  | 0 -> Crash.Silent
+  | 1 -> Crash.Broadcast_all
+  | _ -> Crash.Broadcast_subset
+
+let burst_crashes ~n ~failures ~at ~width rng =
+  if at < 1 then invalid_arg "Fault.burst_crashes: at must be >= 1";
+  if width < 0 then invalid_arg "Fault.burst_crashes: width must be >= 0";
+  List.map
+    (fun pid ->
+      {
+        Crash.pid;
+        round = Rng.int_in rng at (at + width);
+        broadcast = random_broadcast rng;
+      })
+    (distinct_pids ~n ~count:failures rng)
+
+let cascade_crashes ~n ~failures ~start ~gap rng =
+  if start < 1 then invalid_arg "Fault.cascade_crashes: start must be >= 1";
+  if gap < 1 then invalid_arg "Fault.cascade_crashes: gap must be >= 1";
+  List.mapi
+    (fun i pid ->
+      { Crash.pid; round = start + (i * gap); broadcast = random_broadcast rng })
+    (distinct_pids ~n ~count:failures rng)

@@ -1,0 +1,261 @@
+open Anon_kernel
+module G = Anon_giraf
+module C = Anon_consensus
+module Json = Anon_obs.Json
+
+module Es_runner = G.Runner.Make (C.Es_consensus)
+module Ess_runner = G.Runner.Make (C.Ess_consensus)
+module Ws_runner = G.Service_runner.Make (C.Weak_set_ms)
+
+let violation_strings vs =
+  List.map (fun v -> Format.asprintf "%a" G.Checker.pp_violation v) vs
+
+(* --- one case, end to end -------------------------------------------------- *)
+
+let run_consensus (case : Scenario.t) runner =
+  let rng = Rng.make case.seed in
+  let inputs = Rng.shuffle rng (List.init case.n (fun i -> i + 1)) in
+  let config =
+    G.Runner.default_config ~horizon:case.horizon ~seed:case.seed ~inputs
+      ~crash:(Scenario.crash case) (Scenario.adversary case)
+  in
+  let out = runner config in
+  G.Checker.check_env out.G.Runner.trace
+  @ G.Checker.check_consensus ~expect_termination:true out.G.Runner.trace
+
+let run_weak_set (case : Scenario.t) =
+  let rng = Rng.make case.seed in
+  let crash = Scenario.crash case in
+  let workload =
+    G.Service_runner.random_workload ~n:case.n ~ops_per_client:case.ops_per_client
+      ~max_start:(max 1 (case.horizon / 2)) ~value_range:1000 rng
+  in
+  let config =
+    {
+      G.Service_runner.n = case.n;
+      crash;
+      adversary = Scenario.adversary case;
+      horizon = case.horizon;
+      seed = case.seed;
+    }
+  in
+  let out = Ws_runner.run config ~workload in
+  G.Checker.check_env out.trace
+  @ G.Checker.check_weak_set ~correct:(G.Crash.correct crash) out.ops
+
+let run_register (case : Scenario.t) =
+  let rng = Rng.make case.seed in
+  let workload =
+    List.init case.n (fun pid ->
+        let ops =
+          List.init case.ops_per_client (fun i ->
+              let start = Rng.int_in rng 1 60 in
+              if (i + pid) mod 2 = 0 then
+                (start, C.Register_of_weak_set.Write ((100 * pid) + i))
+              else (start, C.Register_of_weak_set.Read))
+          |> List.sort compare
+        in
+        (pid, ops))
+  in
+  let out =
+    C.Register_of_weak_set.run ~crash:(Scenario.crash case)
+      ~adversary:(Scenario.adversary case) ~horizon:case.horizon ~seed:case.seed
+      ~workload
+  in
+  G.Checker.check_env out.trace
+  @ G.Checker.check_weak_set ~correct:(List.init case.n Fun.id) out.ws_ops
+  @ C.Register_of_weak_set.check_regular out.records
+
+let run_case (case : Scenario.t) =
+  match case.algo with
+  | Scenario.Es -> run_consensus case Es_runner.run
+  | Scenario.Ess -> run_consensus case Ess_runner.run
+  | Scenario.Weak_set -> run_weak_set case
+  | Scenario.Register -> run_register case
+
+(* --- shrinking -------------------------------------------------------------- *)
+
+let tag = function
+  | G.Checker.Agreement_violation _ -> "agreement"
+  | G.Checker.Validity_violation _ -> "validity"
+  | G.Checker.Termination_violation _ -> "termination"
+  | G.Checker.No_source _ -> "no_source"
+  | G.Checker.Source_not_timely _ -> "source_not_timely"
+  | G.Checker.Unstable_source _ -> "unstable_source"
+  | G.Checker.Weak_set_lost_add _ -> "ws_lost_add"
+  | G.Checker.Weak_set_phantom_value _ -> "ws_phantom"
+  | G.Checker.Register_stale_read _ -> "register_stale"
+
+let tags vs = List.sort_uniq compare (List.map tag vs)
+
+let drop_last l = match List.rev l with [] -> [] | _ :: rest -> List.rev rest
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+(* Strictly-smaller neighbours of a case, most aggressive first. *)
+let candidates (case : Scenario.t) =
+  let smaller_n =
+    if case.n <= 2 then []
+    else
+      let n = case.n - 1 in
+      [
+        {
+          case with
+          n;
+          crashes = List.filter (fun (ev : G.Crash.event) -> ev.pid < n) case.crashes;
+        };
+      ]
+  in
+  let shorter =
+    let floor = case.gst + 4 in
+    if case.horizon <= floor then []
+    else [ { case with horizon = max floor (case.horizon / 2) } ]
+  in
+  let fewer_crashes =
+    match case.crashes with
+    | [] -> []
+    | evs ->
+      let half = take (List.length evs / 2) evs in
+      List.sort_uniq compare [ { case with crashes = half }; { case with crashes = drop_last evs } ]
+  in
+  let fewer_ops =
+    match case.algo with
+    | Scenario.Weak_set | Scenario.Register when case.ops_per_client > 1 ->
+      [ { case with ops_per_client = case.ops_per_client - 1 } ]
+    | _ -> []
+  in
+  let weaker_faults =
+    let f = case.faults in
+    List.filter_map Fun.id
+      [
+        (if f.duplicate > 0. then
+           Some { case with faults = { f with duplicate = 0. } }
+         else None);
+        (if f.extra_delay > 0. then
+           Some { case with faults = { f with extra_delay = 0. } }
+         else None);
+        (if f.reorder > 0. then Some { case with faults = { f with reorder = 0. } }
+         else None);
+        (if f.max_extra > 1 then Some { case with faults = { f with max_extra = 1 } }
+         else None);
+      ]
+  in
+  smaller_n @ shorter @ fewer_crashes @ fewer_ops @ weaker_faults
+
+let shrink case vs =
+  let orig_tags = tags vs in
+  let explored = ref 0 in
+  let still_fails c =
+    incr explored;
+    match run_case c with
+    | [] -> None
+    | vs' when List.exists (fun t -> List.mem t orig_tags) (tags vs') -> Some (c, vs')
+    | _ -> None
+  in
+  let rec go case vs budget =
+    if budget = 0 then (case, vs)
+    else
+      match List.find_map still_fails (candidates case) with
+      | None -> (case, vs)
+      | Some (c, vs') -> go c vs' (budget - 1)
+  in
+  let case, vs = go case vs 60 in
+  (case, vs, !explored)
+
+(* --- campaigns -------------------------------------------------------------- *)
+
+type finding = {
+  original : Scenario.t;
+  original_violations : G.Checker.violation list;
+  case : Scenario.t;
+  violations : G.Checker.violation list;
+  explored : int;
+}
+
+type report = { runs_done : int; finding : finding option }
+
+let campaign ?algo ?(inadmissible = false) ~runs ~seed () =
+  let rng = Rng.make seed in
+  let rec go i =
+    if i >= runs then { runs_done = runs; finding = None }
+    else
+      let case = Scenario.sample ?algo ~inadmissible rng in
+      match run_case case with
+      | [] -> go (i + 1)
+      | vs ->
+        let shrunk, svs, explored = shrink case vs in
+        {
+          runs_done = i + 1;
+          finding =
+            Some
+              {
+                original = case;
+                original_violations = vs;
+                case = shrunk;
+                violations = svs;
+                explored;
+              };
+        }
+  in
+  go 0
+
+(* --- repro files ------------------------------------------------------------ *)
+
+let repro_json f =
+  Json.Obj
+    [
+      ("case", Scenario.to_json f.case);
+      ("violations", Json.List (List.map (fun s -> Json.String s) (violation_strings f.violations)));
+      ("original", Scenario.to_json f.original);
+      ( "original_violations",
+        Json.List
+          (List.map (fun s -> Json.String s) (violation_strings f.original_violations))
+      );
+      ("explored", Json.Int f.explored);
+    ]
+
+let write_repro ~path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (repro_json f));
+      output_char oc '\n')
+
+type replay = {
+  case : Scenario.t;
+  expected : string list;
+  actual : G.Checker.violation list;
+  matches : bool;
+}
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let replay_json j =
+  let* case =
+    match Json.member "case" j with
+    | Some c -> Scenario.of_json c
+    | None -> Error "repro: missing field case"
+  in
+  let* expected =
+    match Json.member "violations" j with
+    | Some (Json.List l) ->
+      let strs = List.filter_map Json.to_str l in
+      if List.length strs = List.length l then Ok strs
+      else Error "repro: non-string violation entry"
+    | _ -> Error "repro: missing list field violations"
+  in
+  let actual = run_case case in
+  Ok { case; expected; actual; matches = violation_strings actual = expected }
+
+let replay ~path =
+  let* contents =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error msg -> Error msg
+  in
+  let* j = Json.of_string contents in
+  replay_json j

@@ -1,0 +1,261 @@
+open Anon_kernel
+module Adv = Anon_giraf.Adversary
+module Crash = Anon_giraf.Crash
+module Json = Anon_obs.Json
+
+type algo = Es | Ess | Weak_set | Register
+
+let algo_name = function
+  | Es -> "es"
+  | Ess -> "ess"
+  | Weak_set -> "weak_set"
+  | Register -> "register"
+
+let all_algos = [ Es; Ess; Weak_set; Register ]
+
+type t = {
+  algo : algo;
+  n : int;
+  gst : int;
+  rotation : Adv.rotation;
+  noise : float;
+  horizon : int;
+  seed : int;
+  crashes : Crash.event list;
+  ops_per_client : int;
+  faults : Fault.spec;
+}
+
+(* Horizons generous enough for the liveness theorems (Thm. 1/2/3) to have
+   fired long before the run is cut off, leaving slack for fault-injected
+   delays on non-obligated links. *)
+let horizon_for algo ~n ~gst =
+  match algo with
+  | Es -> gst + (6 * n) + 40
+  | Ess -> gst + (20 * n) + 80
+  | Weak_set -> 40 * (n + 2)
+  | Register -> 300 + (40 * n)
+
+let sample ?algo ?(inadmissible = false) rng =
+  let algo = match algo with Some a -> a | None -> Rng.pick rng all_algos in
+  let n = if inadmissible then Rng.int_in rng 3 6 else Rng.int_in rng 2 6 in
+  let gst = Rng.int_in rng 3 12 in
+  let rotation = if Rng.bool rng then Adv.Round_robin else Adv.Random_source in
+  let noise = Rng.pick rng [ 0.0; 0.1; 0.3 ] in
+  let seed = Rng.int_in rng 1 1_000_000 in
+  let max_failures =
+    (* Keep >= 2 correct processes when forcing inadmissible schedules
+       (source alternation needs two correct senders); the register checker
+       assumes crash-free clients (see T6), so keep those runs clean. *)
+    match algo with
+    | Register -> 0
+    | _ -> if inadmissible then n - 2 else n - 1
+  in
+  let crashes =
+    if max_failures <= 0 then []
+    else
+      let failures = Rng.int_in rng 0 max_failures in
+      if failures = 0 then []
+      else if Rng.bool rng then
+        Fault.burst_crashes ~n ~failures ~at:(Rng.int_in rng 1 8)
+          ~width:(Rng.int_in rng 0 3) rng
+      else
+        Fault.cascade_crashes ~n ~failures ~start:(Rng.int_in rng 1 6)
+          ~gap:(Rng.int_in rng 1 5) rng
+  in
+  let mode =
+    if not inadmissible then None
+    else
+      match algo with
+      | Ess when Rng.bool rng -> Some (Fault.Unstable_source { from_round = 2 })
+      | _ -> Some (Fault.Drop_obligated { from_round = 2 })
+  in
+  let faults = Fault.sample ~inadmissible:mode rng in
+  {
+    algo;
+    n;
+    gst;
+    rotation;
+    noise;
+    horizon = horizon_for algo ~n ~gst;
+    seed;
+    crashes;
+    ops_per_client = Rng.int_in rng 2 6;
+    faults;
+  }
+
+let adversary ?recorder t =
+  let base =
+    match t.algo with
+    | Es -> Adv.es ~gst:t.gst ~noise:t.noise ()
+    | Ess -> Adv.ess ~gst:t.gst ~rotation:t.rotation ~noise:t.noise ()
+    | Weak_set | Register -> Adv.ms ~rotation:t.rotation ~noise:t.noise ()
+  in
+  Fault.wrap ?recorder t.faults base
+
+let crash t = Crash.of_events ~n:t.n t.crashes
+
+let pp ppf t =
+  Format.fprintf ppf "%s n=%d gst=%d noise=%.2f horizon=%d seed=%d crashes=%d%s"
+    (algo_name t.algo) t.n t.gst t.noise t.horizon t.seed (List.length t.crashes)
+    (match t.faults.inadmissible with
+    | None -> ""
+    | Some (Fault.Drop_obligated _) -> " [drop-obligated]"
+    | Some (Fault.Unstable_source _) -> " [unstable-source]")
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let json_of_rotation = function
+  | Adv.Round_robin -> Json.String "round_robin"
+  | Adv.Random_source -> Json.String "random"
+  | Adv.Pinned p -> Json.Obj [ ("pinned", Json.Int p) ]
+
+let rotation_of_json = function
+  | Json.String "round_robin" -> Ok Adv.Round_robin
+  | Json.String "random" -> Ok Adv.Random_source
+  | Json.Obj _ as j -> (
+    match Json.member "pinned" j |> Option.map Json.to_int |> Option.join with
+    | Some p -> Ok (Adv.Pinned p)
+    | None -> Error "rotation: bad pinned object")
+  | _ -> Error "rotation: expected round_robin/random/pinned"
+
+let json_of_broadcast = function
+  | Crash.Silent -> "silent"
+  | Crash.Broadcast_all -> "all"
+  | Crash.Broadcast_subset -> "subset"
+
+let broadcast_of_json = function
+  | "silent" -> Ok Crash.Silent
+  | "all" -> Ok Crash.Broadcast_all
+  | "subset" -> Ok Crash.Broadcast_subset
+  | s -> Error ("crash broadcast: unknown mode " ^ s)
+
+let json_of_crash (ev : Crash.event) =
+  Json.Obj
+    [
+      ("pid", Json.Int ev.pid);
+      ("round", Json.Int ev.round);
+      ("broadcast", Json.String (json_of_broadcast ev.broadcast));
+    ]
+
+let json_of_inadmissible = function
+  | Fault.Drop_obligated { from_round } ->
+    Json.Obj
+      [ ("kind", Json.String "drop_obligated"); ("from_round", Json.Int from_round) ]
+  | Fault.Unstable_source { from_round } ->
+    Json.Obj
+      [ ("kind", Json.String "unstable_source"); ("from_round", Json.Int from_round) ]
+
+let json_of_faults (f : Fault.spec) =
+  Json.Obj
+    [
+      ("duplicate", Json.Float f.duplicate);
+      ("extra_delay", Json.Float f.extra_delay);
+      ("max_extra", Json.Int f.max_extra);
+      ("reorder", Json.Float f.reorder);
+      ( "inadmissible",
+        match f.inadmissible with None -> Json.Null | Some m -> json_of_inadmissible m
+      );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("algo", Json.String (algo_name t.algo));
+      ("n", Json.Int t.n);
+      ("gst", Json.Int t.gst);
+      ("rotation", json_of_rotation t.rotation);
+      ("noise", Json.Float t.noise);
+      ("horizon", Json.Int t.horizon);
+      ("seed", Json.Int t.seed);
+      ("crashes", Json.List (List.map json_of_crash t.crashes));
+      ("ops_per_client", Json.Int t.ops_per_client);
+      ("faults", json_of_faults t.faults);
+    ]
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let req_int j name =
+  match Json.member name j |> Option.map Json.to_int |> Option.join with
+  | Some n -> Ok n
+  | None -> Error ("missing int field " ^ name)
+
+let req_float j name =
+  match Json.member name j with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int n) -> Ok (float_of_int n)
+  | _ -> Error ("missing float field " ^ name)
+
+let req_str j name =
+  match Json.member name j |> Option.map Json.to_str |> Option.join with
+  | Some s -> Ok s
+  | None -> Error ("missing string field " ^ name)
+
+let algo_of_string = function
+  | "es" -> Ok Es
+  | "ess" -> Ok Ess
+  | "weak_set" -> Ok Weak_set
+  | "register" -> Ok Register
+  | s -> Error ("unknown algo " ^ s)
+
+let crash_of_json j =
+  let* pid = req_int j "pid" in
+  let* round = req_int j "round" in
+  let* b = req_str j "broadcast" in
+  let* broadcast = broadcast_of_json b in
+  Ok { Crash.pid; round; broadcast }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+    let* y = f x in
+    let* ys = map_result f xs in
+    Ok (y :: ys)
+
+let inadmissible_of_json j =
+  let* kind = req_str j "kind" in
+  let* from_round = req_int j "from_round" in
+  match kind with
+  | "drop_obligated" -> Ok (Fault.Drop_obligated { from_round })
+  | "unstable_source" -> Ok (Fault.Unstable_source { from_round })
+  | s -> Error ("unknown inadmissible kind " ^ s)
+
+let faults_of_json j =
+  let* duplicate = req_float j "duplicate" in
+  let* extra_delay = req_float j "extra_delay" in
+  let* max_extra = req_int j "max_extra" in
+  let* reorder = req_float j "reorder" in
+  let* inadmissible =
+    match Json.member "inadmissible" j with
+    | None | Some Json.Null -> Ok None
+    | Some m ->
+      let* m = inadmissible_of_json m in
+      Ok (Some m)
+  in
+  Ok { Fault.duplicate; extra_delay; max_extra; reorder; inadmissible }
+
+let of_json j =
+  let* algo_s = req_str j "algo" in
+  let* algo = algo_of_string algo_s in
+  let* n = req_int j "n" in
+  let* gst = req_int j "gst" in
+  let* rotation =
+    match Json.member "rotation" j with
+    | Some r -> rotation_of_json r
+    | None -> Error "missing field rotation"
+  in
+  let* noise = req_float j "noise" in
+  let* horizon = req_int j "horizon" in
+  let* seed = req_int j "seed" in
+  let* crashes =
+    match Json.member "crashes" j with
+    | Some (Json.List l) -> map_result crash_of_json l
+    | _ -> Error "missing list field crashes"
+  in
+  let* ops_per_client = req_int j "ops_per_client" in
+  let* faults =
+    match Json.member "faults" j with
+    | Some f -> faults_of_json f
+    | None -> Error "missing field faults"
+  in
+  Ok { algo; n; gst; rotation; noise; horizon; seed; crashes; ops_per_client; faults }

@@ -1,0 +1,39 @@
+(** Fuzz cases: one sampled configuration of algorithm, system size,
+    environment, crash schedule, workload, and fault plan — everything a
+    run needs, serializable to JSON so a counterexample can be written out
+    and replayed bit-for-bit (all randomness derives from [seed]). *)
+
+type algo = Es | Ess | Weak_set | Register
+
+val algo_name : algo -> string
+val all_algos : algo list
+
+type t = {
+  algo : algo;
+  n : int;
+  gst : int;  (** Used by [Es]/[Ess]; carried (and ignored) otherwise. *)
+  rotation : Anon_giraf.Adversary.rotation;
+  noise : float;
+  horizon : int;
+  seed : int;
+  crashes : Anon_giraf.Crash.event list;
+  ops_per_client : int;  (** Workload size for [Weak_set]/[Register]. *)
+  faults : Fault.spec;
+}
+
+val sample : ?algo:algo -> ?inadmissible:bool -> Anon_kernel.Rng.t -> t
+(** A random case; [algo] pins the algorithm, [inadmissible] (default
+    [false]) attaches a deliberately model-violating fault mode (and keeps
+    [n >= 3] with at least two correct processes so the violation is
+    actually forceable). *)
+
+val adversary : ?recorder:Anon_obs.Recorder.t -> t -> Anon_giraf.Adversary.t
+(** The case's base adversary ([es]/[ess]/[ms] per [algo]) wrapped with its
+    fault plan via {!Fault.wrap}. *)
+
+val crash : t -> Anon_giraf.Crash.t
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Anon_obs.Json.t
+val of_json : Anon_obs.Json.t -> (t, string) result

@@ -155,3 +155,6 @@ let async ?(max_delay = 5) ?(timely_chance = 0.3) () =
   { name = "async"; env = Env.Async; plan }
 
 let scripted ~name ~env plan = { name; env; plan }
+
+let map_plan ?(rename = Fun.id) f t =
+  { t with name = rename t.name; plan = (fun ctx rng -> f ctx rng (t.plan ctx rng)) }

@@ -81,6 +81,15 @@ val scripted :
   name:string -> env:Env.t -> (ctx -> Anon_kernel.Rng.t -> plan) -> t
 (** Fully custom schedule (used by tests to force worst cases). *)
 
+val map_plan :
+  ?rename:(string -> string) -> (ctx -> Anon_kernel.Rng.t -> plan -> plan) -> t -> t
+(** [map_plan f t] post-processes every plan [t] emits with [f] (same
+    declared environment). This is the wrapping hook the chaos layer's
+    fault injectors build on: [f] receives the round context, the RNG
+    (already advanced by the inner adversary), and the inner plan. The
+    wrapper is responsible for keeping the transformed schedule admissible
+    — or deliberately not, to exercise the checker. *)
+
 val timely_all : ctx -> plan
 (** Helper: the fully synchronous plan for [ctx] (every sender timely to
     every alive receiver). *)

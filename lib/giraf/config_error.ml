@@ -1,0 +1,12 @@
+type t = { where : string; what : string }
+
+exception Invalid_config of t
+
+let fail ~where what = raise (Invalid_config { where; what })
+let to_string { where; what } = where ^ ": " ^ what
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_config t -> Some ("Invalid_config: " ^ to_string t)
+    | _ -> None)

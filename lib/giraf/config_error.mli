@@ -1,0 +1,22 @@
+(** Structured configuration errors.
+
+    Every runner validates its configuration before executing and rejects
+    bad inputs with {!Invalid_config} — a structured error carrying the
+    rejecting component and a human-readable reason — instead of ad-hoc
+    [invalid_arg] strings or silent misbehavior. The CLI catches it at the
+    top level and prints [to_string]. *)
+
+type t = {
+  where : string;  (** The rejecting component, e.g. ["Runner.default_config"]. *)
+  what : string;  (** What was wrong, e.g. ["horizon must be >= 1 (got 0)"]. *)
+}
+
+exception Invalid_config of t
+
+val fail : where:string -> string -> 'a
+(** [fail ~where what] raises {!Invalid_config}. *)
+
+val to_string : t -> string
+(** ["<where>: <what>"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -9,12 +9,23 @@ type config = {
   stop_on_decision : bool;
 }
 
+let validate ~where config =
+  let n = Array.length config.inputs in
+  if n < 1 then Config_error.fail ~where "inputs must be non-empty";
+  if config.horizon < 1 then
+    Config_error.fail ~where
+      (Printf.sprintf "horizon must be >= 1 (got %d)" config.horizon);
+  if Crash.n config.crash <> n then
+    Config_error.fail ~where
+      (Printf.sprintf "inputs/crash size mismatch (%d inputs, crash schedule for %d)"
+         n (Crash.n config.crash))
+
 let default_config ?(horizon = 200) ?(stop_on_decision = true) ?(seed = 42) ~inputs
     ~crash adversary =
   let inputs = Array.of_list inputs in
-  if Array.length inputs <> Crash.n crash then
-    invalid_arg "Runner.default_config: inputs/crash size mismatch";
-  { inputs; crash; adversary; horizon; seed; stop_on_decision }
+  let config = { inputs; crash; adversary; horizon; seed; stop_on_decision } in
+  validate ~where:"Runner.default_config" config;
+  config
 
 type outcome = {
   trace : Trace.t;
@@ -65,6 +76,7 @@ module Make (A : Intf.ALGORITHM) = struct
     let m_mailbox = R.histogram recorder "runner.mailbox_pending" in
     let t_compute = R.histogram recorder "phase.compute_us" in
     let t_deliver = R.histogram recorder "phase.deliver_us" in
+    validate ~where:"Runner.run" config;
     let n = Array.length config.inputs in
     let rng = Rng.make config.seed in
     let crash_rng = Rng.split rng in

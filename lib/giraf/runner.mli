@@ -22,7 +22,11 @@ type config = {
 val default_config :
   ?horizon:int -> ?stop_on_decision:bool -> ?seed:int ->
   inputs:Anon_kernel.Value.t list -> crash:Crash.t -> Adversary.t -> config
-(** [horizon] defaults to 200 rounds, [seed] to 42. *)
+(** [horizon] defaults to 200 rounds, [seed] to 42.
+
+    @raise Config_error.Invalid_config on empty [inputs], [horizon < 1],
+    or an inputs/crash size mismatch. [run] re-validates, so directly
+    constructed configs are rejected too. *)
 
 type outcome = {
   trace : Trace.t;

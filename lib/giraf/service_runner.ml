@@ -76,8 +76,15 @@ module Make (S : Intf.SERVICE) = struct
     let t_compute = R.histogram recorder "phase.compute_us" in
     let t_deliver = R.histogram recorder "phase.deliver_us" in
     let n = config.n in
+    let where = "Service_runner.run" in
+    if n < 1 then Config_error.fail ~where "n must be >= 1";
+    if config.horizon < 1 then
+      Config_error.fail ~where
+        (Printf.sprintf "horizon must be >= 1 (got %d)" config.horizon);
     if Crash.n config.crash <> n then
-      invalid_arg "Service_runner.run: crash schedule size mismatch";
+      Config_error.fail ~where
+        (Printf.sprintf "crash schedule size mismatch (n = %d, crash schedule for %d)"
+           n (Crash.n config.crash));
     R.emit recorder (fun () -> E.Run_start { algo = S.name; n; seed = config.seed });
     let rng = Rng.make config.seed in
     let crash_rng = Rng.split rng in

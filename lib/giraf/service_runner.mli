@@ -61,5 +61,8 @@ module Make (S : Intf.SERVICE) : sig
   (** [recorder] (default {!Anon_obs.Recorder.off}) receives weak-set
       operation events ([Ws_add]/[Ws_add_done]/[Ws_get]) alongside the
       generic delivery/crash stream, plus [service.*] and [phase.*]
-      metrics; see DESIGN.md §7. *)
+      metrics; see DESIGN.md §7.
+
+      @raise Config_error.Invalid_config on [n < 1], [horizon < 1], or a
+      crash schedule sized for a different [n]. *)
 end

@@ -20,12 +20,28 @@ type config = {
   stop_on_decision : bool;
 }
 
+let validate ~where config =
+  let n = List.length config.inputs in
+  if n < 1 then Config_error.fail ~where "inputs must be non-empty";
+  if config.horizon_ticks < 1 then
+    Config_error.fail ~where
+      (Printf.sprintf "horizon_ticks must be >= 1 (got %d)" config.horizon_ticks);
+  if config.max_rounds < 1 then
+    Config_error.fail ~where
+      (Printf.sprintf "max_rounds must be >= 1 (got %d)" config.max_rounds);
+  if Crash.n config.crash <> n then
+    Config_error.fail ~where
+      (Printf.sprintf "inputs/crash size mismatch (%d inputs, crash schedule for %d)"
+         n (Crash.n config.crash))
+
 let default_config ?(horizon_ticks = 2_000) ?(max_rounds = 400) ?(seed = 42)
     ?(pace = fixed_pace 1) ?(delay = fixed_delay 1) ?(stop_on_decision = true)
     ~inputs ~crash () =
-  if List.length inputs <> Crash.n crash then
-    invalid_arg "Skew_runner.default_config: inputs/crash size mismatch";
-  { inputs; crash; horizon_ticks; max_rounds; seed; pace; delay; stop_on_decision }
+  let config =
+    { inputs; crash; horizon_ticks; max_rounds; seed; pace; delay; stop_on_decision }
+  in
+  validate ~where:"Skew_runner.default_config" config;
+  config
 
 type outcome = {
   trace : Trace.t;
@@ -73,6 +89,7 @@ module Make (A : Intf.ALGORITHM) = struct
     let m_ticks = R.gauge recorder "skew.ticks" in
     let m_msg_size = R.histogram recorder "skew.msg_size" in
     let t_compute = R.histogram recorder "phase.compute_us" in
+    validate ~where:"Skew_runner.run" config;
     let inputs = Array.of_list config.inputs in
     let n = Array.length inputs in
     R.emit recorder (fun () ->

@@ -41,6 +41,9 @@ val default_config :
   ?horizon_ticks:int -> ?max_rounds:int -> ?seed:int -> ?pace:pace_fn ->
   ?delay:delay_fn -> ?stop_on_decision:bool ->
   inputs:Anon_kernel.Value.t list -> crash:Crash.t -> unit -> config
+(** @raise Config_error.Invalid_config on empty [inputs],
+    [horizon_ticks < 1], [max_rounds < 1], or an inputs/crash size
+    mismatch. [run] re-validates directly constructed configs. *)
 
 type outcome = {
   trace : Trace.t;

@@ -1,0 +1,6 @@
+(** Chaos-layer experiments. *)
+
+val t13 : unit -> Table.t
+(** T13 — fuzzing coverage: admissible fault-injected campaigns over every
+    algorithm find zero violations; an armed inadmissible campaign is
+    caught by the checker and greedily shrunk. *)

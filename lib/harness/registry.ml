@@ -30,6 +30,8 @@ let all =
       build = Exp_weakset.t11 };
     { id = "T12"; title = "Unsynchronized rounds (skewed runner, relay semantics)";
       build = Exp_skew.t12 };
+    { id = "T13"; title = "Fuzzing coverage: random configs vs the checker";
+      build = Exp_chaos.t13 };
     { id = "F1"; title = "Decision-round distribution";
       build = Exp_consensus.f1 };
     { id = "F2"; title = "ESS message growth per round";

@@ -13,6 +13,7 @@ type t =
   | Ws_get of { pid : int; round : int; size : int }
   | Shm_step of { step : int; pid : int }
   | Shm_done of { pid : int; op_index : int; invoked : int; completed : int }
+  | Fault of { kind : string; round : int; sender : int; receiver : int }
 
 let to_json ev =
   let obj tag fields = Json.Obj (("ev", Json.String tag) :: fields) in
@@ -49,6 +50,10 @@ let to_json ev =
     obj "shm_done"
       [ int "pid" pid; int "op_index" op_index; int "invoked" invoked;
         int "completed" completed ]
+  | Fault { kind; round; sender; receiver } ->
+    obj "fault"
+      [ ("kind", Json.String kind); int "round" round; int "sender" sender;
+        int "receiver" receiver ]
 
 let of_json j =
   let ( let* ) o f = match o with Some x -> f x | None -> Error "missing field" in
@@ -127,6 +132,12 @@ let of_json j =
       let* invoked = int "invoked" in
       let* completed = int "completed" in
       Ok (Shm_done { pid; op_index; invoked; completed })
+    | "fault" ->
+      let* kind = str "kind" in
+      let* round = int "round" in
+      let* sender = int "sender" in
+      let* receiver = int "receiver" in
+      Ok (Fault { kind; round; sender; receiver })
     | tag -> Error ("unknown event tag: " ^ tag))
 
 let equal a b = a = b

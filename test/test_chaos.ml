@@ -1,0 +1,228 @@
+(* Tests for the chaos layer: fault-plan admissibility, the checker
+   catching deliberately inadmissible schedules, the fuzzer's shrinking,
+   and the JSON repro/replay loop. *)
+
+open Anon_kernel
+module G = Anon_giraf
+module Ch = Anon_chaos
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- crash-schedule shapes -------------------------------------------------- *)
+
+let test_burst_crashes () =
+  let rng = Rng.make 11 in
+  let evs = Ch.Fault.burst_crashes ~n:8 ~failures:5 ~at:10 ~width:3 rng in
+  check_int "count" 5 (List.length evs);
+  let pids = List.map (fun (ev : G.Crash.event) -> ev.pid) evs in
+  check_int "distinct pids" 5 (List.length (List.sort_uniq compare pids));
+  List.iter
+    (fun (ev : G.Crash.event) ->
+      check_bool "round in window" true (ev.round >= 10 && ev.round <= 13))
+    evs;
+  (* a valid schedule for Crash.of_events *)
+  ignore (G.Crash.of_events ~n:8 evs)
+
+let test_cascade_crashes () =
+  let rng = Rng.make 12 in
+  let evs = Ch.Fault.cascade_crashes ~n:6 ~failures:4 ~start:3 ~gap:5 rng in
+  check_int "count" 4 (List.length evs);
+  let rounds = List.map (fun (ev : G.Crash.event) -> ev.round) evs in
+  Alcotest.(check (list int)) "arithmetic rounds" [ 3; 8; 13; 18 ] rounds;
+  Alcotest.check_raises "too many failures"
+    (Invalid_argument "Fault: 7 failures among 6 processes") (fun () ->
+      ignore (Ch.Fault.cascade_crashes ~n:6 ~failures:7 ~start:1 ~gap:1 rng))
+
+(* --- admissible wrapping ---------------------------------------------------- *)
+
+(* Heavy admissible fault intensities on every algorithm: the wrapped
+   adversary must still satisfy its declared environment and the
+   algorithms must stay correct and live. *)
+let heavy_faults =
+  {
+    Ch.Fault.duplicate = 0.5;
+    extra_delay = 0.6;
+    max_extra = 4;
+    reorder = 0.6;
+    inadmissible = None;
+  }
+
+let base_case algo : Ch.Scenario.t =
+  {
+    algo;
+    n = 4;
+    gst = 6;
+    rotation = G.Adversary.Round_robin;
+    noise = 0.1;
+    horizon =
+      (match algo with
+      | Ch.Scenario.Es -> 80
+      | Ch.Scenario.Ess -> 160
+      | Ch.Scenario.Weak_set -> 240
+      | Ch.Scenario.Register -> 460);
+    seed = 5;
+    crashes = [];
+    ops_per_client = 4;
+    faults = heavy_faults;
+  }
+
+let test_wrap_admissible_all_algos () =
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun seed ->
+          let case = { (base_case algo) with seed } in
+          match Ch.Fuzz.run_case case with
+          | [] -> ()
+          | vs ->
+            Alcotest.failf "%s seed %d under heavy admissible faults: %s"
+              (Ch.Scenario.algo_name algo) seed
+              (String.concat "; " (Ch.Fuzz.violation_strings vs)))
+        [ 5; 6; 7 ])
+    Ch.Scenario.all_algos
+
+let test_wrap_noop_identity () =
+  (* A no-op spec returns the adversary unchanged — same plans, no rename. *)
+  let adv = G.Adversary.ms () in
+  let wrapped = Ch.Fault.wrap Ch.Fault.none adv in
+  Alcotest.(check string) "same name" (G.Adversary.name adv) (G.Adversary.name wrapped)
+
+let test_wrap_records_faults () =
+  let recorder = Anon_obs.Recorder.create ~metrics:(Anon_obs.Metrics.create ()) () in
+  let case = base_case Ch.Scenario.Es in
+  let rng = Rng.make case.seed in
+  let inputs = Rng.shuffle rng (List.init case.n (fun i -> i + 1)) in
+  let config =
+    G.Runner.default_config ~horizon:case.horizon ~seed:case.seed ~inputs
+      ~crash:(Ch.Scenario.crash case)
+      (Ch.Scenario.adversary ~recorder case)
+  in
+  let module R = G.Runner.Make (Anon_consensus.Es_consensus) in
+  ignore (R.run ~recorder config);
+  let snap = Anon_obs.Metrics.snapshot (Anon_obs.Recorder.metrics recorder) in
+  let counter name = Option.value ~default:0 (List.assoc_opt name snap.counters) in
+  check_bool "duplicates recorded" true (counter "fault.duplicates" > 0);
+  check_bool "extra delays recorded" true (counter "fault.extra_delays" > 0)
+
+(* --- inadmissible modes are caught ------------------------------------------ *)
+
+let has_tag want vs =
+  List.exists
+    (fun v ->
+      match (want, v) with
+      | `No_source, G.Checker.No_source _ -> true
+      | `Not_timely, G.Checker.Source_not_timely _ -> true
+      | `Unstable, G.Checker.Unstable_source _ -> true
+      | _ -> false)
+    vs
+
+let test_drop_obligated_detected () =
+  let case =
+    {
+      (base_case Ch.Scenario.Es) with
+      faults =
+        { Ch.Fault.none with inadmissible = Some (Ch.Fault.Drop_obligated { from_round = 2 }) };
+    }
+  in
+  let vs = Ch.Fuzz.run_case case in
+  check_bool "env violation found" true
+    (has_tag `No_source vs || has_tag `Not_timely vs)
+
+let test_unstable_source_detected () =
+  let case =
+    {
+      (base_case Ch.Scenario.Ess) with
+      faults =
+        { Ch.Fault.none with inadmissible = Some (Ch.Fault.Unstable_source { from_round = 2 }) };
+    }
+  in
+  let vs = Ch.Fuzz.run_case case in
+  check_bool "stability violation found" true (has_tag `Unstable vs)
+
+(* --- scenario JSON ------------------------------------------------------------ *)
+
+let test_scenario_json_roundtrip () =
+  let rng = Rng.make 99 in
+  for i = 1 to 50 do
+    let case = Ch.Scenario.sample ~inadmissible:(i mod 3 = 0) rng in
+    let encoded = Anon_obs.Json.to_string (Ch.Scenario.to_json case) in
+    match Anon_obs.Json.of_string encoded with
+    | Error e -> Alcotest.failf "case %d: parse error %s" i e
+    | Ok j -> (
+      match Ch.Scenario.of_json j with
+      | Error e -> Alcotest.failf "case %d: decode error %s" i e
+      | Ok case' -> check_bool "roundtrip equal" true (case = case'))
+  done
+
+(* --- campaigns ----------------------------------------------------------------- *)
+
+(* Acceptance: 200 admissible runs at seed 42 find nothing. *)
+let test_campaign_admissible_clean () =
+  let report = Ch.Fuzz.campaign ~runs:200 ~seed:42 () in
+  check_int "all runs executed" 200 report.runs_done;
+  check_bool "no violations" true (report.finding = None)
+
+(* Acceptance: an inadmissible campaign finds a violation, shrinks it to a
+   smaller-or-equal case, writes a JSON repro, and replaying the repro
+   reproduces the identical violation. *)
+let test_campaign_inadmissible_repro_replay () =
+  let report = Ch.Fuzz.campaign ~inadmissible:true ~runs:50 ~seed:1 () in
+  match report.finding with
+  | None -> Alcotest.fail "inadmissible campaign found nothing"
+  | Some f ->
+    check_bool "violations nonempty" true (f.violations <> []);
+    check_bool "shrink explored candidates" true (f.explored > 0);
+    check_bool "n shrunk or equal" true (f.case.n <= f.original.n);
+    check_bool "horizon shrunk or equal" true (f.case.horizon <= f.original.horizon);
+    check_bool "crashes shrunk or equal" true
+      (List.length f.case.crashes <= List.length f.original.crashes);
+    let path = Filename.temp_file "anon_chaos_repro" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Ch.Fuzz.write_repro ~path f;
+        match Ch.Fuzz.replay ~path with
+        | Error e -> Alcotest.failf "replay failed: %s" e
+        | Ok r ->
+          check_bool "replayed case equals shrunk case" true (r.case = f.case);
+          Alcotest.(check (list string))
+            "identical violations"
+            (Ch.Fuzz.violation_strings f.violations)
+            (Ch.Fuzz.violation_strings r.actual);
+          check_bool "matches" true r.matches)
+
+let test_replay_rejects_garbage () =
+  (match Ch.Fuzz.replay ~path:"/nonexistent/repro.json" with
+  | Ok _ -> Alcotest.fail "expected error on missing file"
+  | Error _ -> ());
+  match Ch.Fuzz.replay_json (Anon_obs.Json.Obj []) with
+  | Ok _ -> Alcotest.fail "expected error on empty object"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "burst crashes" `Quick test_burst_crashes;
+          Alcotest.test_case "cascade crashes" `Quick test_cascade_crashes;
+          Alcotest.test_case "wrap keeps admissibility" `Quick
+            test_wrap_admissible_all_algos;
+          Alcotest.test_case "noop wrap is identity" `Quick test_wrap_noop_identity;
+          Alcotest.test_case "faults recorded" `Quick test_wrap_records_faults;
+          Alcotest.test_case "drop-obligated caught" `Quick test_drop_obligated_detected;
+          Alcotest.test_case "unstable-source caught" `Quick
+            test_unstable_source_detected;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "scenario json roundtrip" `Quick
+            test_scenario_json_roundtrip;
+          Alcotest.test_case "admissible campaign clean" `Quick
+            test_campaign_admissible_clean;
+          Alcotest.test_case "inadmissible repro + replay" `Quick
+            test_campaign_inadmissible_repro_replay;
+          Alcotest.test_case "replay rejects garbage" `Quick test_replay_rejects_garbage;
+        ] );
+    ]

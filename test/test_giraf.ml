@@ -294,6 +294,47 @@ let test_runner_horizon () =
   check_int "runs to horizon" 17 out.rounds_executed;
   check_bool "nobody decided" true (out.decisions = [])
 
+(* --- Config validation ----------------------------------------------------- *)
+
+let invalid where what = G.Config_error.Invalid_config { G.Config_error.where; what }
+
+let test_runner_config_validation () =
+  Alcotest.check_raises "empty inputs"
+    (invalid "Runner.default_config" "inputs must be non-empty") (fun () ->
+      ignore (G.Runner.default_config ~inputs:[] ~crash:(G.Crash.none ~n:0)
+                (G.Adversary.sync ())));
+  Alcotest.check_raises "horizon < 1"
+    (invalid "Runner.default_config" "horizon must be >= 1 (got 0)") (fun () ->
+      ignore (G.Runner.default_config ~horizon:0 ~inputs:[ 1; 2 ]
+                ~crash:(G.Crash.none ~n:2) (G.Adversary.sync ())));
+  Alcotest.check_raises "crash size mismatch"
+    (invalid "Runner.default_config"
+       "inputs/crash size mismatch (3 inputs, crash schedule for 2)") (fun () ->
+      ignore (G.Runner.default_config ~inputs:[ 1; 2; 3 ] ~crash:(G.Crash.none ~n:2)
+                (G.Adversary.sync ())));
+  (* [run] re-validates directly constructed configs. *)
+  let bad =
+    { (probe_config ()) with G.Runner.horizon = -5 }
+  in
+  Alcotest.check_raises "run validates too"
+    (invalid "Runner.run" "horizon must be >= 1 (got -5)") (fun () ->
+      ignore (Probe_runner.run bad))
+
+let test_service_runner_config_validation () =
+  let module W = G.Service_runner.Make (Anon_consensus.Weak_set_ms) in
+  let config n crash horizon =
+    { G.Service_runner.n; crash; adversary = G.Adversary.ms (); horizon; seed = 1 }
+  in
+  Alcotest.check_raises "n < 1" (invalid "Service_runner.run" "n must be >= 1")
+    (fun () -> ignore (W.run (config 0 (G.Crash.none ~n:0) 10) ~workload:[]));
+  Alcotest.check_raises "horizon < 1"
+    (invalid "Service_runner.run" "horizon must be >= 1 (got 0)") (fun () ->
+      ignore (W.run (config 2 (G.Crash.none ~n:2) 0) ~workload:[]));
+  Alcotest.check_raises "crash size mismatch"
+    (invalid "Service_runner.run"
+       "crash schedule size mismatch (n = 3, crash schedule for 2)") (fun () ->
+      ignore (W.run (config 3 (G.Crash.none ~n:2) 10) ~workload:[]))
+
 (* --- Env / Trace / Dispatch ----------------------------------------------------- *)
 
 let test_env_pp_and_gst () =
@@ -501,6 +542,155 @@ let test_checker_weak_set () =
   in
   check_int "phantom value" 1 (List.length (G.Checker.check_weak_set phantom))
 
+(* --- Negative checker tests: exact violation constructors -------------------- *)
+
+let test_checker_exact_agreement () =
+  (* Hand-built trace with a seeded disagreement: the checker must name the
+     exact pair and values, not merely count a violation. *)
+  let tr = mk_trace ~rounds:[ decided_round ~round:4 ~decided:[ (0, 1); (1, 2) ] ] () in
+  match G.Checker.check_consensus ~expect_termination:false tr with
+  | [ G.Checker.Agreement_violation { p1 = 0; v1 = 1; p2 = 1; v2 = 2 } ] -> ()
+  | vs ->
+    Alcotest.failf "expected Agreement_violation{p0:1 vs p1:2}, got [%s]"
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" G.Checker.pp_violation) vs))
+
+let test_checker_exact_no_source () =
+  (* Round 2 has senders but nobody's timely set covers the obligated
+     processes: exactly [No_source { round = 2 }]. *)
+  let ok =
+    base_round ~round:1 ~senders:[ 0; 1; 2 ] ~obligated:[ 0; 1; 2 ]
+      ~timely:[ (1, [ 0; 2 ]) ]
+  in
+  let sourceless =
+    base_round ~round:2 ~senders:[ 0; 1; 2 ] ~obligated:[ 0; 1; 2 ]
+      ~timely:[ (0, [ 1 ]); (2, [ 1 ]) ]
+  in
+  match G.Checker.check_env (mk_trace ~rounds:[ ok; sourceless ] ()) with
+  | [ G.Checker.No_source { round = 2 } ] -> ()
+  | vs ->
+    Alcotest.failf "expected No_source{round=2}, got [%s]"
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" G.Checker.pp_violation) vs))
+
+let test_checker_exact_lost_add () =
+  (* An add completed at time 3 that a later correct get misses must be
+     reported as exactly that lost add. *)
+  let ops =
+    [
+      G.Checker.Ws_add
+        { add_client = 0; add_value = 7; add_invoked = 1; add_completed = Some 3 };
+      G.Checker.Ws_get
+        {
+          get_client = 2;
+          get_result = Value.Set.empty;
+          get_invoked = 6;
+          get_completed = 8;
+        };
+    ]
+  in
+  match G.Checker.check_weak_set ~correct:[ 0; 1; 2 ] ops with
+  | [ G.Checker.Weak_set_lost_add { value = 7; get_client = 2; get_invoked = 6 } ] -> ()
+  | vs ->
+    Alcotest.failf "expected Weak_set_lost_add{7, client 2, at 6}, got [%s]"
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" G.Checker.pp_violation) vs))
+
+(* --- Property: every built-in adversary honours its own Env.t ----------------- *)
+
+(* Feed each adversary 200 rounds of contexts from a random crash schedule
+   and validate the emitted plans directly against [Checker.check_env] on
+   the reconstructed trace — the adversaries and the checker are
+   independent implementations of §2.3, so this cross-checks both. *)
+let test_adversaries_satisfy_own_env () =
+  let n = 5 in
+  let gst = 50 in
+  let noises = [ 0.0; 0.3 ] in
+  let rotations =
+    [ G.Adversary.Round_robin; G.Adversary.Random_source; G.Adversary.Pinned 0 ]
+  in
+  let adversaries =
+    [ G.Adversary.sync (); G.Adversary.es_blocking ~gst ();
+      G.Adversary.ess_blocking ~gst () ]
+    @ List.concat_map
+        (fun noise ->
+          G.Adversary.es ~gst ~noise ()
+          :: List.concat_map
+               (fun rotation ->
+                 [ G.Adversary.ms ~rotation ~noise ();
+                   G.Adversary.ess ~gst ~rotation ~noise () ])
+               rotations)
+        noises
+  in
+  List.iteri
+    (fun i adv ->
+      let rng = Rng.make (7000 + i) in
+      (* Crashes only on pids >= 1, so [Pinned 0] stays a correct source. *)
+      let failures = Rng.int_in rng 1 (n - 2) in
+      let crash_events =
+        Rng.shuffle rng (List.init (n - 1) (fun p -> p + 1))
+        |> List.filteri (fun j _ -> j < failures)
+        |> List.map (fun pid ->
+               { G.Crash.pid; round = Rng.int_in rng 1 150;
+                 broadcast = G.Crash.Broadcast_all })
+      in
+      let crash = G.Crash.of_events ~n crash_events in
+      let correct = G.Crash.correct crash in
+      let rounds =
+        List.init 200 (fun idx ->
+            let round = idx + 1 in
+            let live =
+              List.filter
+                (fun p ->
+                  match G.Crash.crash_round crash p with
+                  | None -> true
+                  | Some r -> r > round)
+                (List.init n Fun.id)
+            in
+            let c = ctx ~round ~senders:live ~obligated:live ~correct ~alive:live in
+            let plan = G.Adversary.plan adv c rng in
+            List.iter
+              (fun (_, ds) ->
+                List.iter
+                  (fun (d : G.Adversary.delivery) ->
+                    if d.arrival < round then
+                      Alcotest.failf "%s: arrival %d before round %d"
+                        (G.Adversary.name adv) d.arrival round)
+                  ds)
+              plan.deliveries;
+            let timely =
+              List.map
+                (fun (s, ds) ->
+                  ( s,
+                    List.filter_map
+                      (fun (d : G.Adversary.delivery) ->
+                        if d.arrival = round then Some d.receiver else None)
+                      ds ))
+                plan.deliveries
+            in
+            {
+              G.Trace.round;
+              senders = live;
+              crashing = [];
+              source = plan.source;
+              timely;
+              obligated = live;
+              decided = [];
+              msg_sizes = [];
+            })
+      in
+      let trace =
+        { G.Trace.n; inputs = Array.make n 1; crash; env = G.Adversary.env adv;
+          rounds }
+      in
+      match G.Checker.check_env trace with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.failf "%s violates its own %s: %s" (G.Adversary.name adv)
+          (G.Env.to_string (G.Adversary.env adv))
+          (Format.asprintf "%a" G.Checker.pp_violation v))
+    adversaries
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "giraf"
@@ -556,5 +746,21 @@ let () =
           Alcotest.test_case "ess handover" `Quick test_checker_ess_handover;
           Alcotest.test_case "consensus" `Quick test_checker_consensus;
           Alcotest.test_case "weak set" `Quick test_checker_weak_set;
+          Alcotest.test_case "exact agreement violation" `Quick
+            test_checker_exact_agreement;
+          Alcotest.test_case "exact no source" `Quick test_checker_exact_no_source;
+          Alcotest.test_case "exact lost add" `Quick test_checker_exact_lost_add;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "runner validation" `Quick
+            test_runner_config_validation;
+          Alcotest.test_case "service runner validation" `Quick
+            test_service_runner_config_validation;
+        ] );
+      ( "env-property",
+        [
+          Alcotest.test_case "adversaries satisfy own env" `Quick
+            test_adversaries_satisfy_own_env;
         ] );
     ]

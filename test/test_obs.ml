@@ -143,6 +143,8 @@ let all_events =
     Event.Ws_get { pid = 2; round = 4; size = 3 };
     Event.Shm_step { step = 17; pid = 1 };
     Event.Shm_done { pid = 1; op_index = 2; invoked = 10; completed = 17 };
+    Event.Fault { kind = "duplicate"; round = 3; sender = 1; receiver = 2 };
+    Event.Fault { kind = "drop_obligated"; round = 5; sender = 0; receiver = -1 };
   ]
 
 let test_event_roundtrip () =

@@ -161,6 +161,35 @@ let prop_skew_validity =
       in
       validity_ok (Skew.run config) && validity_ok (Skew_ess.run config))
 
+(* --- Config validation ------------------------------------------------------ *)
+
+let invalid where what =
+  G.Config_error.Invalid_config { G.Config_error.where; what }
+
+let test_config_validation () =
+  let raises msg exn f = Alcotest.check_raises msg exn (fun () -> ignore (f ())) in
+  raises "empty inputs"
+    (invalid "Skew_runner.default_config" "inputs must be non-empty") (fun () ->
+      G.Skew_runner.default_config ~inputs:[] ~crash:(G.Crash.none ~n:0) ());
+  raises "bad horizon_ticks"
+    (invalid "Skew_runner.default_config" "horizon_ticks must be >= 1 (got 0)")
+    (fun () ->
+      G.Skew_runner.default_config ~horizon_ticks:0
+        ~inputs:[ 1; 2 ] ~crash:(G.Crash.none ~n:2) ());
+  raises "bad max_rounds"
+    (invalid "Skew_runner.default_config" "max_rounds must be >= 1 (got -1)")
+    (fun () ->
+      G.Skew_runner.default_config ~max_rounds:(-1)
+        ~inputs:[ 1; 2 ] ~crash:(G.Crash.none ~n:2) ());
+  raises "crash size mismatch"
+    (invalid "Skew_runner.default_config"
+       "inputs/crash size mismatch (3 inputs, crash schedule for 2)") (fun () ->
+      G.Skew_runner.default_config ~inputs:[ 1; 2; 3 ] ~crash:(G.Crash.none ~n:2) ());
+  (* [run] re-validates, so a config mutated after construction is rejected. *)
+  raises "run re-validates"
+    (invalid "Skew_runner.run" "max_rounds must be >= 1 (got 0)") (fun () ->
+      Skew.run { (base ()) with G.Skew_runner.max_rounds = 0 })
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "skew-runner"
@@ -180,4 +209,6 @@ let () =
             test_no_source_obligation_splits_agreement;
           qc prop_skew_validity;
         ] );
+      ( "config",
+        [ Alcotest.test_case "validation" `Quick test_config_validation ] );
     ]
