@@ -2,12 +2,24 @@
 
    Part 1 regenerates every experiment table of EXPERIMENTS.md (the
    paper's evaluation, reconstructed — see DESIGN.md §4): run with no
-   arguments to get all of them, or pass experiment ids.
+   arguments to get all of them, or pass experiment ids. Seed batches
+   inside the experiments fan out on the execution pool (DESIGN.md §9);
+   [--jobs N] sizes it (default: autodetect). Tables listed with
+   [--compare ID] (default: T1) are additionally regenerated at
+   [--jobs 1] to measure the pool's wall-clock speedup.
 
-   Part 2 runs Bechamel micro-benchmarks over the hot paths (history
+   Part 2 runs the pool-vs-sequential macro-benchmark: one fixed ES
+   batch executed at jobs ∈ {1,2,4,8}, reporting ns per run and the
+   exec.* pool metrics.
+
+   Part 3 runs Bechamel micro-benchmarks over the hot paths (history
    interning, counter-table merging, one compute step of each algorithm)
    and whole-run macro-benchmarks (one per experiment family), reporting
-   nanoseconds per run. Pass [--no-bechamel] to skip it. *)
+   nanoseconds per run. Pass [--no-bechamel] to skip it.
+
+   Everything measured is persisted as machine-readable JSON
+   ([--out FILE], default BENCH_PR3.json) so bench runs leave a
+   comparable baseline behind. *)
 
 open Bechamel
 open Toolkit
@@ -16,10 +28,25 @@ module G = Anon_giraf
 module C = Anon_consensus
 module H = Anon_harness
 module O = Anon_obs
+module X = Anon_exec
 
 (* --- part 1: the experiment tables ---------------------------------------- *)
 
-let run_experiments ids =
+type exp_timing = {
+  exp_id : string;
+  parallel_s : float;
+  sequential_s : float option;  (* only for --compare ids *)
+}
+
+let time_table (e : H.Registry.experiment) ~jobs ~render =
+  X.Pool.default_jobs := jobs;
+  let t0 = O.Clock.now_ns () in
+  let table = e.build () in
+  let elapsed = O.Clock.ns_to_s (O.Clock.since_ns t0) in
+  if render then H.Table.render Format.std_formatter table;
+  elapsed
+
+let run_experiments ids ~jobs ~compare_ids =
   let experiments =
     match ids with
     | [] -> H.Registry.all
@@ -31,14 +58,82 @@ let run_experiments ids =
           | None -> failwith ("unknown experiment id: " ^ id))
         ids
   in
-  Format.printf "=== Experiment tables (paper claims, reconstructed evaluation) ===@.";
-  List.iter
+  Format.printf
+    "=== Experiment tables (paper claims, reconstructed evaluation; jobs=%d) ===@."
+    jobs;
+  List.map
     (fun (e : H.Registry.experiment) ->
-      let t0 = O.Clock.now_ns () in
-      let table = e.build () in
-      H.Table.render Format.std_formatter table;
-      Format.printf "   [%.2fs]@." (O.Clock.ns_to_s (O.Clock.since_ns t0)))
+      let parallel_s = time_table e ~jobs ~render:true in
+      Format.printf "   [%.2fs]@." parallel_s;
+      let sequential_s =
+        if jobs > 1 && List.exists (fun id -> String.lowercase_ascii id = String.lowercase_ascii e.id) compare_ids
+        then begin
+          let s = time_table e ~jobs:1 ~render:false in
+          Format.printf "   [%s sequential: %.2fs — pool speedup %.2fx]@." e.id s
+            (s /. Float.max 1e-9 parallel_s);
+          Some s
+        end
+        else None
+      in
+      X.Pool.default_jobs := jobs;
+      { exp_id = e.id; parallel_s; sequential_s })
     experiments
+
+(* --- part 2: pool vs sequential macro-benchmark ---------------------------- *)
+
+(* A fixed, non-trivial batch: 32 seeded ES runs (n=8, blocking gst=10,
+   horizon 100). Identical output at every jobs value — only wall time
+   moves. *)
+let pool_batch ~jobs () =
+  let module B = H.Runs.Of (C.Es_consensus) in
+  B.batch ~horizon:100 ~jobs
+    ~inputs:(fun rng -> H.Runs.distinct_inputs ~n:8 rng)
+    ~crash:(fun _ -> G.Crash.none ~n:8)
+    ~adversary:(fun _ -> G.Adversary.es_blocking ~gst:10 ())
+    ~seeds:(H.Runs.seeds 32) ()
+
+type pool_timing = { pool_jobs : int; ns_per_run : float; pool_speedup : float }
+
+let run_pool_bench () =
+  Format.printf "@.=== Pool vs sequential (32-seed ES batch, best of 3) ===@.";
+  let runs = 32 in
+  let measure jobs =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = O.Clock.now_ns () in
+      ignore (pool_batch ~jobs () : H.Runs.batch);
+      let ns = Int64.to_float (O.Clock.since_ns t0) in
+      if ns < !best then best := ns
+    done;
+    !best /. float_of_int runs
+  in
+  let baseline = measure 1 in
+  List.map
+    (fun jobs ->
+      let ns = if jobs = 1 then baseline else measure jobs in
+      let speedup = baseline /. ns in
+      Format.printf "  jobs=%d %10.2f µs/run  speedup %.2fx@." jobs (ns /. 1e3)
+        speedup;
+      { pool_jobs = jobs; ns_per_run = ns; pool_speedup = speedup })
+    [ 1; 2; 4; 8 ]
+
+(* The exec.* metrics surface, demonstrated on one parallel fan-out. *)
+let show_exec_metrics ~jobs =
+  let registry = O.Metrics.create () in
+  let recorder = O.Recorder.create ~metrics:registry () in
+  let module B = H.Runs.Of (C.Es_consensus) in
+  ignore
+    (X.Pool.map ~jobs ~recorder
+       (fun seed ->
+         B.batch ~horizon:100 ~jobs:1
+           ~inputs:(fun rng -> H.Runs.distinct_inputs ~n:8 rng)
+           ~crash:(fun _ -> G.Crash.none ~n:8)
+           ~adversary:(fun _ -> G.Adversary.es_blocking ~gst:10 ())
+           ~seeds:[ seed ] ())
+       (H.Runs.seeds 16)
+      : H.Runs.batch list);
+  Format.printf "@.=== exec.* pool metrics (16 tasks, jobs=%d) ===@." jobs;
+  O.Metrics.render Format.std_formatter (O.Metrics.snapshot registry)
 
 (* --- part 2: bechamel ------------------------------------------------------- *)
 
@@ -236,6 +331,7 @@ let all_benches =
       bench_checker;
     ]
 
+(* Returns the (name, ns) rows so the JSON baseline can persist them. *)
 let run_bechamel () =
   Format.printf "@.=== Bechamel micro/macro benchmarks (ns per run) ===@.";
   let ols =
@@ -276,7 +372,7 @@ let run_bechamel () =
         else None)
       !rows
   in
-  match find "recorder off" with
+  (match find "recorder off" with
   | None -> ()
   | Some base when base <= 0.0 || Float.is_nan base -> ()
   | Some base ->
@@ -288,12 +384,82 @@ let run_bechamel () =
       | Some _ | None -> ()
     in
     report "metrics" "metrics on";
-    report "metrics + events" "memory sink"
+    report "metrics + events" "memory sink");
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+
+(* --- the persisted baseline ------------------------------------------------- *)
+
+let baseline_json ~jobs ~exp_timings ~pool_timings ~micro =
+  let open O.Json in
+  let experiment_row (t : exp_timing) =
+    Obj
+      (("id", String t.exp_id)
+      :: ("parallel_s", Float t.parallel_s)
+      ::
+      (match t.sequential_s with
+      | None -> []
+      | Some s ->
+        [
+          ("sequential_s", Float s);
+          ("speedup", Float (s /. Float.max 1e-9 t.parallel_s));
+        ]))
+  in
+  let pool_row (t : pool_timing) =
+    Obj
+      [
+        ("jobs", Int t.pool_jobs);
+        ("ns_per_run", Float t.ns_per_run);
+        ("speedup", Float t.pool_speedup);
+      ]
+  in
+  Obj
+    [
+      ("schema", String "anon-bench/1");
+      ("label", String "PR3");
+      ("cores", Int (Domain.recommended_domain_count ()));
+      ("jobs", Int jobs);
+      ("experiments", List (List.map experiment_row exp_timings));
+      ("pool", List (List.map pool_row pool_timings));
+      ( "micro",
+        List
+          (List.map
+             (fun (name, ns) ->
+               Obj [ ("name", String name); ("ns", Float ns) ])
+             micro) );
+    ]
+
+let write_baseline ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (O.Json.to_string json);
+      output_char oc '\n');
+  Format.printf "@.baseline written to %s@." path
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let skip_bechamel = List.mem "--no-bechamel" args in
-  let ids = List.filter (fun a -> a <> "--no-bechamel") args in
-  run_experiments ids;
-  if not skip_bechamel then run_bechamel ();
+  let rec parse args acc =
+    let ids, jobs, out, bechamel, compare_ids = acc in
+    match args with
+    | [] -> (List.rev ids, jobs, out, bechamel, List.rev compare_ids)
+    | "--no-bechamel" :: rest -> parse rest (ids, jobs, out, false, compare_ids)
+    | "--jobs" :: n :: rest ->
+      parse rest (ids, int_of_string n, out, bechamel, compare_ids)
+    | "--out" :: f :: rest -> parse rest (ids, jobs, f, bechamel, compare_ids)
+    | "--compare" :: id :: rest ->
+      parse rest (ids, jobs, out, bechamel, id :: compare_ids)
+    | a :: rest -> parse rest (a :: ids, jobs, out, bechamel, compare_ids)
+  in
+  let ids, jobs, out, bechamel, compare_ids =
+    parse args ([], 0, "BENCH_PR3.json", true, [])
+  in
+  let jobs = X.Pool.resolve ~jobs () in
+  let compare_ids = match compare_ids with [] -> [ "T1" ] | ids -> ids in
+  X.Pool.default_jobs := jobs;
+  let exp_timings = run_experiments ids ~jobs ~compare_ids in
+  let pool_timings = run_pool_bench () in
+  show_exec_metrics ~jobs:(max 2 jobs);
+  let micro = if bechamel then run_bechamel () else [] in
+  write_baseline ~path:out (baseline_json ~jobs ~exp_timings ~pool_timings ~micro);
   Format.printf "@.done.@."

@@ -37,6 +37,23 @@ let horizon_arg ?(default = 300) () =
 let failures_arg =
   Arg.(value & opt int 0 & info [ "failures" ] ~docv:"F" ~doc:"Crashing processes.")
 
+(* One definition for every fan-out subcommand's --jobs. Results are
+   bit-identical for every value (DESIGN.md §9); the flag only buys wall
+   time. *)
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for independent runs: 1 sequential, 0 autodetect \
+                 from the machine, N>1 a fixed pool. Output is identical for \
+                 every value.")
+
+let set_jobs jobs =
+  if jobs < 0 then begin
+    Format.eprintf "anonc: --jobs must be >= 0@.";
+    exit 2
+  end;
+  Anon_exec.Pool.default_jobs := jobs
+
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the full round-by-round trace.")
 
@@ -122,7 +139,10 @@ let report_outcome ~trace (outcome : G.Runner.outcome) =
     (G.Checker.check_consensus ~expect_termination:false outcome.trace)
 
 let run_cmd =
-  let run algo schedule n gst seed horizon failures trace metrics json_trace =
+  let run algo schedule n gst seed horizon failures trace metrics json_trace jobs =
+    (* A single simulation is one task; --jobs is accepted for interface
+       uniformity and to set the pool default for anything that fans out. *)
+    set_jobs jobs;
     let rng = Anon_kernel.Rng.make seed in
     let inputs =
       match schedule with
@@ -151,7 +171,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one consensus simulation.")
     Term.(
       const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg
-      $ horizon_arg () $ failures_arg $ trace_arg $ metrics_arg $ json_trace_arg)
+      $ horizon_arg () $ failures_arg $ trace_arg $ metrics_arg $ json_trace_arg
+      $ jobs_arg)
 
 (* --- weakset -------------------------------------------------------------- *)
 
@@ -265,7 +286,8 @@ let sigma_cmd =
 (* --- metrics --------------------------------------------------------------- *)
 
 let metrics_cmd =
-  let run algo schedule n gst seed horizon failures runs json =
+  let run algo schedule n gst seed horizon failures runs json jobs =
+    set_jobs jobs;
     let batch =
       let inputs rng =
         match schedule with
@@ -310,12 +332,13 @@ let metrics_cmd =
        ~doc:"Run a batch with instrumentation on; print the merged metrics.")
     Term.(
       const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg
-      $ horizon_arg () $ failures_arg $ runs_arg $ json_arg)
+      $ horizon_arg () $ failures_arg $ runs_arg $ json_arg $ jobs_arg)
 
 (* --- fuzz ------------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let run runs seed inadmissible out replay =
+  let run runs seed inadmissible out replay jobs =
+    set_jobs jobs;
     match replay with
     | Some path -> (
       match Ch.Fuzz.replay ~path with
@@ -381,12 +404,14 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Fuzz random configurations against the checker; shrink and save \
              counterexamples.")
-    Term.(const run $ runs_arg $ seed_arg $ inadmissible_arg $ out_arg $ replay_arg)
+    Term.(const run $ runs_arg $ seed_arg $ inadmissible_arg $ out_arg $ replay_arg
+          $ jobs_arg)
 
 (* --- experiment / list ---------------------------------------------------- *)
 
 let experiment_cmd =
-  let run ids csv =
+  let run ids csv jobs =
+    set_jobs jobs;
     let experiments =
       match ids with
       | [] -> H.Registry.all
@@ -410,7 +435,7 @@ let experiment_cmd =
   in
   let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate experiment tables.")
-    Term.(const run $ ids_arg $ csv_arg)
+    Term.(const run $ ids_arg $ csv_arg $ jobs_arg)
 
 let list_cmd =
   let run json =

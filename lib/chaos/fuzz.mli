@@ -10,7 +10,9 @@
 
 val run_case : Scenario.t -> Anon_giraf.Checker.violation list
 (** Execute one case and return every environment + semantic violation the
-    checker finds ([] on a clean run). *)
+    checker finds ([] on a clean run). Runs inside its own kernel interner
+    scope ({!Anon_exec.Pool.isolate}): the verdict is a pure function of
+    the case, whatever ran before in the process. *)
 
 val violation_strings : Anon_giraf.Checker.violation list -> string list
 (** Rendered via {!Anon_giraf.Checker.pp_violation} — the stable form
@@ -33,12 +35,24 @@ val shrink :
 type report = { runs_done : int; finding : finding option }
 
 val campaign :
-  ?algo:Scenario.algo -> ?inadmissible:bool -> runs:int -> seed:int -> unit -> report
+  ?algo:Scenario.algo ->
+  ?inadmissible:bool ->
+  ?jobs:int ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  report
 (** Sample-and-check up to [runs] cases (deterministic in [seed]); stops at
     the first violation, which is returned shrunk. [inadmissible] (default
     [false]) arms a model-violating fault mode in every case — the
     campaign is then expected to find a violation (it validates the
-    checker, not the algorithms). *)
+    checker, not the algorithms).
+
+    Cases execute through {!Anon_exec.Pool.map} — [jobs] as there. All
+    cases are sampled up front and evaluated in submission-order chunks,
+    and the lowest violating index wins, so the report ([runs_done] and
+    the finding) is byte-identical for every [jobs] value. Shrinking is
+    kept sequential for determinism. *)
 
 val repro_json : finding -> Anon_obs.Json.t
 val write_repro : path:string -> finding -> unit

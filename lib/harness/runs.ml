@@ -54,11 +54,59 @@ let seeds ?(base = 1000) n = List.init n (fun i -> base + (7919 * i))
 
 let distinct_inputs ~n rng = Rng.shuffle rng (List.init n (fun i -> i + 1))
 
+(* What one seeded run contributes to a batch. Runs execute as pool
+   tasks, so everything here is plain data computed inside the task —
+   no interned state crosses task boundaries. *)
+type run_result = {
+  r_decided : bool;
+  r_decision_round : int option;
+  r_env : int;
+  r_agreement : int;
+  r_validity : int;
+  r_messages : int;
+  r_snapshot : Anon_obs.Metrics.snapshot option;
+}
+
 module Of (A : G.Intf.ALGORITHM) = struct
   module R = G.Runner.Make (A)
 
-  let batch ?(horizon = 300) ?observe ?(metrics = false) ~inputs ~crash ~adversary
-      ~seeds () =
+  let one_run ?observe ~horizon ~metrics ~inputs ~crash ~adversary seed =
+    let rng = Rng.make seed in
+    let inputs = inputs (Rng.split rng) in
+    let crash = crash (Rng.split rng) in
+    let adversary = adversary (Rng.split rng) in
+    let config = G.Runner.default_config ~horizon ~seed ~inputs ~crash adversary in
+    let recorder =
+      if metrics then
+        Anon_obs.Recorder.create ~metrics:(Anon_obs.Metrics.create ()) ()
+      else Anon_obs.Recorder.off
+    in
+    let outcome = R.run ?observe ~recorder config in
+    let env = G.Checker.check_env outcome.trace in
+    let cons = G.Checker.check_consensus ~expect_termination:false outcome.trace in
+    let count p l = List.length (List.filter p l) in
+    {
+      r_decided = outcome.all_correct_decided;
+      r_decision_round = G.Runner.decision_round outcome;
+      r_env = List.length env;
+      r_agreement =
+        count (function G.Checker.Agreement_violation _ -> true | _ -> false) cons;
+      r_validity =
+        count (function G.Checker.Validity_violation _ -> true | _ -> false) cons;
+      r_messages = outcome.messages_sent;
+      r_snapshot =
+        (if metrics then
+           Some (Anon_obs.Metrics.snapshot (Anon_obs.Recorder.metrics recorder))
+         else None);
+    }
+
+  let batch ?(horizon = 300) ?observe ?(metrics = false) ?jobs ~inputs ~crash
+      ~adversary ~seeds () =
+    let results =
+      Anon_exec.Pool.map ?jobs
+        (one_run ?observe ~horizon ~metrics ~inputs ~crash ~adversary)
+        seeds
+    in
     let empty =
       {
         runs = 0;
@@ -71,56 +119,29 @@ module Of (A : G.Intf.ALGORITHM) = struct
         metrics = None;
       }
     in
-    let snapshots = ref [] in
     let result =
-    List.fold_left
-      (fun acc seed ->
-        let rng = Rng.make seed in
-        let inputs = inputs (Rng.split rng) in
-        let crash = crash (Rng.split rng) in
-        let adversary = adversary (Rng.split rng) in
-        let config = G.Runner.default_config ~horizon ~seed ~inputs ~crash adversary in
-        let recorder =
-          if metrics then
-            Anon_obs.Recorder.create ~metrics:(Anon_obs.Metrics.create ()) ()
-          else Anon_obs.Recorder.off
-        in
-        let outcome = R.run ?observe ~recorder config in
-        if metrics then
-          snapshots :=
-            Anon_obs.Metrics.snapshot (Anon_obs.Recorder.metrics recorder)
-            :: !snapshots;
-        let env = G.Checker.check_env outcome.trace in
-        let cons =
-          G.Checker.check_consensus ~expect_termination:false outcome.trace
-        in
-        let count p l = List.length (List.filter p l) in
-        {
-          runs = acc.runs + 1;
-          decided = (acc.decided + if outcome.all_correct_decided then 1 else 0);
-          decision_rounds =
-            (match G.Runner.decision_round outcome with
-            | Some r -> r :: acc.decision_rounds
-            | None -> acc.decision_rounds);
-          env_violations = acc.env_violations + List.length env;
-          agreement_violations =
-            acc.agreement_violations
-            + count
-                (function G.Checker.Agreement_violation _ -> true | _ -> false)
-                cons;
-          validity_violations =
-            acc.validity_violations
-            + count (function G.Checker.Validity_violation _ -> true | _ -> false) cons;
-          messages = outcome.messages_sent :: acc.messages;
-          metrics = acc.metrics;
-        })
-      empty seeds
+      List.fold_left
+        (fun acc r ->
+          {
+            runs = acc.runs + 1;
+            decided = (acc.decided + if r.r_decided then 1 else 0);
+            decision_rounds =
+              (match r.r_decision_round with
+              | Some round -> round :: acc.decision_rounds
+              | None -> acc.decision_rounds);
+            env_violations = acc.env_violations + r.r_env;
+            agreement_violations = acc.agreement_violations + r.r_agreement;
+            validity_violations = acc.validity_violations + r.r_validity;
+            messages = r.r_messages :: acc.messages;
+            metrics = acc.metrics;
+          })
+        empty results
     in
     {
       result with
       metrics =
-        (match !snapshots with
+        (match List.filter_map (fun r -> r.r_snapshot) results with
         | [] -> None
-        | snaps -> Some (Anon_obs.Metrics.merge (List.rev snaps)));
+        | snaps -> Some (Anon_obs.Metrics.merge snaps));
     }
 end

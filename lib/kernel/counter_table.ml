@@ -5,15 +5,19 @@ let empty = History.Map.empty
 let get t h = match History.Map.find_opt h t with None -> 0 | Some c -> c
 let set t h c = if c <= 0 then History.Map.remove h t else History.Map.add h c t
 
-(* Process-global operation counts, read as per-run deltas by the
-   observability layer. *)
-let min_merges = ref 0
-let prefix_bumps = ref 0
-let min_merge_ops () = !min_merges
-let prefix_bump_ops () = !prefix_bumps
+(* Operation counts, read as per-run deltas by the observability layer.
+   Domain-local so parallel simulations never race on them. *)
+type ops = { mutable min_merges : int; mutable prefix_bumps : int }
+
+let ops_key : ops Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { min_merges = 0; prefix_bumps = 0 })
+
+let min_merge_ops () = (Domain.DLS.get ops_key).min_merges
+let prefix_bump_ops () = (Domain.DLS.get ops_key).prefix_bumps
 
 let min_merge ts =
-  incr min_merges;
+  let ops = Domain.DLS.get ops_key in
+  ops.min_merges <- ops.min_merges + 1;
   match ts with
   | [] -> empty
   | t0 :: ts ->
@@ -32,7 +36,8 @@ let prefix_max t h =
   History.fold_prefixes (fun p acc -> max acc (get t p)) h 0
 
 let bump_prefix_max t h =
-  incr prefix_bumps;
+  let ops = Domain.DLS.get ops_key in
+  ops.prefix_bumps <- ops.prefix_bumps + 1;
   set t h (1 + prefix_max t h)
 
 let table_max t = History.Map.fold (fun _ c acc -> max acc c) t 0

@@ -41,11 +41,11 @@ val max_binding : t -> (History.t * int) option
     deterministic. *)
 
 val min_merge_ops : unit -> int
-(** Process-global count of [min_merge] calls. Monotone; observability
-    samples it before/after a run for deltas. *)
+(** Domain-local count of [min_merge] calls. Monotone within a domain;
+    observability samples it before/after a run for deltas. *)
 
 val prefix_bump_ops : unit -> int
-(** Process-global count of [bump_prefix_max] calls. *)
+(** Domain-local count of [bump_prefix_max] calls. *)
 
 val bindings : t -> (History.t * int) list
 val cardinal : t -> int

@@ -2,8 +2,8 @@ type t = { id : int; len : int; node : node }
 
 and node = Root | Snoc of t * Value.t
 
-(* Intern table: (parent id, value) -> history.  Append-only; the table can
-   only grow, so ids are stable for the lifetime of the process. *)
+(* Intern table: (parent id, value) -> history.  Append-only within a
+   scope, so ids are stable for the lifetime of the scope. *)
 
 module Key = struct
   type t = int * Value.t
@@ -14,27 +14,43 @@ end
 
 module Table = Hashtbl.Make (Key)
 
-let table : t Table.t = Table.create 4096
-let next_id = ref 1
+(* The interner is domain-local state: worker domains of the execution
+   pool each intern into their own table, so parallel simulations never
+   contend on (or corrupt) a shared hashtable. [with_fresh_interner]
+   additionally isolates one task from whatever its domain interned
+   before, which keeps id assignment — and hence the intern hit/miss
+   statistics — a pure function of the task. *)
+type interner = {
+  table : t Table.t;
+  mutable next_id : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let fresh_interner () = { table = Table.create 4096; next_id = 1; hits = 0; misses = 0 }
+
+let interner_key : interner Domain.DLS.key = Domain.DLS.new_key fresh_interner
+
 let empty = { id = 0; len = 0; node = Root }
 
-(* Process-global interning statistics. Two int bumps on the hot path; the
-   observability layer reads them as per-run deltas. *)
-let hits = ref 0
-let misses = ref 0
-
 let snoc h v =
+  let st = Domain.DLS.get interner_key in
   let key = (h.id, v) in
-  match Table.find_opt table key with
+  match Table.find_opt st.table key with
   | Some h' ->
-    incr hits;
+    st.hits <- st.hits + 1;
     h'
   | None ->
-    incr misses;
-    let h' = { id = !next_id; len = h.len + 1; node = Snoc (h, v) } in
-    incr next_id;
-    Table.add table key h';
+    st.misses <- st.misses + 1;
+    let h' = { id = st.next_id; len = h.len + 1; node = Snoc (h, v) } in
+    st.next_id <- st.next_id + 1;
+    Table.add st.table key h';
     h'
+
+let with_fresh_interner f =
+  let saved = Domain.DLS.get interner_key in
+  Domain.DLS.set interner_key (fresh_interner ());
+  Fun.protect ~finally:(fun () -> Domain.DLS.set interner_key saved) f
 
 let of_list vs = List.fold_left snoc empty vs
 
@@ -72,9 +88,9 @@ let pp ppf h =
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "·") Value.pp)
     (to_list h)
 
-let interned_count () = !next_id
-let intern_hits () = !hits
-let intern_misses () = !misses
+let interned_count () = (Domain.DLS.get interner_key).next_id
+let intern_hits () = (Domain.DLS.get interner_key).hits
+let intern_misses () = (Domain.DLS.get interner_key).misses
 
 module Ord = struct
   type nonrec t = t

@@ -1,12 +1,17 @@
 (** Hash-consed proposal histories (Alg. 3).
 
     A history is the sequence of values a process has appended to its
-    [HISTORY] variable, one per round. Histories are interned in a global
-    table so that equality is O(1), hashing is O(1), and the prefix walks
-    required by the counter table (Alg. 3 line 9) are O(length difference).
+    [HISTORY] variable, one per round. Histories are interned so that
+    equality is O(1), hashing is O(1), and the prefix walks required by
+    the counter table (Alg. 3 line 9) are O(length difference).
 
-    Interning is append-only and shared between simulations; it only caches
-    structure and never affects algorithm semantics. *)
+    The intern table is {e domain-local}: each domain of the execution
+    pool (lib/exec) interns into its own table, so parallel simulations
+    never share mutable state. Interning is append-only within a scope;
+    it only caches structure and never affects algorithm semantics.
+    Histories from different interner scopes (different domains, or
+    different {!with_fresh_interner} extents) must not be compared with
+    {!equal}/{!compare} — ids are only unique within one scope. *)
 
 type t
 
@@ -49,15 +54,27 @@ val fold_prefixes : (t -> 'a -> 'a) -> t -> 'a -> 'a
 val pp : Format.formatter -> t -> unit
 (** Prints as [⟨v1·v2·…⟩]. *)
 
+val with_fresh_interner : (unit -> 'a) -> 'a
+(** [with_fresh_interner f] runs [f] against a brand-new, empty intern
+    table and restores the previous one afterwards (also on exceptions).
+    The execution pool wraps every task in this, making each run's id
+    assignment and hit/miss statistics independent of whatever ran before
+    it — the determinism argument for sequential/parallel equivalence
+    (DESIGN.md §9). Histories created inside must not escape and be
+    compared against histories from other scopes. *)
+
 val interned_count : unit -> int
-(** Number of distinct histories interned so far (diagnostics / benches). *)
+(** Number of distinct histories interned so far in the current scope
+    (diagnostics / benches). *)
 
 val intern_hits : unit -> int
-(** Process-global count of [snoc] calls answered from the intern table.
-    Monotone; observability samples it before/after a run for deltas. *)
+(** Count of [snoc] calls answered from the current scope's intern table.
+    Monotone within a scope; observability samples it before/after a run
+    for deltas. *)
 
 val intern_misses : unit -> int
-(** Process-global count of [snoc] calls that allocated a new history. *)
+(** Count of [snoc] calls that allocated a new history in the current
+    scope. *)
 
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t

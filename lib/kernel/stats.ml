@@ -23,6 +23,8 @@ let stddev = function
     sqrt var
 
 let percentile xs p =
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg "Stats.percentile: p must be in [0, 100]";
   match List.sort Float.compare xs with
   | [] -> invalid_arg "Stats.percentile: empty sample"
   | sorted ->
@@ -35,15 +37,19 @@ let percentile xs p =
 let summarize xs =
   match xs with
   | [] -> invalid_arg "Stats.summarize: empty sample"
-  | _ ->
+  | x :: rest ->
+    (* Fold from the first element: seeding with Float.max_float /
+       Float.min_float misreports samples containing infinities (and
+       Float.min_float is the smallest positive normal, not a negative
+       sentinel — an all-negative sample would report max ≈ 2.2e-308). *)
     {
       count = List.length xs;
       mean = mean xs;
       stddev = stddev xs;
-      min = List.fold_left min Float.max_float xs;
+      min = List.fold_left Float.min x rest;
       p50 = percentile xs 50.0;
       p95 = percentile xs 95.0;
-      max = List.fold_left max Float.min_float xs;
+      max = List.fold_left Float.max x rest;
     }
 
 let summarize_ints xs = summarize (List.map float_of_int xs)

@@ -4,10 +4,12 @@ type summary = {
   count : int;
   mean : float;
   stddev : float;
-  min : float;
-  p50 : float;
+  min : float;  (** True sample minimum (folded from the first element,
+                    so infinities are reported faithfully). *)
+  p50 : float;  (** [percentile xs 50.0] — the nearest-rank median (the
+                    lower of the two middle elements for even counts). *)
   p95 : float;
-  max : float;
+  max : float;  (** True sample maximum (negative samples included). *)
 }
 
 val summarize : float list -> summary
@@ -17,7 +19,9 @@ val summarize_ints : int list -> summary
 
 val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on the sorted
-    sample. Non-empty sample required. *)
+    sample. Non-empty sample required.
+    @raise Invalid_argument if [p] is outside [\[0,100\]] (or NaN) or the
+    sample is empty. *)
 
 val mean : float list -> float
 val stddev : float list -> float

@@ -315,6 +315,58 @@ let prop_stats_histogram_total =
       let h = Stats.histogram ~bucket:3 xs in
       List.fold_left (fun acc (_, c) -> acc + c) 0 h = List.length xs)
 
+let test_stats_summarize_negative () =
+  (* Regression: max was seeded with Float.min_float (the smallest
+     positive normal, ~2.2e-308), so an all-negative sample reported a
+     tiny positive max instead of -1. *)
+  let s = Stats.summarize [ -5.0; -1.0; -3.0 ] in
+  Alcotest.(check (float 1e-9)) "max of all-negative" (-1.0) s.max;
+  Alcotest.(check (float 1e-9)) "min of all-negative" (-5.0) s.min
+
+let test_stats_summarize_infinity () =
+  (* Regression: min was seeded with Float.max_float, misreporting
+     samples containing infinity; both folds now start from the first
+     element. *)
+  let s = Stats.summarize [ Float.infinity; 1.0; 2.0 ] in
+  check_bool "max is +inf" true (s.max = Float.infinity);
+  Alcotest.(check (float 1e-9)) "min unaffected" 1.0 s.min;
+  let s' = Stats.summarize [ Float.neg_infinity; 1.0 ] in
+  check_bool "min is -inf" true (s'.min = Float.neg_infinity);
+  Alcotest.(check (float 1e-9)) "max unaffected" 1.0 s'.max
+
+let test_stats_histogram_sorted () =
+  (* Bucket order is part of the contract: ascending lower bounds,
+     whatever the hash-table fold order — rendered distributions must be
+     reproducible across runs and OCaml versions. *)
+  let h = Stats.histogram ~bucket:5 [ 42; -3; 17; 0; 23; -11; 8; 42 ] in
+  let bounds = List.map fst h in
+  Alcotest.(check (list int)) "ascending bounds" (List.sort Int.compare bounds) bounds;
+  Alcotest.(check (list (pair int int))) "pinned order"
+    [ (-15, 1); (-5, 1); (0, 1); (5, 1); (15, 1); (20, 1); (40, 2) ]
+    h
+
+let test_stats_percentile_invalid () =
+  let invalid p =
+    Alcotest.check_raises
+      (Printf.sprintf "p=%g rejected" p)
+      (Invalid_argument "Stats.percentile: p must be in [0, 100]")
+      (fun () -> ignore (Stats.percentile [ 1.0; 2.0 ] p))
+  in
+  invalid (-1.0);
+  invalid 100.5;
+  invalid Float.nan
+
+let test_stats_p50_contract () =
+  (* summarize.p50 is the nearest-rank median: for even counts, the lower
+     of the two middle elements — not an interpolated midpoint. *)
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "p50 = nearest-rank median" 2.0 s.p50;
+  Alcotest.(check (float 1e-9)) "p50 matches percentile 50"
+    (Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] 50.0)
+    s.p50;
+  let odd = Stats.summarize [ 9.0; 1.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "odd-count median" 5.0 odd.p50
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "kernel"
@@ -371,6 +423,11 @@ let () =
           Alcotest.test_case "percentile extremes" `Quick test_stats_percentile_extremes;
           Alcotest.test_case "sparse histogram" `Quick test_stats_sparse_histogram;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "summarize all-negative" `Quick test_stats_summarize_negative;
+          Alcotest.test_case "summarize infinities" `Quick test_stats_summarize_infinity;
+          Alcotest.test_case "histogram sorted" `Quick test_stats_histogram_sorted;
+          Alcotest.test_case "percentile rejects bad p" `Quick test_stats_percentile_invalid;
+          Alcotest.test_case "p50 contract" `Quick test_stats_p50_contract;
           qc prop_stats_histogram_total;
         ] );
     ]
