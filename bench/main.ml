@@ -10,7 +10,8 @@
 
    Part 2 runs the pool-vs-sequential macro-benchmark: one fixed ES
    batch executed at jobs ∈ {1,2,4,8}, reporting ns per run and the
-   exec.* pool metrics.
+   exec.* pool metrics. It also times one fixed model-checking run
+   (states/sec throughput).
 
    Part 3 runs Bechamel micro-benchmarks over the hot paths (history
    interning, counter-table merging, one compute step of each algorithm)
@@ -18,8 +19,9 @@
    nanoseconds per run. Pass [--no-bechamel] to skip it.
 
    Everything measured is persisted as machine-readable JSON
-   ([--out FILE], default BENCH_PR3.json) so bench runs leave a
-   comparable baseline behind. *)
+   ([--out FILE], default BENCH_PR4.json; schema anon-bench/2 with the
+   git revision and --jobs recorded) so bench runs leave a comparable
+   baseline behind. *)
 
 open Bechamel
 open Toolkit
@@ -71,6 +73,10 @@ let run_experiments ids ~jobs ~compare_ids =
           let s = time_table e ~jobs:1 ~render:false in
           Format.printf "   [%s sequential: %.2fs — pool speedup %.2fx]@." e.id s
             (s /. Float.max 1e-9 parallel_s);
+          if Domain.recommended_domain_count () = 1 then
+            Format.printf
+              "   [host-dependent: this host reports 1 core, so pool speedups \
+               here say nothing about multicore hosts]@.";
           Some s
         end
         else None
@@ -116,6 +122,45 @@ let run_pool_bench () =
         speedup;
       { pool_jobs = jobs; ns_per_run = ns; pool_speedup = speedup })
     [ 1; 2; 4; 8 ]
+
+(* --- part 2b: model-checker throughput -------------------------------------- *)
+
+(* A fixed closing configuration (ES, n=3, depth 6, crash budget 1: 19
+   schedules, 3145 raw states); states/sec is raw states over wall time,
+   best of 3. *)
+type mc_timing = { mc_states : int; mc_s : float; mc_states_per_sec : float }
+
+let run_mc_bench () =
+  let module Mc = Anon_mc.Mc in
+  let config =
+    {
+      Mc.algo = Mc.Es;
+      n = 3;
+      env = G.Env.Es { gst = 2 };
+      rounds = 6;
+      crashes = 1;
+      max_delay = 1;
+      search = Mc.Bfs;
+      armed = false;
+      jobs = Some 1;
+      seed = 42;
+      ops_per_client = 1;
+    }
+  in
+  let states = ref 0 in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = O.Clock.now_ns () in
+    let report = Mc.run config in
+    let s = O.Clock.ns_to_s (O.Clock.since_ns t0) in
+    states := report.Mc.stats.Anon_mc.Explore.raw_states;
+    if s < !best then best := s
+  done;
+  let per_sec = float_of_int !states /. Float.max 1e-9 !best in
+  Format.printf
+    "@.=== Model checker (ES n=3 depth 6, crash budget 1; best of 3) ===@.";
+  Format.printf "  %d states in %.3fs  (%.0f states/sec)@." !states !best per_sec;
+  { mc_states = !states; mc_s = !best; mc_states_per_sec = per_sec }
 
 (* The exec.* metrics surface, demonstrated on one parallel fan-out. *)
 let show_exec_metrics ~jobs =
@@ -389,7 +434,46 @@ let run_bechamel () =
 
 (* --- the persisted baseline ------------------------------------------------- *)
 
-let baseline_json ~jobs ~exp_timings ~pool_timings ~micro =
+(* The current commit, read straight from .git (no subprocess): HEAD is
+   either a detached hash or a "ref: ..." pointer into refs/ or
+   packed-refs. *)
+let git_revision () =
+  let read_file path =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (String.trim (input_line ic)))
+    with Sys_error _ | End_of_file -> None
+  in
+  let resolve_ref r =
+    match read_file (Filename.concat ".git" r) with
+    | Some hash -> Some hash
+    | None -> (
+      (* packed-refs lines: "<hash> <ref>" *)
+      try
+        let ic = open_in (Filename.concat ".git" "packed-refs") in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let rec scan () =
+              let line = input_line ic in
+              match String.index_opt line ' ' with
+              | Some i when String.sub line (i + 1) (String.length line - i - 1) = r
+                -> Some (String.sub line 0 i)
+              | _ -> scan ()
+            in
+            try scan () with End_of_file -> None)
+      with Sys_error _ -> None)
+  in
+  match read_file (Filename.concat ".git" "HEAD") with
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " ->
+    Option.value ~default:"unknown"
+      (resolve_ref (String.sub head 5 (String.length head - 5)))
+  | Some hash -> hash
+  | None -> "unknown"
+
+let baseline_json ~jobs ~exp_timings ~pool_timings ~mc_timing ~micro =
   let open O.Json in
   let experiment_row (t : exp_timing) =
     Obj
@@ -414,12 +498,20 @@ let baseline_json ~jobs ~exp_timings ~pool_timings ~micro =
   in
   Obj
     [
-      ("schema", String "anon-bench/1");
-      ("label", String "PR3");
+      ("schema", String "anon-bench/2");
+      ("label", String "PR4");
+      ("git_revision", String (git_revision ()));
       ("cores", Int (Domain.recommended_domain_count ()));
       ("jobs", Int jobs);
       ("experiments", List (List.map experiment_row exp_timings));
       ("pool", List (List.map pool_row pool_timings));
+      ( "mc",
+        Obj
+          [
+            ("states", Int mc_timing.mc_states);
+            ("seconds", Float mc_timing.mc_s);
+            ("states_per_sec", Float mc_timing.mc_states_per_sec);
+          ] );
       ( "micro",
         List
           (List.map
@@ -452,14 +544,16 @@ let () =
     | a :: rest -> parse rest (a :: ids, jobs, out, bechamel, compare_ids)
   in
   let ids, jobs, out, bechamel, compare_ids =
-    parse args ([], 0, "BENCH_PR3.json", true, [])
+    parse args ([], 0, "BENCH_PR4.json", true, [])
   in
   let jobs = X.Pool.resolve ~jobs () in
   let compare_ids = match compare_ids with [] -> [ "T1" ] | ids -> ids in
   X.Pool.default_jobs := jobs;
   let exp_timings = run_experiments ids ~jobs ~compare_ids in
   let pool_timings = run_pool_bench () in
+  let mc_timing = run_mc_bench () in
   show_exec_metrics ~jobs:(max 2 jobs);
   let micro = if bechamel then run_bechamel () else [] in
-  write_baseline ~path:out (baseline_json ~jobs ~exp_timings ~pool_timings ~micro);
+  write_baseline ~path:out
+    (baseline_json ~jobs ~exp_timings ~pool_timings ~mc_timing ~micro);
   Format.printf "@.done.@."

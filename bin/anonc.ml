@@ -7,6 +7,7 @@
      sigma      replay the Prop. 4 two-run adversary
      metrics    run a seed batch with instrumentation on; print the merged snapshot
      fuzz       random-config fuzzing with shrinking + JSON repro/replay
+     mc         bounded exhaustive model checking (symmetry-reduced)
      experiment run one experiment table (or all) from the registry
      list       list experiment ids *)
 
@@ -407,6 +408,118 @@ let fuzz_cmd =
     Term.(const run $ runs_arg $ seed_arg $ inadmissible_arg $ out_arg $ replay_arg
           $ jobs_arg)
 
+(* --- mc -------------------------------------------------------------------- *)
+
+let mc_cmd =
+  let module Mc = Anon_mc.Mc in
+  let run algo env gst n rounds crashes max_delay search armed jobs seed
+      ops_per_client out metrics json_trace =
+    set_jobs jobs;
+    let env =
+      match env with
+      | None -> (
+        match algo with
+        | Mc.Es | Mc.Es_unguarded -> G.Env.Es { gst }
+        | Mc.Ess -> G.Env.Ess { gst }
+        | Mc.Ms_weakset -> G.Env.Ms)
+      | Some "sync" -> G.Env.Sync
+      | Some "ms" -> G.Env.Ms
+      | Some "es" -> G.Env.Es { gst }
+      | Some "ess" -> G.Env.Ess { gst }
+      | Some "async" -> G.Env.Async
+      | Some other ->
+        Format.eprintf "anonc mc: unknown --env %s (sync|ms|es|ess|async)@." other;
+        exit 2
+    in
+    let config =
+      {
+        Mc.algo;
+        n;
+        env;
+        rounds;
+        crashes;
+        max_delay;
+        search;
+        armed;
+        jobs = Some jobs;
+        seed;
+        ops_per_client;
+      }
+    in
+    with_recorder ~metrics ~json_trace (fun recorder ->
+        let report = Mc.run ~recorder ?out config in
+        Format.fprintf ppf "%a@." Mc.pp_report report;
+        (match (out, report.Mc.witness) with
+        | Some path, Some _ ->
+          Format.fprintf ppf "repro written to %s (replay with anonc fuzz --replay)@."
+            path
+        | _ -> ());
+        if report.Mc.verdict = Mc.Violation then exit 1)
+  in
+  let algo_arg =
+    let of_string =
+      Arg.enum
+        [
+          ("es", Mc.Es);
+          ("ess", Mc.Ess);
+          ("ms-weakset", Mc.Ms_weakset);
+          ("es-unguarded", Mc.Es_unguarded);
+        ]
+    in
+    Arg.(value & opt of_string Mc.Es
+         & info [ "algo" ] ~docv:"ALGO" ~doc:"es, ess, ms-weakset or es-unguarded.")
+  in
+  let env_arg =
+    Arg.(value & opt (some string) None
+         & info [ "env" ] ~docv:"ENV"
+             ~doc:"Environment to enumerate plans for: sync, ms, es, ess or async \
+                   (default: the algorithm's native one).")
+  in
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 4
+         & info [ "rounds" ] ~docv:"K" ~doc:"Depth bound (adversary rounds per branch).")
+  in
+  let crashes_arg =
+    Arg.(value & opt int 0
+         & info [ "crashes" ] ~docv:"F" ~doc:"Crash budget (max crashing processes).")
+  in
+  let max_delay_arg =
+    Arg.(value & opt int 1
+         & info [ "max-delay" ] ~docv:"D" ~doc:"Late arrivals span round+1 .. round+D.")
+  in
+  let search_arg =
+    let of_string = Arg.enum [ ("bfs", Mc.Bfs); ("dfs", Mc.Dfs) ] in
+    Arg.(value & opt of_string Mc.Bfs
+         & info [ "search" ] ~docv:"ORDER"
+             ~doc:"bfs (shortest counterexamples, parallel) or dfs (sequential, \
+                   memory-light).")
+  in
+  let armed_arg =
+    Arg.(value & flag
+         & info [ "armed"; "inadmissible" ]
+             ~doc:"Also branch on one deliberately obligation-dropping plan per \
+                   demanding round; the checker must flag it (self-test).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 2
+         & info [ "ops-per-client" ] ~docv:"K" ~doc:"ms-weakset workload size per client.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the witness repro JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Exhaustively model-check bounded schedules (symmetry-reduced); exits 1 \
+             iff a violation is found.")
+    Term.(
+      const run $ algo_arg $ env_arg $ gst_arg $ n_arg $ rounds_arg $ crashes_arg
+      $ max_delay_arg $ search_arg $ armed_arg $ jobs_arg $ seed_arg $ ops_arg
+      $ out_arg $ metrics_arg $ json_trace_arg)
+
 (* --- experiment / list ---------------------------------------------------- *)
 
 let experiment_cmd =
@@ -464,7 +577,7 @@ let () =
   let group =
     Cmd.group info
       [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; metrics_cmd;
-        fuzz_cmd; experiment_cmd; list_cmd ]
+        fuzz_cmd; mc_cmd; experiment_cmd; list_cmd ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code

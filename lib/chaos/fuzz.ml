@@ -13,8 +13,7 @@ let violation_strings vs =
 (* --- one case, end to end -------------------------------------------------- *)
 
 let run_consensus (case : Scenario.t) runner =
-  let rng = Rng.make case.seed in
-  let inputs = Rng.shuffle rng (List.init case.n (fun i -> i + 1)) in
+  let inputs = Scenario.inputs case in
   let config =
     G.Runner.default_config ~horizon:case.horizon ~seed:case.seed ~inputs
       ~crash:(Scenario.crash case) (Scenario.adversary case)
@@ -24,11 +23,17 @@ let run_consensus (case : Scenario.t) runner =
   @ G.Checker.check_consensus ~expect_termination:true out.G.Runner.trace
 
 let run_weak_set (case : Scenario.t) =
-  let rng = Rng.make case.seed in
   let crash = Scenario.crash case in
   let workload =
-    G.Service_runner.random_workload ~n:case.n ~ops_per_client:case.ops_per_client
-      ~max_start:(max 1 (case.horizon / 2)) ~value_range:1000 rng
+    match case.schedule with
+    | Some _ ->
+      (* Explicit-schedule (model-checker) cases pin the workload too, so
+         the replay is deterministic end to end. *)
+      Scenario.mc_workload ~n:case.n ~ops_per_client:case.ops_per_client
+    | None ->
+      let rng = Rng.make case.seed in
+      G.Service_runner.random_workload ~n:case.n ~ops_per_client:case.ops_per_client
+        ~max_start:(max 1 (case.horizon / 2)) ~value_range:1000 rng
   in
   let config =
     {

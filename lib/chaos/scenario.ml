@@ -1,6 +1,7 @@
 open Anon_kernel
 module Adv = Anon_giraf.Adversary
 module Crash = Anon_giraf.Crash
+module Env = Anon_giraf.Env
 module Json = Anon_obs.Json
 
 type algo = Es | Ess | Weak_set | Register
@@ -13,6 +14,8 @@ let algo_name = function
 
 let all_algos = [ Es; Ess; Weak_set; Register ]
 
+type schedule = { sched_env : Env.t; plans : Adv.plan list }
+
 type t = {
   algo : algo;
   n : int;
@@ -24,6 +27,7 @@ type t = {
   crashes : Crash.event list;
   ops_per_client : int;
   faults : Fault.spec;
+  schedule : schedule option;
 }
 
 (* Horizons generous enough for the liveness theorems (Thm. 1/2/3) to have
@@ -82,18 +86,38 @@ let sample ?algo ?(inadmissible = false) rng =
     crashes;
     ops_per_client = Rng.int_in rng 2 6;
     faults;
+    schedule = None;
   }
 
 let adversary ?recorder t =
   let base =
-    match t.algo with
-    | Es -> Adv.es ~gst:t.gst ~noise:t.noise ()
-    | Ess -> Adv.ess ~gst:t.gst ~rotation:t.rotation ~noise:t.noise ()
-    | Weak_set | Register -> Adv.ms ~rotation:t.rotation ~noise:t.noise ()
+    match t.schedule with
+    | Some { sched_env; plans } ->
+      Adv.of_schedule ~name:("mc-" ^ algo_name t.algo) ~env:sched_env plans
+    | None -> (
+      match t.algo with
+      | Es -> Adv.es ~gst:t.gst ~noise:t.noise ()
+      | Ess -> Adv.ess ~gst:t.gst ~rotation:t.rotation ~noise:t.noise ()
+      | Weak_set | Register -> Adv.ms ~rotation:t.rotation ~noise:t.noise ())
   in
   Fault.wrap ?recorder t.faults base
 
 let crash t = Crash.of_events ~n:t.n t.crashes
+
+let inputs t = Rng.shuffle (Rng.make t.seed) (List.init t.n (fun i -> i + 1))
+
+(* The deterministic workload explicit-schedule (model-checker) cases use:
+   each client alternates adds of distinct values with gets, one op queued
+   per round from round 1 on (the service runner serializes them, one per
+   round while no add is pending). *)
+let mc_workload ~n ~ops_per_client =
+  List.init n (fun pid ->
+      ( pid,
+        List.init ops_per_client (fun i ->
+            ( i + 1,
+              if i mod 2 = 0 then
+                Anon_giraf.Service_runner.Do_add ((100 * (pid + 1)) + i)
+              else Anon_giraf.Service_runner.Do_get )) ))
 
 let pp ppf t =
   Format.fprintf ppf "%s n=%d gst=%d noise=%.2f horizon=%d seed=%d crashes=%d%s"
@@ -158,20 +182,74 @@ let json_of_faults (f : Fault.spec) =
       );
     ]
 
-let to_json t =
+let json_of_env = function
+  | Env.Sync -> Json.String "sync"
+  | Env.Ms -> Json.String "ms"
+  | Env.Async -> Json.String "async"
+  | Env.Es { gst } -> Json.Obj [ ("es", Json.Int gst) ]
+  | Env.Ess { gst } -> Json.Obj [ ("ess", Json.Int gst) ]
+
+let env_of_json = function
+  | Json.String "sync" -> Ok Env.Sync
+  | Json.String "ms" -> Ok Env.Ms
+  | Json.String "async" -> Ok Env.Async
+  | Json.Obj _ as j -> (
+    match
+      ( Json.member "es" j |> Option.map Json.to_int |> Option.join,
+        Json.member "ess" j |> Option.map Json.to_int |> Option.join )
+    with
+    | Some gst, None -> Ok (Env.Es { gst })
+    | None, Some gst -> Ok (Env.Ess { gst })
+    | _ -> Error "env: expected {es: gst} or {ess: gst}")
+  | _ -> Error "env: expected sync/ms/async/{es}/{ess}"
+
+let json_of_plan (p : Adv.plan) =
   Json.Obj
     [
-      ("algo", Json.String (algo_name t.algo));
-      ("n", Json.Int t.n);
-      ("gst", Json.Int t.gst);
-      ("rotation", json_of_rotation t.rotation);
-      ("noise", Json.Float t.noise);
-      ("horizon", Json.Int t.horizon);
-      ("seed", Json.Int t.seed);
-      ("crashes", Json.List (List.map json_of_crash t.crashes));
-      ("ops_per_client", Json.Int t.ops_per_client);
-      ("faults", json_of_faults t.faults);
+      ("source", match p.source with None -> Json.Null | Some s -> Json.Int s);
+      ( "deliveries",
+        Json.List
+          (List.map
+             (fun (sender, ds) ->
+               Json.Obj
+                 [
+                   ("from", Json.Int sender);
+                   ( "links",
+                     Json.List
+                       (List.map
+                          (fun (d : Adv.delivery) ->
+                            Json.Obj
+                              [
+                                ("to", Json.Int d.receiver);
+                                ("at", Json.Int d.arrival);
+                              ])
+                          ds) );
+                 ])
+             p.deliveries) );
     ]
+
+let json_of_schedule s =
+  Json.Obj
+    [
+      ("env", json_of_env s.sched_env);
+      ("plans", Json.List (List.map json_of_plan s.plans));
+    ]
+
+let to_json t =
+  Json.Obj
+    ([
+       ("algo", Json.String (algo_name t.algo));
+       ("n", Json.Int t.n);
+       ("gst", Json.Int t.gst);
+       ("rotation", json_of_rotation t.rotation);
+       ("noise", Json.Float t.noise);
+       ("horizon", Json.Int t.horizon);
+       ("seed", Json.Int t.seed);
+       ("crashes", Json.List (List.map json_of_crash t.crashes));
+       ("ops_per_client", Json.Int t.ops_per_client);
+       ("faults", json_of_faults t.faults);
+     ]
+    @ match t.schedule with None -> [] | Some s -> [ ("schedule", json_of_schedule s) ])
 
 let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
 
@@ -234,6 +312,47 @@ let faults_of_json j =
   in
   Ok { Fault.duplicate; extra_delay; max_extra; reorder; inadmissible }
 
+let delivery_of_json j =
+  let* receiver = req_int j "to" in
+  let* arrival = req_int j "at" in
+  Ok { Adv.receiver; arrival }
+
+let sender_deliveries_of_json j =
+  let* sender = req_int j "from" in
+  let* ds =
+    match Json.member "links" j with
+    | Some (Json.List l) -> map_result delivery_of_json l
+    | _ -> Error "plan: missing list field links"
+  in
+  Ok (sender, ds)
+
+let plan_of_json j =
+  let* source =
+    match Json.member "source" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Int s) -> Ok (Some s)
+    | Some _ -> Error "plan: bad source"
+  in
+  let* deliveries =
+    match Json.member "deliveries" j with
+    | Some (Json.List l) -> map_result sender_deliveries_of_json l
+    | _ -> Error "plan: missing list field deliveries"
+  in
+  Ok { Adv.source; deliveries }
+
+let schedule_of_json j =
+  let* sched_env =
+    match Json.member "env" j with
+    | Some e -> env_of_json e
+    | None -> Error "schedule: missing field env"
+  in
+  let* plans =
+    match Json.member "plans" j with
+    | Some (Json.List l) -> map_result plan_of_json l
+    | _ -> Error "schedule: missing list field plans"
+  in
+  Ok { sched_env; plans }
+
 let of_json j =
   let* algo_s = req_str j "algo" in
   let* algo = algo_of_string algo_s in
@@ -258,4 +377,24 @@ let of_json j =
     | Some f -> faults_of_json f
     | None -> Error "missing field faults"
   in
-  Ok { algo; n; gst; rotation; noise; horizon; seed; crashes; ops_per_client; faults }
+  let* schedule =
+    match Json.member "schedule" j with
+    | None | Some Json.Null -> Ok None
+    | Some s ->
+      let* s = schedule_of_json s in
+      Ok (Some s)
+  in
+  Ok
+    {
+      algo;
+      n;
+      gst;
+      rotation;
+      noise;
+      horizon;
+      seed;
+      crashes;
+      ops_per_client;
+      faults;
+      schedule;
+    }

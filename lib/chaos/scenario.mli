@@ -8,6 +8,16 @@ type algo = Es | Ess | Weak_set | Register
 val algo_name : algo -> string
 val all_algos : algo list
 
+type schedule = {
+  sched_env : Anon_giraf.Env.t;
+      (** The environment the recorded plans claim to satisfy (becomes the
+          trace's environment, so the checker judges them against it). *)
+  plans : Anon_giraf.Adversary.plan list;  (** Plan for round [k] at index [k-1]. *)
+}
+(** An explicit, fully deterministic delivery schedule — how model-checker
+    witnesses replay through the ordinary runners (via
+    {!Anon_giraf.Adversary.of_schedule}). *)
+
 type t = {
   algo : algo;
   n : int;
@@ -19,6 +29,10 @@ type t = {
   crashes : Anon_giraf.Crash.event list;
   ops_per_client : int;  (** Workload size for [Weak_set]/[Register]. *)
   faults : Fault.spec;
+  schedule : schedule option;
+      (** When present, replaces the sampled adversary entirely; the
+          [Weak_set] workload then comes from {!mc_workload} instead of the
+          seed-derived random one. *)
 }
 
 val sample : ?algo:algo -> ?inadmissible:bool -> Anon_kernel.Rng.t -> t
@@ -32,6 +46,16 @@ val adversary : ?recorder:Anon_obs.Recorder.t -> t -> Anon_giraf.Adversary.t
     fault plan via {!Fault.wrap}. *)
 
 val crash : t -> Anon_giraf.Crash.t
+
+val inputs : t -> Anon_kernel.Value.t list
+(** The consensus input assignment of a case: values [1..n], shuffled by
+    [seed] — the single derivation shared by the fuzzer and the model
+    checker so their runs agree. *)
+
+val mc_workload : n:int -> ops_per_client:int -> Anon_giraf.Service_runner.workload
+(** The deterministic weak-set workload used with explicit schedules: each
+    client alternates adds of distinct values ([100*(pid+1) + i]) with
+    gets, queued from round 1 on. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -93,3 +93,12 @@ end)
 let proposed st = st.proposed
 let written st = st.written
 let current_val st = st.value
+
+let set_key s =
+  "{" ^ String.concat "," (List.map Value.to_string (Value.Set.elements s)) ^ "}"
+
+let msg_key = set_key
+
+let state_key st =
+  Printf.sprintf "v%s p%s w%s o%s" (Value.to_string st.value) (set_key st.proposed)
+    (set_key st.written) (set_key st.written_old)

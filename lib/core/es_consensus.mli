@@ -24,8 +24,18 @@ val written : state -> Anon_kernel.Value.Set.t
 val current_val : state -> Anon_kernel.Value.t
 (** The process's current estimate [VAL]. *)
 
+val state_key : state -> string
+(** Canonical, run-independent serialization of the full local state —
+    equal strings iff equal states. The model checker's symmetry reduction
+    builds its multiset keys from this. *)
+
+val msg_key : msg -> string
+(** Canonical serialization of a message ([PROPOSED] set). *)
+
 module No_written_old_guard :
-  Anon_giraf.Intf.ALGORITHM with type msg = Anon_kernel.Value.Set.t
+  Anon_giraf.Intf.ALGORITHM
+    with type msg = Anon_kernel.Value.Set.t
+     and type state = state
 (** Ablation A2: decides as soon as [PROPOSED = {VAL}] with a non-empty
     [WRITTEN], skipping the [WRITTENOLD] guard of line 9. Violates
     agreement under adversarial ES schedules — the guard is load-bearing. *)

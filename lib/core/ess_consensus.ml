@@ -168,6 +168,42 @@ module Impl (P : PARAMS) = struct
   let history st = st.history
   let counters st = st.counters
   let proposed st = st.proposed
+
+  (* Canonical, run-independent serializations: histories render as their
+     value sequences and counter tables sort bindings by that rendering, so
+     keys never depend on intern ids (which vary across interner scopes). *)
+  let pset_key s =
+    "{"
+    ^ String.concat ","
+        (List.map
+           (function Pvalue.Bot -> "_" | Pvalue.Val v -> Value.to_string v)
+           (Pvalue.Set.elements s))
+    ^ "}"
+
+  let history_key h =
+    "<" ^ String.concat "." (List.map Value.to_string (History.to_list h)) ^ ">"
+
+  let counters_key c =
+    let bindings =
+      List.sort compare
+        (List.map (fun (h, cnt) -> (History.to_list h, cnt)) (Counter_table.bindings c))
+    in
+    "["
+    ^ String.concat ";"
+        (List.map
+           (fun (vs, cnt) ->
+             String.concat "." (List.map Value.to_string vs) ^ "=" ^ string_of_int cnt)
+           bindings)
+    ^ "]"
+
+  let msg_key m =
+    Printf.sprintf "p%s h%s c%s" (pset_key m.m_proposed) (history_key m.m_history)
+      (counters_key m.m_counters)
+
+  let state_key st =
+    Printf.sprintf "v%s c%s h%s p%s w%s o%s l%b" (Value.to_string st.value)
+      (counters_key st.counters) (history_key st.history) (pset_key st.proposed)
+      (pset_key st.written) (pset_key st.written_old) st.leader_flag
 end
 
 module Default = Impl (struct

@@ -35,6 +35,15 @@ val history : state -> Anon_kernel.History.t
 val counters : state -> Anon_kernel.Counter_table.t
 val proposed : state -> Anon_kernel.Pvalue.Set.t
 
+val state_key : state -> string
+(** Canonical, run-independent serialization of the full local state:
+    histories render as value sequences and counter tables are sorted by
+    that rendering, never by intern id — so keys agree across interner
+    scopes and domains (the model checker compares them cross-task). *)
+
+val msg_key : msg -> string
+(** Canonical serialization of a message. *)
+
 (** Merge rule for the counter tables (line 8): the paper uses pointwise
     minimum; [`Max] is the deliberately broken ablation A3. *)
 type merge_rule = [ `Min | `Max ]

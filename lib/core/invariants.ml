@@ -1,0 +1,78 @@
+open Anon_kernel
+module Checker = Anon_giraf.Checker
+
+module Consensus = struct
+  type t = {
+    inputs : Value.Set.t;
+    first : (int * Value.t) option;
+    decided : (int * Value.t) list;  (* latest first *)
+  }
+
+  let create ~inputs = { inputs = Value.set_of_list inputs; first = None; decided = [] }
+
+  let observe t ~pid ~value =
+    let validity =
+      if Value.Set.mem value t.inputs then []
+      else [ Checker.Validity_violation { pid; value } ]
+    in
+    let agreement =
+      match t.first with
+      | Some (p1, v1) when not (Value.equal v1 value) ->
+        [ Checker.Agreement_violation { p1; v1; p2 = pid; v2 = value } ]
+      | Some _ | None -> []
+    in
+    let irrevocability =
+      match List.assoc_opt pid t.decided with
+      | Some v0 when not (Value.equal v0 value) ->
+        [ Checker.Agreement_violation { p1 = pid; v1 = v0; p2 = pid; v2 = value } ]
+      | Some _ | None -> []
+    in
+    let t =
+      {
+        t with
+        first = (match t.first with None -> Some (pid, value) | some -> some);
+        decided = (pid, value) :: t.decided;
+      }
+    in
+    (t, validity @ agreement @ irrevocability)
+
+  let decided t = List.rev t.decided
+end
+
+module Weak_set = struct
+  type t = {
+    invoked : Value.Set.t;
+    completed : (Value.t * int) list;  (* (value, completion time), latest first *)
+  }
+
+  let create () = { invoked = Value.Set.empty; completed = [] }
+  let invoke_add t v = { t with invoked = Value.Set.add v t.invoked }
+  let complete_add t v ~time = { t with completed = (v, time) :: t.completed }
+
+  let invoked t = t.invoked
+
+  let completed_values t =
+    Value.set_of_list (List.map fst t.completed)
+
+  let observe_get t ~client ~correct ~invoked_at ~result =
+    let lost =
+      if not correct then []
+      else
+        List.filter_map
+          (fun (v, completed_at) ->
+            if completed_at < invoked_at && not (Value.Set.mem v result) then
+              Some
+                (Checker.Weak_set_lost_add
+                   { value = v; get_client = client; get_invoked = invoked_at })
+            else None)
+          (List.rev t.completed)
+    in
+    let phantom =
+      Value.Set.fold
+        (fun v acc ->
+          if Value.Set.mem v t.invoked then acc
+          else Checker.Weak_set_phantom_value { value = v; get_client = client } :: acc)
+        result []
+    in
+    lost @ phantom
+end

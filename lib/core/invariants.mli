@@ -1,0 +1,55 @@
+(** Online safety predicates for the model checker.
+
+    {!Anon_giraf.Checker} judges a complete trace after the fact; the
+    bounded explorer needs the same judgements {e incrementally}, at the
+    transition that makes them false, so a counterexample is reported at
+    the shallowest depth that exhibits it. Violations are reported in the
+    checker's vocabulary ({!Anon_giraf.Checker.violation}) so witnesses
+    render identically on both paths. *)
+
+module Consensus : sig
+  type t
+
+  val create : inputs:Anon_kernel.Value.t list -> t
+
+  val observe :
+    t -> pid:int -> value:Anon_kernel.Value.t -> t * Anon_giraf.Checker.violation list
+  (** Record one decision. Flags validity (value never proposed) against
+      [inputs], agreement against the earliest recorded decision, and
+      irrevocability — a process deciding twice with different values —
+      as an agreement violation of the process with itself. *)
+
+  val decided : t -> (int * Anon_kernel.Value.t) list
+  (** All decisions observed so far, earliest first. *)
+end
+
+module Weak_set : sig
+  type t
+
+  val create : unit -> t
+
+  val invoke_add : t -> Anon_kernel.Value.t -> t
+  val complete_add : t -> Anon_kernel.Value.t -> time:int -> t
+
+  val invoked : t -> Anon_kernel.Value.Set.t
+  val completed_values : t -> Anon_kernel.Value.Set.t
+  (** The invoked / completed value sets — the permutation-invariant facts
+      the model checker folds into its canonical keys (completion {e times}
+      are irrelevant to future judgements: any past completion precedes any
+      future invocation). *)
+
+  val observe_get :
+    t ->
+    client:int ->
+    correct:bool ->
+    invoked_at:int ->
+    result:Anon_kernel.Value.Set.t ->
+    Anon_giraf.Checker.violation list
+  (** Judge one completed [get] (times in the service-runner logical
+      clock: computes at [2k], ops at [2k + 1]). Inclusion: every add
+      completed strictly before [invoked_at] must appear in [result]
+      (only enforced for correct clients, as in
+      {!Anon_giraf.Checker.check_weak_set}); non-triviality: every member
+      of [result] must stem from some invoked add. Call it only after
+      recording every add invocation of the same ops phase. *)
+end

@@ -47,3 +47,13 @@ let add_pending st = st.block
 let get st = st.proposed
 let written st = st.written
 let pending_value st = if st.block then st.value else None
+
+let set_key s =
+  "{" ^ String.concat "," (List.map Value.to_string (Value.Set.elements s)) ^ "}"
+
+let msg_key = set_key
+
+let state_key st =
+  Printf.sprintf "v%s p%s w%s b%b"
+    (match st.value with None -> "_" | Some v -> Value.to_string v)
+    (set_key st.proposed) (set_key st.written) st.block

@@ -19,3 +19,9 @@ include
 val written : state -> Anon_kernel.Value.Set.t
 val pending_value : state -> Anon_kernel.Value.t option
 (** The value of the in-progress [add], if any ([VAL] while [BLOCK]). *)
+
+val state_key : state -> string
+(** Canonical, run-independent serialization of the full local state (for
+    the model checker's symmetry reduction). *)
+
+val msg_key : msg -> string

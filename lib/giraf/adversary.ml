@@ -156,5 +156,14 @@ let async ?(max_delay = 5) ?(timely_chance = 0.3) () =
 
 let scripted ~name ~env plan = { name; env; plan }
 
+let of_schedule ?(name = "schedule") ~env plans =
+  let plans = Array.of_list plans in
+  let plan ctx _rng =
+    if ctx.round >= 1 && ctx.round <= Array.length plans then
+      plans.(ctx.round - 1)
+    else timely_all ctx
+  in
+  { name; env; plan }
+
 let map_plan ?(rename = Fun.id) f t =
   { t with name = rename t.name; plan = (fun ctx rng -> f ctx rng (t.plan ctx rng)) }

@@ -81,6 +81,14 @@ val scripted :
   name:string -> env:Env.t -> (ctx -> Anon_kernel.Rng.t -> plan) -> t
 (** Fully custom schedule (used by tests to force worst cases). *)
 
+val of_schedule : ?name:string -> env:Env.t -> plan list -> t
+(** [of_schedule ~env plans] replays a recorded schedule: round [k] gets
+    [List.nth plans (k - 1)] verbatim (the context and RNG are ignored),
+    and rounds past the end of the list fall back to [timely_all]. This is
+    how model-checker witnesses re-execute through the runners: deliveries
+    naming receivers that have meanwhile crashed or halted are dropped by
+    dispatch, everything else is deterministic. *)
+
 val map_plan :
   ?rename:(string -> string) -> (ctx -> Anon_kernel.Rng.t -> plan -> plan) -> t -> t
 (** [map_plan f t] post-processes every plan [t] emits with [f] (same

@@ -33,21 +33,34 @@ let dispatch ~round ~outgoing ~crashing_events ~eligible ~receivers ~plan ~crash
     (fun { sender; msg } ->
       schedule ~receiver:sender ~arrival:round ~sent:round msg;
       match crashing sender with
-      | Some ev ->
-        let others = List.filter (fun q -> q <> sender) receivers in
-        let targets =
+      | Some ev -> (
+        let scripted =
           match ev.broadcast with
-          | Crash.Silent -> []
-          | Crash.Broadcast_all -> others
-          | Crash.Broadcast_subset -> Rng.subset crash_rng ~p:0.5 others
+          | Crash.Broadcast_subset ->
+            List.assoc_opt sender plan.Adversary.deliveries
+          | Crash.Silent | Crash.Broadcast_all -> None
         in
-        List.iter
-          (fun q ->
-            let arrival =
-              if Rng.bool crash_rng then round else round + Rng.int_in crash_rng 1 3
-            in
-            deliver ~sender ~msg { Adversary.receiver = q; arrival })
-          targets
+        match scripted with
+        | Some ds ->
+          (* A plan entry for a [Broadcast_subset] crasher pins the partial
+             broadcast deterministically (model-checker witnesses replay
+             the exact subset); without one the RNG picks as before. *)
+          List.iter (fun d -> deliver ~sender ~msg d) ds
+        | None ->
+          let others = List.filter (fun q -> q <> sender) receivers in
+          let targets =
+            match ev.broadcast with
+            | Crash.Silent -> []
+            | Crash.Broadcast_all -> others
+            | Crash.Broadcast_subset -> Rng.subset crash_rng ~p:0.5 others
+          in
+          List.iter
+            (fun q ->
+              let arrival =
+                if Rng.bool crash_rng then round else round + Rng.int_in crash_rng 1 3
+              in
+              deliver ~sender ~msg { Adversary.receiver = q; arrival })
+            targets)
       | None -> (
         match List.assoc_opt sender plan.Adversary.deliveries with
         | None -> ()

@@ -26,8 +26,10 @@ val dispatch :
   stats
 (** Self-delivery (always timely) is performed for every outbound message;
     crashing senders reach only the subset dictated by their crash event
-    (chosen with [crash_rng] for [Broadcast_subset]); all other senders
-    follow [plan]. [eligible] says whether a pid may still receive (alive,
+    — for [Broadcast_subset] a plan entry for the crashing sender, when
+    present, pins the subset (and arrivals) deterministically, otherwise
+    the subset is chosen with [crash_rng]; all other senders follow
+    [plan]. [eligible] says whether a pid may still receive (alive,
     not halted); [receivers] lists the pids a crashing sender may target.
     Arrivals are clamped to [>= round]. [on_deliver] observes every
     point-to-point delivery (self-deliveries excluded), after the

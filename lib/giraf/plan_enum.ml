@@ -1,0 +1,177 @@
+type spec = {
+  env : Env.t;
+  stable : int option;
+  max_delay : int;
+  crashing : int list;
+  include_inadmissible : bool;
+}
+
+type choice = { plan : Adversary.plan; admissible : bool }
+
+let default ~env =
+  { env; stable = None; max_delay = 1; crashing = []; include_inadmissible = false }
+
+(* Cartesian product, first axis varying slowest (deterministic order). *)
+let rec product = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+    let tails = product rest in
+    List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let plan_key (p : Adversary.plan) =
+  let deliveries =
+    List.sort compare
+      (List.map
+         (fun (s, ds) ->
+           ( s,
+             List.sort compare
+               (List.map (fun (d : Adversary.delivery) -> (d.receiver, d.arrival)) ds)
+           ))
+         p.deliveries)
+  in
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (s, ds) ->
+      Buffer.add_string buf (string_of_int s);
+      Buffer.add_char buf ':';
+      List.iter
+        (fun (r, a) ->
+          Buffer.add_string buf (string_of_int r);
+          Buffer.add_char buf '@';
+          Buffer.add_string buf (string_of_int a);
+          Buffer.add_char buf ';')
+        ds;
+      Buffer.add_char buf '|')
+    deliveries;
+  Buffer.contents buf
+
+type fate = Timely | Late of int | Absent
+
+let enumerate spec (ctx : Adversary.ctx) =
+  let round = ctx.round in
+  let all_senders =
+    ctx.senders @ List.filter (fun c -> not (List.mem c ctx.senders)) spec.crashing
+  in
+  let correct_senders = List.filter (fun s -> List.mem s ctx.correct) ctx.senders in
+  let demanding = ctx.obligated <> [] && correct_senders <> [] in
+  (* Senders whose links to every obligated receiver are forced timely
+     regardless of the source choice. *)
+  let forced_senders =
+    if not demanding then []
+    else
+      match spec.env with
+      | Env.Sync -> correct_senders
+      | Env.Es { gst } when round >= gst -> correct_senders
+      | Env.Es _ | Env.Ess _ | Env.Ms | Env.Async -> []
+  in
+  let source_choices =
+    if not demanding then [ None ]
+    else
+      match spec.env with
+      | Env.Async -> [ None ]
+      | Env.Sync -> [ Some (List.hd correct_senders) ]
+      | Env.Es { gst } when round >= gst -> [ Some (List.hd correct_senders) ]
+      | Env.Ess { gst } when round >= gst -> (
+        match spec.stable with
+        | Some s when List.mem s ctx.senders -> [ Some s ]
+        | Some _ | None -> List.map (fun s -> Some s) correct_senders)
+      | Env.Ms | Env.Es _ | Env.Ess _ -> List.map (fun s -> Some s) all_senders
+  in
+  let restrict_cover ~source s =
+    match spec.env with
+    | Env.Ess { gst } ->
+      round >= gst && demanding && Some s <> source
+      && not (List.mem s spec.crashing)
+    | Env.Sync | Env.Ms | Env.Es _ | Env.Async -> false
+  in
+  let assignments ~source s =
+    let receivers = List.filter (fun q -> q <> s) ctx.alive in
+    let crashing = List.mem s spec.crashing in
+    let forced q =
+      List.mem q ctx.obligated
+      && (List.mem s forced_senders || source = Some s)
+    in
+    let fates =
+      Timely
+      :: (List.init spec.max_delay (fun i -> Late (i + 1))
+         @ if crashing then [ Absent ] else [])
+    in
+    let per_receiver =
+      List.map (fun q -> (q, if forced q then [ Timely ] else fates)) receivers
+    in
+    let combos = product (List.map snd per_receiver) in
+    let tagged =
+      List.map (fun fs -> List.combine (List.map fst per_receiver) fs) combos
+    in
+    let covers fs =
+      List.for_all (fun q -> q = s || List.assoc_opt q fs = Some Timely) ctx.obligated
+    in
+    let tagged =
+      if restrict_cover ~source s then
+        match List.filter (fun fs -> not (covers fs)) tagged with
+        | [] -> tagged (* defensive: never empty a sender's choice set *)
+        | restricted -> restricted
+      else tagged
+    in
+    List.map
+      (fun fs ->
+        List.filter_map
+          (fun (q, f) ->
+            match f with
+            | Timely -> Some { Adversary.receiver = q; arrival = round }
+            | Late d -> Some { Adversary.receiver = q; arrival = round + d }
+            | Absent -> None)
+          fs)
+      tagged
+  in
+  let plans_for source =
+    let per_sender =
+      List.map
+        (fun s -> List.map (fun ds -> (s, ds)) (assignments ~source s))
+        all_senders
+    in
+    List.map
+      (fun deliveries -> { Adversary.source; deliveries })
+      (product per_sender)
+  in
+  let admissible = List.concat_map plans_for source_choices in
+  let armed =
+    let trivially_covered =
+      List.exists
+        (fun s -> List.for_all (fun q -> q = s) ctx.obligated)
+        all_senders
+    in
+    if
+      (not spec.include_inadmissible)
+      || (not demanding)
+      || trivially_covered
+      || spec.env = Env.Async
+    then []
+    else
+      let deliveries =
+        List.map
+          (fun s ->
+            let receivers = List.filter (fun q -> q <> s) ctx.alive in
+            if List.mem s spec.crashing then (s, [])
+            else
+              ( s,
+                List.map
+                  (fun q -> { Adversary.receiver = q; arrival = round + 1 })
+                  receivers ))
+          all_senders
+      in
+      [ { Adversary.source = None; deliveries } ]
+  in
+  let seen = Hashtbl.create 64 in
+  let dedup admissible plans =
+    List.filter_map
+      (fun plan ->
+        let key = plan_key plan in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some { plan; admissible }
+        end)
+      plans
+  in
+  dedup true admissible @ dedup false armed

@@ -1,0 +1,80 @@
+module G = Anon_giraf
+module Mc = Anon_mc.Mc
+module Explore = Anon_mc.Explore
+
+(* --- T14 ----------------------------------------------------------------- *)
+
+(* Each row is one full model-checking run: algorithm, environment, system
+   size, depth/crash bounds chosen so the run closes (or demonstrably does
+   not, for the MS liveness witness) in well under a minute. *)
+
+let config ~algo ~env ~n ~rounds ~crashes =
+  {
+    Mc.algo;
+    n;
+    env;
+    rounds;
+    crashes;
+    max_delay = 1;
+    search = Mc.Bfs;
+    armed = false;
+    jobs = None;
+    seed = 42;
+    ops_per_client = 1;
+  }
+
+let row cfg =
+  let r = Mc.run cfg in
+  let s = r.Mc.stats in
+  [
+    Mc.algo_name cfg.Mc.algo;
+    G.Env.to_string cfg.Mc.env;
+    Table.cell_int cfg.Mc.n;
+    Table.cell_int cfg.Mc.rounds;
+    Table.cell_int cfg.Mc.crashes;
+    Table.cell_int r.Mc.schedules;
+    Table.cell_int s.Explore.raw_states;
+    Table.cell_int s.Explore.canonical_states;
+    Table.cell_float ~decimals:2 (Mc.reduction_factor r);
+    Mc.verdict_name r.Mc.verdict;
+  ]
+
+let t14 () =
+  let es = G.Env.Es { gst = 2 } in
+  let ess = G.Env.Ess { gst = 2 } in
+  let rows =
+    List.map row
+      [
+        config ~algo:Mc.Es ~env:es ~n:2 ~rounds:6 ~crashes:0;
+        config ~algo:Mc.Es ~env:es ~n:3 ~rounds:6 ~crashes:0;
+        config ~algo:Mc.Es ~env:es ~n:3 ~rounds:6 ~crashes:1;
+        config ~algo:Mc.Ess ~env:ess ~n:2 ~rounds:8 ~crashes:0;
+        config ~algo:Mc.Ess ~env:ess ~n:3 ~rounds:5 ~crashes:0;
+        config ~algo:Mc.Ms_weakset ~env:G.Env.Ms ~n:2 ~rounds:4 ~crashes:0;
+        config ~algo:Mc.Ms_weakset ~env:G.Env.Ms ~n:3 ~rounds:4 ~crashes:0;
+        config ~algo:Mc.Es_unguarded ~env:es ~n:3 ~rounds:6 ~crashes:1;
+      ]
+  in
+  Table.make ~id:"T14"
+    ~title:"Model checking: exhaustive schedule exploration, symmetry-reduced"
+    ~claim:
+      "Every admissible delivery schedule and crash timing within the bounds \
+       preserves agreement, validity, irrevocability (and the weak-set \
+       axioms); anonymity makes states equal modulo process permutation, so \
+       canonicalization shrinks the explored space"
+    ~expectation:
+      "verdict 'verified' on every row that closes (all but ESS n=3, whose \
+       non-source links may stay late beyond any bound: 'bounded' with zero \
+       violations); reduction factor > 1 everywhere"
+    ~headers:
+      [ "algo"; "env"; "n"; "rounds"; "crashes"; "schedules"; "raw"; "canonical";
+        "reduction"; "verdict" ]
+    ~rows
+  |> Table.with_notes
+       [
+         "raw/canonical: states before/after hashing modulo process \
+          permutation; schedules: crash timings explored (budget x rounds).";
+         "ESS n=3 is depth-limited: Alg. 3's counters converge slowly when \
+          the adversary keeps non-source links late, so the run reports a \
+          bounded non-deciding witness rather than closure.";
+       ]

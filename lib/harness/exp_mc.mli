@@ -1,0 +1,6 @@
+(** Model-checker experiments. *)
+
+val t14 : unit -> Table.t
+(** T14 — bounded exhaustive exploration per algorithm and environment at
+    n in [{2,3}]: states explored, canonical states, symmetry-reduction
+    factor, and verdict. *)

@@ -32,6 +32,8 @@ let all =
       build = Exp_skew.t12 };
     { id = "T13"; title = "Fuzzing coverage: random configs vs the checker";
       build = Exp_chaos.t13 };
+    { id = "T14"; title = "Model checking: exhaustive schedule exploration, symmetry-reduced";
+      build = Exp_mc.t14 };
     { id = "F1"; title = "Decision-round distribution";
       build = Exp_consensus.f1 };
     { id = "F2"; title = "ESS message growth per round";

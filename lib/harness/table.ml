@@ -43,7 +43,7 @@ let render ppf t =
   List.iter (fun note -> Format.fprintf ppf "   note: %s@." note) t.notes
 
 let csv_escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 

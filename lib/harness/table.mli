@@ -24,6 +24,11 @@ val with_notes : string list -> t -> t
 val render : Format.formatter -> t -> unit
 val to_csv : t -> string
 
+val csv_escape : string -> string
+(** RFC 4180 field quoting: fields containing a comma, double quote, CR
+    or LF are wrapped in double quotes with embedded quotes doubled;
+    anything else passes through unchanged. *)
+
 val cell_int : int -> string
 val cell_float : ?decimals:int -> float -> string
 val cell_bool : bool -> string

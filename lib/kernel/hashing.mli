@@ -1,0 +1,26 @@
+(** Run-independent structural hashing (64-bit FNV-1a).
+
+    The model checker keys canonical states by strings and hashes them for
+    compact reporting. [Hashtbl.hash] is unsuitable because it truncates
+    deep structures, and [Marshal] digests are unsuitable because
+    hash-consed values ([History.t]) and balanced-set internals have
+    run-dependent physical layout. FNV-1a over an explicit serialization is
+    stable across runs, domains and interner scopes. *)
+
+type t = int64
+(** Accumulated hash state. *)
+
+val init : t
+(** The FNV-1a 64-bit offset basis. *)
+
+val byte : t -> char -> t
+val string : t -> string -> t
+
+val int : t -> int -> t
+(** Feeds the 8 little-endian bytes of the integer. *)
+
+val hash_string : string -> t
+(** [hash_string s = string init s]. *)
+
+val to_hex : t -> string
+(** 16-digit lowercase hex rendering. *)

@@ -1,0 +1,15 @@
+let key ~round ~global ~views =
+  let views = List.sort String.compare views in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "r=";
+  Buffer.add_string buf (string_of_int round);
+  Buffer.add_char buf '#';
+  Buffer.add_string buf global;
+  List.iter
+    (fun v ->
+      Buffer.add_char buf '\x01';
+      Buffer.add_string buf v)
+    views;
+  Buffer.contents buf
+
+let hash_hex s = Anon_kernel.Hashing.(to_hex (hash_string s))

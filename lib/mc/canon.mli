@@ -1,0 +1,27 @@
+(** Canonical state keys modulo process permutation.
+
+    Anonymous processes are interchangeable: permuting the process indices
+    of a reachable global state yields a reachable global state with a
+    permuted behaviour tree, and every property we check (agreement,
+    validity, environment admissibility, weak-set axioms) is
+    permutation-invariant. The explorer therefore identifies states by the
+    {e multiset} of per-process views — a sorted list of view strings —
+    rather than the tuple, which is the anonymity symmetry reduction
+    (DESIGN.md §10).
+
+    A view must capture everything that influences the process's future
+    observable behaviour: local algorithm state, the message it just
+    broadcast, undelivered in-flight messages, its crash fate under the
+    (fixed, per-exploration) crash schedule, and any per-process
+    environment marker (the ESS stable source). Views are built from the
+    run-independent [state_key]/[msg_key] serializations of lib/core, so
+    keys agree across domains and interner scopes. *)
+
+val key : round:int -> global:string -> views:string list -> string
+(** The canonical key: round and permutation-invariant global facts,
+    followed by the sorted view multiset. *)
+
+val hash_hex : string -> string
+(** 64-bit FNV-1a of a key, in hex — the compact fingerprint used in
+    reports. Keys themselves are the visited-set members (no collision
+    risk); hashes are for display. *)

@@ -1,0 +1,284 @@
+open Anon_kernel
+module G = Anon_giraf
+module Inv = Anon_consensus.Invariants
+
+module type MODEL = sig
+  include G.Intf.ALGORITHM
+
+  val state_key : state -> string
+  val msg_key : msg -> string
+end
+
+type spec = {
+  inputs : Value.t list;
+  crash : G.Crash.t;
+  env : G.Env.t;
+  max_delay : int;
+  armed : bool;
+}
+
+module Make
+    (A : MODEL) (Cfg : sig
+      val spec : spec
+    end) =
+struct
+  let spec = Cfg.spec
+  let n = G.Crash.n spec.crash
+
+  let () =
+    if List.length spec.inputs <> n then
+      invalid_arg "Consensus_sys.make: inputs/crash size mismatch"
+
+  let inputs = Array.of_list spec.inputs
+  let correct = G.Crash.correct spec.crash
+
+  type live = { st : A.state; out : A.msg; inflight : (int * int * A.msg) list }
+  (** [inflight]: [(arrival, sent, msg)] not yet drained. At a node for
+      iteration [k], every arrival is [>= k] — buckets [M_i\[j\]] for
+      [j < k] are never re-read by any algorithm, so the in-flight list is
+      the whole mailbox. *)
+
+  type proc = Crashed | Halted | Live of live
+
+  type sys = {
+    round : int;  (** Node = system after the compute phase of iteration [round]. *)
+    procs : proc array;
+    crashing_now : G.Crash.event list;
+        (** Round-[round] crash events, filtered against the crashed/halted
+            flags exactly when Runner's loop iteration would filter them. *)
+    inv : Inv.Consensus.t;
+    stable : int option;  (** ESS: the current segment's stable source. *)
+  }
+
+  let crash_events_at ~round procs =
+    List.filter
+      (fun (ev : G.Crash.event) ->
+        match procs.(ev.pid) with Live _ -> true | Crashed | Halted -> false)
+      (G.Crash.crashing_at spec.crash ~round)
+
+  let init () =
+    let procs =
+      Array.init n (fun p ->
+          let st, m = A.initialize inputs.(p) in
+          Live { st; out = m; inflight = [] })
+    in
+    {
+      round = 1;
+      procs;
+      crashing_now = crash_events_at ~round:1 procs;
+      inv = Inv.Consensus.create ~inputs:spec.inputs;
+      stable = None;
+    }
+
+  let crashing_pids s = List.map (fun (ev : G.Crash.event) -> ev.pid) s.crashing_now
+
+  (* In Runner every live non-halted process broadcasts, so the normal
+     senders, the obligated receivers and the alive receivers all coincide:
+     the live processes not crashing this round. *)
+  let ctx s =
+    let crashing = crashing_pids s in
+    let alive =
+      List.filter
+        (fun p ->
+          (match s.procs.(p) with Live _ -> true | Crashed | Halted -> false)
+          && not (List.mem p crashing))
+        (List.init n Fun.id)
+    in
+    { G.Adversary.round = s.round; senders = alive; obligated = alive; correct; alive }
+
+  (* One transition, mirroring one Runner loop iteration phase-shifted:
+     deliver the round-[k] messages per [plan] (Dispatch semantics: arrivals
+     clamped to [>= k], receivers must be live, a plan entry pins a
+     [Broadcast_subset] crasher's partial broadcast), mark the crashers
+     crashed, latch the round-[k+1] crash events against the flags as they
+     stand before the next compute, then run iteration [k+1]'s compute on
+     every survivor in pid order, feeding decisions to the invariants. *)
+  let step s (plan : G.Adversary.plan) =
+    let k = s.round in
+    let additions = Array.make n [] in
+    let eligible q =
+      q >= 0 && q < n
+      && match s.procs.(q) with Live _ -> true | Crashed | Halted -> false
+    in
+    let deliver ~sender ~msg (d : G.Adversary.delivery) =
+      if d.receiver <> sender && eligible d.receiver then begin
+        let arrival = max d.arrival k in
+        additions.(d.receiver) <- (arrival, k, msg) :: additions.(d.receiver)
+      end
+    in
+    let non_crashing_alive =
+      List.filter (fun q -> not (List.mem q (crashing_pids s))) (List.init n Fun.id)
+    in
+    Array.iteri
+      (fun p proc ->
+        match proc with
+        | Crashed | Halted -> ()
+        | Live { out; _ } -> (
+          additions.(p) <- (k, k, out) :: additions.(p);
+          let ev =
+            List.find_opt (fun (e : G.Crash.event) -> e.pid = p) s.crashing_now
+          in
+          let scripted = List.assoc_opt p plan.G.Adversary.deliveries in
+          match (ev, scripted) with
+          | None, None -> ()
+          | None, Some ds | Some { broadcast = G.Crash.Broadcast_subset; _ }, Some ds
+            ->
+            List.iter (fun d -> deliver ~sender:p ~msg:out d) ds
+          | Some { broadcast = G.Crash.Silent; _ }, _ -> ()
+          | Some { broadcast = G.Crash.Broadcast_all; _ }, _ ->
+            List.iter
+              (fun q ->
+                if eligible q then
+                  deliver ~sender:p ~msg:out { G.Adversary.receiver = q; arrival = k })
+              non_crashing_alive
+          | Some { broadcast = G.Crash.Broadcast_subset; _ }, None ->
+            (* An unscripted partial broadcast would need the runner's RNG;
+               Plan_enum always emits an entry for a crasher (possibly
+               empty), so this branch is unreachable from [expand]. *)
+            ()))
+      s.procs;
+    let crashing = crashing_pids s in
+    let procs' =
+      Array.mapi
+        (fun p proc -> if List.mem p crashing then Crashed else proc)
+        s.procs
+    in
+    let crashing_next = crash_events_at ~round:(k + 1) procs' in
+    let decided_now = ref [] in
+    for p = 0 to n - 1 do
+      match procs'.(p) with
+      | Crashed | Halted -> ()
+      | Live { st; inflight; _ } ->
+        let all = inflight @ List.rev additions.(p) in
+        let ready, rest = List.partition (fun (a, _, _) -> a <= k) all in
+        let ready =
+          List.sort
+            (fun (a1, s1, m1) (a2, s2, m2) ->
+              match Int.compare a1 a2 with
+              | 0 -> (
+                match Int.compare s1 s2 with 0 -> A.msg_compare m1 m2 | c -> c)
+              | c -> c)
+            ready
+        in
+        let current =
+          List.sort_uniq A.msg_compare
+            (List.filter_map
+               (fun (_, sent, m) -> if sent = k then Some m else None)
+               ready)
+        in
+        let fresh = List.map (fun (_, sent, m) -> (sent, m)) ready in
+        let st', m, dec = A.compute st ~round:k ~inbox:{ G.Intf.current; fresh } in
+        (match dec with
+        | Some v ->
+          decided_now := (p, v) :: !decided_now;
+          procs'.(p) <- Halted
+        | None -> procs'.(p) <- Live { st = st'; out = m; inflight = rest })
+    done;
+    let inv = ref s.inv in
+    let viols = ref [] in
+    List.iter
+      (fun (p, v) ->
+        let inv', vs = Inv.Consensus.observe !inv ~pid:p ~value:v in
+        inv := inv';
+        viols := !viols @ vs)
+      (List.rev !decided_now);
+    let stable =
+      match spec.env with
+      | G.Env.Ess { gst } when k >= gst -> (
+        match plan.G.Adversary.source with Some _ as src -> src | None -> s.stable)
+      | _ -> s.stable
+    in
+    ( {
+        round = k + 1;
+        procs = procs';
+        crashing_now = crashing_next;
+        inv = !inv;
+        stable;
+      },
+      !viols )
+
+  let apply s plan = fst (step s plan)
+
+  let expand s =
+    let pspec =
+      {
+        G.Plan_enum.env = spec.env;
+        stable = s.stable;
+        max_delay = spec.max_delay;
+        crashing = crashing_pids s;
+        include_inadmissible = spec.armed;
+      }
+    in
+    List.map
+      (fun (c : G.Plan_enum.choice) ->
+        let s', vs = step s c.plan in
+        let vs =
+          if c.admissible then vs else G.Checker.No_source { round = s.round } :: vs
+        in
+        (c.plan, s', vs))
+      (G.Plan_enum.enumerate pspec (ctx s))
+
+  let fate p =
+    match G.Crash.crash_round spec.crash p with
+    | None -> ""
+    | Some r ->
+      let kind =
+        match
+          List.find_opt
+            (fun (e : G.Crash.event) -> e.pid = p)
+            (G.Crash.events spec.crash)
+        with
+        | Some { broadcast = G.Crash.Silent; _ } -> 's'
+        | Some { broadcast = G.Crash.Broadcast_all; _ } -> 'a'
+        | Some { broadcast = G.Crash.Broadcast_subset; _ } | None -> 'b'
+      in
+      Printf.sprintf "c%d%c" r kind
+
+  let key s =
+    let views =
+      List.init n (fun p ->
+          match s.procs.(p) with
+          | Crashed -> "X"
+          | Halted -> "H"
+          | Live { st; out; inflight } ->
+            let fl =
+              List.sort compare
+                (List.map (fun (a, sent, m) -> (a, sent, A.msg_key m)) inflight)
+            in
+            let b = Buffer.create 64 in
+            Buffer.add_string b (A.state_key st);
+            Buffer.add_string b "|m:";
+            Buffer.add_string b (A.msg_key out);
+            Buffer.add_char b '|';
+            Buffer.add_string b (fate p);
+            if s.stable = Some p then Buffer.add_string b "|S";
+            List.iter
+              (fun (a, sent, mk) ->
+                Buffer.add_string b (Printf.sprintf "|i:%d@%d=%s" sent a mk))
+              fl;
+            Buffer.contents b)
+    in
+    let decided =
+      List.sort_uniq Value.compare (List.map snd (Inv.Consensus.decided s.inv))
+    in
+    Canon.key ~round:s.round
+      ~global:(String.concat "," (List.map Value.to_string decided))
+      ~views
+
+  let terminal s =
+    List.for_all
+      (fun p -> match s.procs.(p) with Halted -> true | Crashed | Live _ -> false)
+      correct
+
+  let pending s =
+    List.filter
+      (fun p -> match s.procs.(p) with Halted -> false | Crashed | Live _ -> true)
+      correct
+end
+
+let make (module A : MODEL) spec =
+  (module Make
+            (A)
+            (struct
+              let spec = spec
+            end) : Explore.SYSTEM)

@@ -1,0 +1,301 @@
+module R = Anon_obs.Recorder
+module M = Anon_obs.Metrics
+
+module type SYSTEM = sig
+  type sys
+
+  val init : unit -> sys
+  val apply : sys -> Anon_giraf.Adversary.plan -> sys
+  val expand : sys -> (Anon_giraf.Adversary.plan * sys * Anon_giraf.Checker.violation list) list
+  val key : sys -> string
+  val terminal : sys -> bool
+  val pending : sys -> int list
+end
+
+type stats = {
+  raw_states : int;
+  canonical_states : int;
+  dedup_hits : int;
+  expanded : int;
+  frontier_peak : int;
+  terminal_branches : int;
+  bound_branches : int;
+  pending_at_bound : int;
+}
+
+let zero_stats =
+  {
+    raw_states = 0;
+    canonical_states = 0;
+    dedup_hits = 0;
+    expanded = 0;
+    frontier_peak = 0;
+    terminal_branches = 0;
+    bound_branches = 0;
+    pending_at_bound = 0;
+  }
+
+let add_stats a b =
+  {
+    raw_states = a.raw_states + b.raw_states;
+    canonical_states = a.canonical_states + b.canonical_states;
+    dedup_hits = a.dedup_hits + b.dedup_hits;
+    expanded = a.expanded + b.expanded;
+    frontier_peak = max a.frontier_peak b.frontier_peak;
+    terminal_branches = a.terminal_branches + b.terminal_branches;
+    bound_branches = a.bound_branches + b.bound_branches;
+    pending_at_bound = a.pending_at_bound + b.pending_at_bound;
+  }
+
+type witness = {
+  w_plans : Anon_giraf.Adversary.plan list;
+  w_violations : Anon_giraf.Checker.violation list;
+}
+
+type bounded = { b_plans : Anon_giraf.Adversary.plan list; b_blocked : int list }
+
+type result = {
+  stats : stats;
+  violation : witness option;
+  non_deciding : bounded option;
+}
+
+(* Plain-data summary of one successor — the only thing (besides the plan
+   prefix) that crosses a worker-task boundary. *)
+type succ = {
+  s_plan : Anon_giraf.Adversary.plan;
+  s_key : string;
+  s_violations : Anon_giraf.Checker.violation list;
+  s_terminal : bool;
+  s_pending : int list;
+}
+
+let chunk size l =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 l
+
+(* Shared accumulator for both search orders; every mutation happens in a
+   deterministic sequential order (BFS: submission-order merge; DFS: branch
+   order), so reports are reproducible and jobs-independent. *)
+type acc = {
+  visited : (string, unit) Hashtbl.t;
+  mutable raw : int;
+  mutable canonical : int;
+  mutable dedup : int;
+  mutable n_expanded : int;
+  mutable peak : int;
+  mutable term : int;
+  mutable bound : int;
+  mutable pend_bound : int;
+  mutable viol : witness option;
+  mutable nondec : bounded option;
+}
+
+let make_acc () =
+  {
+    visited = Hashtbl.create 4096;
+    raw = 0;
+    canonical = 0;
+    dedup = 0;
+    n_expanded = 0;
+    peak = 0;
+    term = 0;
+    bound = 0;
+    pend_bound = 0;
+    viol = None;
+    nondec = None;
+  }
+
+(* One successor, in deterministic order. Returns [Some prefix'] when the
+   node should be explored further. Violations are reported before the
+   dedup check — a violating transition may well land on a visited state. *)
+let admit acc ~prefix ~level ~depth sc =
+  acc.raw <- acc.raw + 1;
+  if sc.s_violations <> [] then begin
+    (if acc.viol = None then
+       acc.viol <-
+         Some { w_plans = prefix @ [ sc.s_plan ]; w_violations = sc.s_violations });
+    None
+  end
+  else if Hashtbl.mem acc.visited sc.s_key then begin
+    acc.dedup <- acc.dedup + 1;
+    None
+  end
+  else begin
+    Hashtbl.replace acc.visited sc.s_key ();
+    acc.canonical <- acc.canonical + 1;
+    if sc.s_terminal then begin
+      acc.term <- acc.term + 1;
+      None
+    end
+    else if level + 1 >= depth then begin
+      acc.bound <- acc.bound + 1;
+      if sc.s_pending <> [] then begin
+        acc.pend_bound <- acc.pend_bound + 1;
+        if acc.nondec = None then
+          acc.nondec <-
+            Some { b_plans = prefix @ [ sc.s_plan ]; b_blocked = sc.s_pending }
+      end;
+      None
+    end
+    else Some (prefix @ [ sc.s_plan ])
+  end
+
+let finish acc =
+  {
+    stats =
+      {
+        raw_states = acc.raw;
+        canonical_states = acc.canonical;
+        dedup_hits = acc.dedup;
+        expanded = acc.n_expanded;
+        frontier_peak = acc.peak;
+        terminal_branches = acc.term;
+        bound_branches = acc.bound;
+        pending_at_bound = acc.pend_bound;
+      };
+    violation = acc.viol;
+    non_deciding = acc.nondec;
+  }
+
+let emit_metrics recorder r =
+  if R.active recorder then begin
+    let c name by = M.incr ~by (R.counter recorder name) in
+    c "mc.raw_states" r.stats.raw_states;
+    c "mc.canonical_states" r.stats.canonical_states;
+    c "mc.dedup_hits" r.stats.dedup_hits;
+    c "mc.expanded" r.stats.expanded;
+    c "mc.terminal_branches" r.stats.terminal_branches;
+    c "mc.bound_branches" r.stats.bound_branches;
+    c "mc.violations" (match r.violation with None -> 0 | Some _ -> 1);
+    M.set_gauge (R.gauge recorder "mc.frontier_peak")
+      (float_of_int r.stats.frontier_peak)
+  end
+
+(* Root bookkeeping shared by both orders: returns [true] when the root
+   itself still needs expansion. *)
+let seed_root acc ~depth ~key ~terminal ~pending =
+  Hashtbl.replace acc.visited key ();
+  acc.raw <- 1;
+  acc.canonical <- 1;
+  if terminal then begin
+    acc.term <- 1;
+    false
+  end
+  else if depth <= 0 then begin
+    acc.bound <- 1;
+    if pending <> [] then begin
+      acc.pend_bound <- 1;
+      acc.nondec <- Some { b_plans = []; b_blocked = pending }
+    end;
+    false
+  end
+  else true
+
+let bfs ?jobs ?(recorder = R.off) ~depth (module S : SYSTEM) =
+  let jobs = Anon_exec.Pool.resolve ?jobs () in
+  let acc = make_acc () in
+  let successors sys =
+    List.map
+      (fun (plan, s', viols) ->
+        {
+          s_plan = plan;
+          s_key = S.key s';
+          s_violations = viols;
+          s_terminal = S.terminal s';
+          s_pending = S.pending s';
+        })
+      (S.expand sys)
+  in
+  let replay prefix = List.fold_left S.apply (S.init ()) prefix in
+  let root_key, root_term, root_pending =
+    Anon_exec.Pool.isolate
+      (fun () ->
+        let s = S.init () in
+        (S.key s, S.terminal s, S.pending s))
+      ()
+  in
+  let expand_root =
+    seed_root acc ~depth ~key:root_key ~terminal:root_term ~pending:root_pending
+  in
+  let frontier = ref (if expand_root then [ [] ] else []) in
+  let level = ref 0 in
+  while !frontier <> [] && acc.viol = None do
+    let len = List.length !frontier in
+    acc.peak <- max acc.peak len;
+    (* Workers re-simulate each prefix from a fresh [init] inside their own
+       task (own interner scope) and return only plain successor records;
+       the merge below is sequential in submission order, so the whole
+       layer's accounting — and the winning witness — is identical for
+       every [jobs] value. *)
+    let chunk_size = max 1 ((len + (4 * jobs) - 1) / (4 * jobs)) in
+    let results =
+      Anon_exec.Pool.map ~jobs
+        (fun prefixes ->
+          List.map (fun prefix -> (prefix, successors (replay prefix))) prefixes)
+        (chunk chunk_size !frontier)
+    in
+    let next = ref [] in
+    List.iter
+      (fun per_chunk ->
+        List.iter
+          (fun (prefix, succs) ->
+            acc.n_expanded <- acc.n_expanded + 1;
+            List.iter
+              (fun sc ->
+                match admit acc ~prefix ~level:!level ~depth sc with
+                | None -> ()
+                | Some prefix' -> next := prefix' :: !next)
+              succs)
+          per_chunk)
+      results;
+    frontier := List.rev !next;
+    incr level
+  done;
+  let r = finish acc in
+  emit_metrics recorder r;
+  r
+
+let dfs ?(recorder = R.off) ~depth (module S : SYSTEM) =
+  let r =
+    Anon_exec.Pool.isolate
+      (fun () ->
+        let acc = make_acc () in
+        let root = S.init () in
+        let expand_root =
+          seed_root acc ~depth ~key:(S.key root) ~terminal:(S.terminal root)
+            ~pending:(S.pending root)
+        in
+        let rec go sys prefix level stack =
+          if acc.viol = None then begin
+            acc.n_expanded <- acc.n_expanded + 1;
+            acc.peak <- max acc.peak stack;
+            List.iter
+              (fun (plan, s', viols) ->
+                if acc.viol = None then
+                  let sc =
+                    {
+                      s_plan = plan;
+                      s_key = S.key s';
+                      s_violations = viols;
+                      s_terminal = S.terminal s';
+                      s_pending = S.pending s';
+                    }
+                  in
+                  match admit acc ~prefix ~level ~depth sc with
+                  | None -> ()
+                  | Some prefix' -> go s' prefix' (level + 1) (stack + 1))
+              (S.expand sys)
+          end
+        in
+        if expand_root then go root [] 0 1;
+        finish acc)
+      ()
+  in
+  emit_metrics recorder r;
+  r

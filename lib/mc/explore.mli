@@ -1,0 +1,99 @@
+(** Bounded exhaustive exploration over admissible schedules.
+
+    The engine is generic over a {!SYSTEM}: a deterministic lockstep state
+    machine whose only nondeterminism is the per-round adversary plan. A
+    node is identified by its canonical key ({!Canon}); visited keys prune
+    permutation-equivalent branches, which is sound because every checked
+    property is permutation-invariant (DESIGN.md §10).
+
+    Two search orders are provided. {!bfs} explores layer by layer, so the
+    first counterexample it reports is at minimal round depth; its frontier
+    is a set of {e plan prefixes}, re-simulated from [init] inside worker
+    tasks on {!Anon_exec.Pool}, which keeps every node construction inside
+    the task's own kernel interner scope — only plain data (plans, keys,
+    violations) crosses task boundaries, and the sequential submission-order
+    merge makes reports independent of [jobs]. {!dfs} is sequential and
+    memory-light: it holds one live branch and shares immutable ancestor
+    nodes, stopping at the first violation in deterministic branch order. *)
+
+module type SYSTEM = sig
+  type sys
+
+  val init : unit -> sys
+  (** Build the root node. Called once per worker task, {e inside} the
+      task, so hash-consed kernel state never leaks across interner
+      scopes. *)
+
+  val apply : sys -> Anon_giraf.Adversary.plan -> sys
+  (** Deterministically replay one recorded plan (prefix re-simulation). *)
+
+  val expand : sys -> (Anon_giraf.Adversary.plan * sys * Anon_giraf.Checker.violation list) list
+  (** All successors under the round's admissible (and, when armed,
+      deliberately inadmissible) plans, in a deterministic order, each with
+      the safety violations the transition triggers. *)
+
+  val key : sys -> string
+  (** Canonical key modulo process permutation. *)
+
+  val terminal : sys -> bool
+  (** No further transition can affect any checked property (consensus:
+      every correct process decided; weak set: workload drained and no add
+      pending). Terminal nodes are not expanded. *)
+
+  val pending : sys -> int list
+  (** The processes still owed progress (undecided correct processes /
+      clients with a blocked add) — reported when the depth bound cuts a
+      branch. *)
+end
+
+type stats = {
+  raw_states : int;  (** Nodes generated, before canonicalization. *)
+  canonical_states : int;  (** Distinct canonical keys (including the root). *)
+  dedup_hits : int;  (** Generated nodes pruned as permutation-equivalent. *)
+  expanded : int;  (** Nodes whose successor sets were generated. *)
+  frontier_peak : int;  (** Largest BFS layer (DFS: deepest stack). *)
+  terminal_branches : int;  (** Distinct nodes closed as terminal. *)
+  bound_branches : int;  (** Distinct nodes cut by the depth bound. *)
+  pending_at_bound : int;
+      (** Bound-cut nodes still owing progress to someone. *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+type witness = {
+  w_plans : Anon_giraf.Adversary.plan list;  (** Plan for round [k] at index [k-1]. *)
+  w_violations : Anon_giraf.Checker.violation list;
+}
+
+type bounded = {
+  b_plans : Anon_giraf.Adversary.plan list;
+  b_blocked : int list;  (** [pending] at the cut node. *)
+}
+
+type result = {
+  stats : stats;
+  violation : witness option;
+      (** First safety violation in search order ([bfs]: shallowest). *)
+  non_deciding : bounded option;
+      (** First depth-bound cut with nonempty [pending] — the bounded
+          liveness witness (e.g. ES under an MS-only environment). *)
+}
+
+val bfs :
+  ?jobs:int ->
+  ?recorder:Anon_obs.Recorder.t ->
+  depth:int ->
+  (module SYSTEM) ->
+  result
+(** Explore every admissible schedule of up to [depth] rounds.
+    [jobs] as in {!Anon_exec.Pool.resolve}. Reports (verdict, stats,
+    witnesses) are byte-identical for every [jobs] value. *)
+
+val dfs :
+  ?recorder:Anon_obs.Recorder.t ->
+  depth:int ->
+  (module SYSTEM) ->
+  result
+(** Depth-first variant: same node ordering per level, first violation in
+    branch order (not necessarily shallowest), single-domain. *)

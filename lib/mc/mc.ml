@@ -1,0 +1,294 @@
+open Anon_kernel
+module G = Anon_giraf
+module C = Anon_consensus
+module R = Anon_obs.Recorder
+module M = Anon_obs.Metrics
+module Json = Anon_obs.Json
+
+type algo = Es | Ess | Ms_weakset | Es_unguarded
+
+let algo_name = function
+  | Es -> "es"
+  | Ess -> "ess"
+  | Ms_weakset -> "ms-weakset"
+  | Es_unguarded -> "es-unguarded"
+
+let algo_of_string = function
+  | "es" -> Ok Es
+  | "ess" -> Ok Ess
+  | "ms-weakset" -> Ok Ms_weakset
+  | "es-unguarded" -> Ok Es_unguarded
+  | s -> Error (Printf.sprintf "unknown algorithm %S (es|ess|ms-weakset|es-unguarded)" s)
+
+type search = Bfs | Dfs
+
+type config = {
+  algo : algo;
+  n : int;
+  env : G.Env.t;
+  rounds : int;
+  crashes : int;
+  max_delay : int;
+  search : search;
+  armed : bool;
+  jobs : int option;
+  seed : int;
+  ops_per_client : int;
+}
+
+type verdict = Violation | Verified | Bounded
+
+let verdict_name = function
+  | Violation -> "violation"
+  | Verified -> "verified"
+  | Bounded -> "bounded"
+
+type report = {
+  config : config;
+  schedules : int;
+  stats : Explore.stats;
+  violation : (G.Crash.event list * Explore.witness) option;
+  non_deciding : (G.Crash.event list * Explore.bounded) option;
+  witness : Witness.t option;
+  verdict : verdict;
+}
+
+let reduction_factor r =
+  if r.stats.Explore.canonical_states = 0 then 1.
+  else float_of_int r.stats.Explore.raw_states /. float_of_int r.stats.Explore.canonical_states
+
+(* --- crash-schedule enumeration --------------------------------------------- *)
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | xs :: rest ->
+    let tails = cartesian rest in
+    List.concat_map (fun x -> List.map (fun t -> x :: t) tails) xs
+
+(* k-subsets of [0..n), lexicographic. *)
+let rec combos k lo n =
+  if k = 0 then [ [] ]
+  else if lo >= n then []
+  else
+    List.map (fun rest -> lo :: rest) (combos (k - 1) (lo + 1) n) @ combos k (lo + 1) n
+
+let crash_schedules ~n ~budget ~rounds =
+  List.concat_map
+    (fun k ->
+      List.concat_map
+        (fun pids ->
+          List.map
+            (List.map2
+               (fun pid round ->
+                 { G.Crash.pid; round; broadcast = G.Crash.Broadcast_subset })
+               pids)
+            (cartesian (List.map (fun _ -> List.init rounds (fun r -> r + 1)) pids)))
+        (combos k 0 n))
+    (List.init (budget + 1) Fun.id)
+
+(* --- per-schedule system ----------------------------------------------------- *)
+
+module Es_unguarded_model = struct
+  include C.Es_consensus.No_written_old_guard
+
+  let state_key = C.Es_consensus.state_key
+  let msg_key = C.Es_consensus.msg_key
+end
+
+let system config ~inputs ~crash =
+  let cspec model =
+    Consensus_sys.make model
+      {
+        Consensus_sys.inputs;
+        crash;
+        env = config.env;
+        max_delay = config.max_delay;
+        armed = config.armed;
+      }
+  in
+  match config.algo with
+  | Es -> cspec (module C.Es_consensus)
+  | Es_unguarded -> cspec (module Es_unguarded_model)
+  | Ess -> cspec (module C.Ess_consensus)
+  | Ms_weakset ->
+    Ws_sys.make
+      {
+        Ws_sys.n = config.n;
+        crash;
+        env = config.env;
+        max_delay = config.max_delay;
+        armed = config.armed;
+        ops_per_client = config.ops_per_client;
+      }
+
+(* --- the run ------------------------------------------------------------------ *)
+
+let run ?(recorder = R.off) ?out config =
+  if config.n < 1 then invalid_arg "Mc.run: n must be >= 1";
+  if config.rounds < 1 then invalid_arg "Mc.run: rounds must be >= 1";
+  if config.crashes < 0 || config.crashes > config.n then
+    invalid_arg "Mc.run: crashes must be in [0, n]";
+  (* The same derivation as Scenario.inputs, so an emitted witness (which
+     carries only the seed) replays against identical proposals. *)
+  let inputs =
+    Rng.shuffle (Rng.make config.seed) (List.init config.n (fun i -> i + 1))
+  in
+  let explore sysmod =
+    match config.search with
+    | Bfs -> Explore.bfs ?jobs:config.jobs ~recorder ~depth:config.rounds sysmod
+    | Dfs -> Explore.dfs ~recorder ~depth:config.rounds sysmod
+  in
+  let stats = ref Explore.zero_stats in
+  let violation = ref None in
+  let non_deciding = ref None in
+  let schedules = ref 0 in
+  List.iter
+    (fun events ->
+      if !violation = None then begin
+        incr schedules;
+        let crash = G.Crash.of_events ~n:config.n events in
+        let r = explore (system config ~inputs ~crash) in
+        stats := Explore.add_stats !stats r.Explore.stats;
+        (match r.Explore.violation with
+        | Some w -> violation := Some (events, w)
+        | None -> ());
+        match r.Explore.non_deciding with
+        | Some b when !non_deciding = None -> non_deciding := Some (events, b)
+        | Some _ | None -> ()
+      end)
+    (crash_schedules ~n:config.n ~budget:config.crashes ~rounds:config.rounds);
+  let scen_algo =
+    match config.algo with
+    | Es -> Some Anon_chaos.Scenario.Es
+    | Ess -> Some Anon_chaos.Scenario.Ess
+    | Ms_weakset -> Some Anon_chaos.Scenario.Weak_set
+    | Es_unguarded -> None
+  in
+  let witness =
+    let build ~crashes ~plans ~mc_violations =
+      Option.map
+        (fun algo ->
+          Witness.build ~algo ~env:config.env ~n:config.n ~seed:config.seed
+            ~ops_per_client:config.ops_per_client ~crashes ~plans ~mc_violations)
+        scen_algo
+    in
+    match (!violation, !non_deciding) with
+    | Some (events, w), _ ->
+      build ~crashes:events ~plans:w.Explore.w_plans
+        ~mc_violations:w.Explore.w_violations
+    | None, Some (events, b) ->
+      build ~crashes:events ~plans:b.Explore.b_plans ~mc_violations:[]
+    | None, None -> None
+  in
+  (match (out, witness) with
+  | Some path, Some w -> Witness.write ~path w
+  | _ -> ());
+  let verdict =
+    if !violation <> None then Violation
+    else if !stats.Explore.bound_branches > 0 then Bounded
+    else Verified
+  in
+  let report =
+    {
+      config;
+      schedules = !schedules;
+      stats = !stats;
+      violation = !violation;
+      non_deciding = !non_deciding;
+      witness;
+      verdict;
+    }
+  in
+  if R.active recorder then begin
+    M.incr ~by:report.schedules (R.counter recorder "mc.schedules");
+    M.set_gauge (R.gauge recorder "mc.reduction_factor") (reduction_factor report);
+    R.flush recorder
+  end;
+  report
+
+(* --- rendering ---------------------------------------------------------------- *)
+
+let pp_events ppf events =
+  match events with
+  | [] -> Format.fprintf ppf "none"
+  | evs ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf (ev : G.Crash.event) -> Format.fprintf ppf "p%d@r%d" ev.pid ev.round)
+      ppf evs
+
+let pp_report ppf r =
+  let s = r.stats in
+  Format.fprintf ppf "@[<v>mc %s: n=%d env=%a rounds<=%d crashes<=%d %s%s@,"
+    (algo_name r.config.algo) r.config.n G.Env.pp r.config.env r.config.rounds
+    r.config.crashes
+    (match r.config.search with Bfs -> "bfs" | Dfs -> "dfs")
+    (if r.config.armed then " (armed)" else "");
+  Format.fprintf ppf
+    "schedules=%d states: raw=%d canonical=%d dedup=%d (reduction %.2fx)@,"
+    r.schedules s.Explore.raw_states s.Explore.canonical_states
+    s.Explore.dedup_hits (reduction_factor r);
+  Format.fprintf ppf
+    "branches: terminal=%d at-bound=%d (blocked %d); expanded=%d peak-frontier=%d@,"
+    s.Explore.terminal_branches s.Explore.bound_branches s.Explore.pending_at_bound
+    s.Explore.expanded s.Explore.frontier_peak;
+  (match r.violation with
+  | Some (events, w) ->
+    Format.fprintf ppf "violation at depth %d (crashes: %a):@,"
+      (List.length w.Explore.w_plans) pp_events events;
+    List.iter
+      (fun v -> Format.fprintf ppf "  %a@," G.Checker.pp_violation v)
+      w.Explore.w_violations
+  | None -> ());
+  (match r.non_deciding with
+  | Some (events, b) when r.violation = None ->
+    Format.fprintf ppf
+      "non-deciding witness at depth %d (crashes: %a; blocked: %s)@,"
+      (List.length b.Explore.b_plans) pp_events events
+      (String.concat "," (List.map string_of_int b.Explore.b_blocked))
+  | Some _ | None -> ());
+  (match r.witness with
+  | Some w ->
+    Format.fprintf ppf "witness replay: %s@,"
+      (if Witness.confirmed w then "confirmed by checker" else "no checker violation (bounded witness)")
+  | None -> ());
+  Format.fprintf ppf "verdict: %s@]" (verdict_name r.verdict)
+
+let report_json r =
+  let s = r.stats in
+  Json.Obj
+    [
+      ("algo", Json.String (algo_name r.config.algo));
+      ("n", Json.Int r.config.n);
+      ("env", Json.String (G.Env.to_string r.config.env));
+      ("rounds", Json.Int r.config.rounds);
+      ("crashes", Json.Int r.config.crashes);
+      ("max_delay", Json.Int r.config.max_delay);
+      ( "search",
+        Json.String (match r.config.search with Bfs -> "bfs" | Dfs -> "dfs") );
+      ("armed", Json.Bool r.config.armed);
+      ("seed", Json.Int r.config.seed);
+      ("schedules", Json.Int r.schedules);
+      ("raw_states", Json.Int s.Explore.raw_states);
+      ("canonical_states", Json.Int s.Explore.canonical_states);
+      ("dedup_hits", Json.Int s.Explore.dedup_hits);
+      ("expanded", Json.Int s.Explore.expanded);
+      ("frontier_peak", Json.Int s.Explore.frontier_peak);
+      ("terminal_branches", Json.Int s.Explore.terminal_branches);
+      ("bound_branches", Json.Int s.Explore.bound_branches);
+      ("pending_at_bound", Json.Int s.Explore.pending_at_bound);
+      ("reduction_factor", Json.Float (reduction_factor r));
+      ("verdict", Json.String (verdict_name r.verdict));
+      ( "violations",
+        Json.List
+          (match r.violation with
+          | None -> []
+          | Some (_, w) ->
+            List.map
+              (fun v -> Json.String (Format.asprintf "%a" G.Checker.pp_violation v))
+              w.Explore.w_violations) );
+      ( "witness_confirmed",
+        match r.witness with
+        | None -> Json.Null
+        | Some w -> Json.Bool (Witness.confirmed w) );
+    ]

@@ -1,0 +1,39 @@
+module G = Anon_giraf
+module Scenario = Anon_chaos.Scenario
+module Fuzz = Anon_chaos.Fuzz
+
+type t = {
+  case : Scenario.t;
+  mc_violations : G.Checker.violation list;
+  replay_violations : G.Checker.violation list;
+}
+
+let build ~algo ~env ~n ~seed ~ops_per_client ~crashes ~plans ~mc_violations =
+  let case =
+    {
+      Scenario.algo;
+      n;
+      gst = Option.value ~default:0 (G.Env.gst env);
+      rotation = G.Adversary.Round_robin;
+      noise = 0.;
+      horizon = List.length plans + 1;
+      seed;
+      crashes;
+      ops_per_client;
+      faults = Anon_chaos.Fault.none;
+      schedule = Some { Scenario.sched_env = env; plans };
+    }
+  in
+  { case; mc_violations; replay_violations = Fuzz.run_case case }
+
+let confirmed t = t.replay_violations <> []
+
+let write ~path t =
+  Fuzz.write_repro ~path
+    {
+      Fuzz.original = t.case;
+      original_violations = t.replay_violations;
+      case = t.case;
+      violations = t.replay_violations;
+      explored = 0;
+    }

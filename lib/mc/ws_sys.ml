@@ -1,0 +1,313 @@
+open Anon_kernel
+module G = Anon_giraf
+module S = Anon_consensus.Weak_set_ms
+module Inv = Anon_consensus.Invariants
+
+type spec = {
+  n : int;
+  crash : G.Crash.t;
+  env : G.Env.t;
+  max_delay : int;
+  armed : bool;
+  ops_per_client : int;
+}
+
+module Make (Cfg : sig
+  val spec : spec
+end) =
+struct
+  let spec = Cfg.spec
+  let n = spec.n
+
+  let () =
+    if G.Crash.n spec.crash <> n then
+      invalid_arg "Ws_sys.make: n/crash size mismatch"
+
+  let correct = G.Crash.correct spec.crash
+
+  let workload =
+    Anon_chaos.Scenario.mc_workload ~n ~ops_per_client:spec.ops_per_client
+
+  type live = {
+    st : S.state;
+    out : S.msg;
+    inflight : (int * int * S.msg) list;  (* (arrival, sent, msg), arrival >= round *)
+    script : (int * G.Service_runner.op_spec) list;
+    blocked : Value.t option;  (* value of the pending (blocking) add *)
+  }
+
+  type proc = Crashed | Live of live
+
+  type sys = {
+    round : int;  (** Node = system after the compute phase of iteration [round]. *)
+    procs : proc array;
+    crashing_now : G.Crash.event list;
+    inv : Inv.Weak_set.t;
+  }
+
+  (* The service runner filters crash events only on the crashed flag
+     (services never halt). *)
+  let crash_events_at ~round procs =
+    List.filter
+      (fun (ev : G.Crash.event) ->
+        match procs.(ev.pid) with Live _ -> true | Crashed -> false)
+      (G.Crash.crashing_at spec.crash ~round)
+
+  let init () =
+    let procs =
+      Array.init n (fun p ->
+          let st, m = S.initialize () in
+          Live
+            {
+              st;
+              out = m;
+              inflight = [];
+              script = Option.value ~default:[] (List.assoc_opt p workload);
+              blocked = None;
+            })
+    in
+    {
+      round = 1;
+      procs;
+      crashing_now = crash_events_at ~round:1 procs;
+      inv = Inv.Weak_set.create ();
+    }
+
+  let crashing_pids s = List.map (fun (ev : G.Crash.event) -> ev.pid) s.crashing_now
+
+  let ctx s =
+    let crashing = crashing_pids s in
+    let alive =
+      List.filter
+        (fun p ->
+          (match s.procs.(p) with Live _ -> true | Crashed -> false)
+          && not (List.mem p crashing))
+        (List.init n Fun.id)
+    in
+    { G.Adversary.round = s.round; senders = alive; obligated = alive; correct; alive }
+
+  (* One transition: round-[k] deliveries per plan, crashers die, the
+     round-[k] operation phase runs (one op per unblocked live client, in
+     pid order, reading the post-compute state — adds invoked first, gets
+     judged after every invocation of the phase is recorded), then every
+     survivor computes iteration [k+1], completing adds whose BLOCK flag
+     cleared. *)
+  let step s (plan : G.Adversary.plan) =
+    let k = s.round in
+    let additions = Array.make n [] in
+    let eligible q =
+      q >= 0 && q < n && match s.procs.(q) with Live _ -> true | Crashed -> false
+    in
+    let deliver ~sender ~msg (d : G.Adversary.delivery) =
+      if d.receiver <> sender && eligible d.receiver then begin
+        let arrival = max d.arrival k in
+        additions.(d.receiver) <- (arrival, k, msg) :: additions.(d.receiver)
+      end
+    in
+    let crashing = crashing_pids s in
+    let non_crashing_alive =
+      List.filter (fun q -> not (List.mem q crashing)) (List.init n Fun.id)
+    in
+    Array.iteri
+      (fun p proc ->
+        match proc with
+        | Crashed -> ()
+        | Live { out; _ } -> (
+          additions.(p) <- (k, k, out) :: additions.(p);
+          let ev =
+            List.find_opt (fun (e : G.Crash.event) -> e.pid = p) s.crashing_now
+          in
+          let scripted = List.assoc_opt p plan.G.Adversary.deliveries in
+          match (ev, scripted) with
+          | None, None -> ()
+          | None, Some ds | Some { broadcast = G.Crash.Broadcast_subset; _ }, Some ds
+            ->
+            List.iter (fun d -> deliver ~sender:p ~msg:out d) ds
+          | Some { broadcast = G.Crash.Silent; _ }, _ -> ()
+          | Some { broadcast = G.Crash.Broadcast_all; _ }, _ ->
+            List.iter
+              (fun q ->
+                if eligible q then
+                  deliver ~sender:p ~msg:out { G.Adversary.receiver = q; arrival = k })
+              non_crashing_alive
+          | Some { broadcast = G.Crash.Broadcast_subset; _ }, None -> ()))
+      s.procs;
+    let procs' =
+      Array.mapi
+        (fun p proc -> if List.mem p crashing then Crashed else proc)
+        s.procs
+    in
+    (* Operation phase of round [k] (op_time = 2k + 1). *)
+    let inv = ref s.inv in
+    let gets = ref [] in
+    let op_time = (2 * k) + 1 in
+    for p = 0 to n - 1 do
+      match procs'.(p) with
+      | Crashed -> ()
+      | Live ({ st; script; blocked = None; _ } as l) -> (
+        match script with
+        | (start, op) :: rest when start <= k -> (
+          match op with
+          | G.Service_runner.Do_get ->
+            gets := (p, S.get st) :: !gets;
+            procs'.(p) <- Live { l with script = rest }
+          | G.Service_runner.Do_add v ->
+            inv := Inv.Weak_set.invoke_add !inv v;
+            procs'.(p) <- Live { l with st = S.add st v; script = rest; blocked = Some v }
+          | G.Service_runner.Do_add_with f ->
+            let v = f (S.get st) in
+            inv := Inv.Weak_set.invoke_add !inv v;
+            procs'.(p) <- Live { l with st = S.add st v; script = rest; blocked = Some v }
+          )
+        | _ -> ())
+      | Live _ -> ()
+    done;
+    let viols =
+      List.concat_map
+        (fun (p, result) ->
+          Inv.Weak_set.observe_get !inv ~client:p
+            ~correct:(G.Crash.is_correct spec.crash p)
+            ~invoked_at:op_time ~result)
+        (List.rev !gets)
+    in
+    let crashing_next = crash_events_at ~round:(k + 1) procs' in
+    (* Compute phase of iteration [k+1] (compute_time = 2(k+1)). *)
+    for p = 0 to n - 1 do
+      match procs'.(p) with
+      | Crashed -> ()
+      | Live ({ st; inflight; blocked; _ } as l) ->
+        let all = inflight @ List.rev additions.(p) in
+        let ready, rest = List.partition (fun (a, _, _) -> a <= k) all in
+        let ready =
+          List.sort
+            (fun (a1, s1, m1) (a2, s2, m2) ->
+              match Int.compare a1 a2 with
+              | 0 -> (
+                match Int.compare s1 s2 with 0 -> S.msg_compare m1 m2 | c -> c)
+              | c -> c)
+            ready
+        in
+        let current =
+          List.sort_uniq S.msg_compare
+            (List.filter_map
+               (fun (_, sent, m) -> if sent = k then Some m else None)
+               ready)
+        in
+        let fresh = List.map (fun (_, sent, m) -> (sent, m)) ready in
+        let st', m = S.compute st ~round:k ~inbox:{ G.Intf.current; fresh } in
+        let blocked' =
+          match blocked with
+          | Some v when not (S.add_pending st') ->
+            inv := Inv.Weak_set.complete_add !inv v ~time:(2 * (k + 1));
+            None
+          | other -> other
+        in
+        procs'.(p) <- Live { l with st = st'; out = m; inflight = rest; blocked = blocked' }
+    done;
+    ( { round = k + 1; procs = procs'; crashing_now = crashing_next; inv = !inv },
+      viols )
+
+  let apply s plan = fst (step s plan)
+
+  let expand s =
+    let pspec =
+      {
+        G.Plan_enum.env = spec.env;
+        stable = None;
+        max_delay = spec.max_delay;
+        crashing = crashing_pids s;
+        include_inadmissible = spec.armed;
+      }
+    in
+    List.map
+      (fun (c : G.Plan_enum.choice) ->
+        let s', vs = step s c.plan in
+        let vs =
+          if c.admissible then vs else G.Checker.No_source { round = s.round } :: vs
+        in
+        (c.plan, s', vs))
+      (G.Plan_enum.enumerate pspec (ctx s))
+
+  let fate p =
+    match G.Crash.crash_round spec.crash p with
+    | None -> ""
+    | Some r ->
+      let kind =
+        match
+          List.find_opt
+            (fun (e : G.Crash.event) -> e.pid = p)
+            (G.Crash.events spec.crash)
+        with
+        | Some { broadcast = G.Crash.Silent; _ } -> 's'
+        | Some { broadcast = G.Crash.Broadcast_all; _ } -> 'a'
+        | Some { broadcast = G.Crash.Broadcast_subset; _ } | None -> 'b'
+      in
+      Printf.sprintf "c%d%c" r kind
+
+  let pp_op buf (start, op) =
+    Buffer.add_string buf
+      (match op with
+      | G.Service_runner.Do_get -> Printf.sprintf "%dG" start
+      | G.Service_runner.Do_add v -> Printf.sprintf "%dA%s" start (Value.to_string v)
+      | G.Service_runner.Do_add_with _ -> Printf.sprintf "%dF" start)
+
+  let key s =
+    let views =
+      List.init n (fun p ->
+          match s.procs.(p) with
+          | Crashed -> "X"
+          | Live { st; out; inflight; script; blocked } ->
+            let fl =
+              List.sort compare
+                (List.map (fun (a, sent, m) -> (a, sent, S.msg_key m)) inflight)
+            in
+            let b = Buffer.create 64 in
+            Buffer.add_string b (S.state_key st);
+            Buffer.add_string b "|m:";
+            Buffer.add_string b (S.msg_key out);
+            Buffer.add_char b '|';
+            Buffer.add_string b (fate p);
+            (match blocked with
+            | Some v ->
+              Buffer.add_string b "|b:";
+              Buffer.add_string b (Value.to_string v)
+            | None -> ());
+            Buffer.add_string b "|w:";
+            List.iter (fun o -> pp_op b o) script;
+            List.iter
+              (fun (a, sent, mk) ->
+                Buffer.add_string b (Printf.sprintf "|i:%d@%d=%s" sent a mk))
+              fl;
+            Buffer.contents b)
+    in
+    let set_str set =
+      String.concat "," (List.map Value.to_string (Value.Set.elements set))
+    in
+    let global =
+      Printf.sprintf "inv:%s/comp:%s"
+        (set_str (Inv.Weak_set.invoked s.inv))
+        (set_str (Inv.Weak_set.completed_values s.inv))
+    in
+    Canon.key ~round:s.round ~global ~views
+
+  (* The explored workload is finite: once every live client's script is
+     drained and no add is blocked, no transition can complete another
+     operation, so no future get exists to judge — the branch is closed. *)
+  let terminal s =
+    Array.for_all
+      (function Crashed -> true | Live { script; blocked; _ } -> script = [] && blocked = None)
+      s.procs
+
+  let pending s =
+    List.filter
+      (fun p ->
+        match s.procs.(p) with
+        | Crashed -> false
+        | Live { blocked; _ } -> blocked <> None)
+      (List.init n Fun.id)
+end
+
+let make spec =
+  (module Make (struct
+    let spec = spec
+  end) : Explore.SYSTEM)

@@ -113,15 +113,43 @@ let of_string s =
              | 'f' -> Buffer.add_char buf '\012'; advance ()
              | 'u' ->
                advance ();
-               if !pos + 4 > n then fail "truncated \\u escape";
-               let code =
-                 try int_of_string ("0x" ^ String.sub s !pos 4)
-                 with _ -> fail "bad \\u escape"
+               let hex4 () =
+                 if !pos + 4 > n then fail "truncated \\u escape";
+                 let digit c =
+                   match c with
+                   | '0' .. '9' -> Char.code c - Char.code '0'
+                   | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                   | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                   | _ -> fail "bad \\u escape"
+                 in
+                 let v =
+                   (digit s.[!pos] lsl 12)
+                   lor (digit s.[!pos + 1] lsl 8)
+                   lor (digit s.[!pos + 2] lsl 4)
+                   lor digit s.[!pos + 3]
+                 in
+                 pos := !pos + 4;
+                 v
                in
-               pos := !pos + 4;
-               (* ASCII range only; anything above degrades to '?' (the
-                  printer only emits \u for control characters). *)
-               Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
+               let code = hex4 () in
+               let code =
+                 if code >= 0xd800 && code <= 0xdbff then
+                   (* High surrogate: only valid as the first half of a
+                      \uXXXX\uXXXX pair encoding an astral code point. *)
+                   if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let low = hex4 () in
+                     if low >= 0xdc00 && low <= 0xdfff then
+                       0x10000 + ((code - 0xd800) lsl 10) + (low - 0xdc00)
+                     else fail "unpaired surrogate in \\u escape"
+                   end
+                   else fail "unpaired surrogate in \\u escape"
+                 else if code >= 0xdc00 && code <= 0xdfff then
+                   fail "unpaired surrogate in \\u escape"
+                 else code
+               in
+               Buffer.add_utf_8_uchar buf (Uchar.of_int code)
              | _ -> fail "unknown escape");
           go ()
         | c -> Buffer.add_char buf c; advance (); go ()

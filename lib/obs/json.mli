@@ -23,7 +23,9 @@ val to_string : t -> string
 val of_string : string -> (t, string) result
 (** Parse one JSON document. [Error msg] carries the byte offset of the
     failure. Accepts exactly the subset [to_string] emits plus arbitrary
-    inter-token whitespace and [\u....] escapes. *)
+    inter-token whitespace and [\u....] escapes, which are decoded to
+    UTF-8 bytes (surrogate pairs combine into one astral code point;
+    lone surrogates are rejected). *)
 
 val member : string -> t -> t option
 (** Field lookup in an [Obj]; [None] on missing field or non-object. *)

@@ -65,6 +65,7 @@ let base_case algo : Ch.Scenario.t =
     crashes = [];
     ops_per_client = 4;
     faults = heavy_faults;
+    schedule = None;
   }
 
 let test_wrap_admissible_all_algos () =
@@ -140,6 +141,71 @@ let test_unstable_source_detected () =
   let vs = Ch.Fuzz.run_case case in
   check_bool "stability violation found" true (has_tag `Unstable vs)
 
+(* --- map_plan over scripted adversaries --------------------------------------- *)
+
+(* The chaos layer's wrapping hook composed with a fully scripted inner
+   adversary: the wrapper must inherit the declared environment verbatim,
+   and a deliberately inadmissible transformation must still be flagged by
+   the trace checker. *)
+
+let test_map_plan_scripted_env () =
+  let mk env =
+    G.Adversary.scripted ~name:"script" ~env (fun ctx _rng ->
+        G.Adversary.timely_all ctx)
+  in
+  List.iter
+    (fun env ->
+      let base = mk env in
+      let wrapped = G.Adversary.map_plan (fun _ctx _rng p -> p) base in
+      check_bool "env preserved" true (G.Adversary.env wrapped = env);
+      Alcotest.(check string)
+        "name preserved by default" (G.Adversary.name base)
+        (G.Adversary.name wrapped);
+      let renamed =
+        G.Adversary.map_plan ~rename:(fun n -> n ^ "+noop") (fun _ _ p -> p) base
+      in
+      check_bool "env preserved under rename" true (G.Adversary.env renamed = env);
+      Alcotest.(check string) "rename applied" "script+noop"
+        (G.Adversary.name renamed))
+    [ G.Env.Ms; G.Env.Es { gst = 4 }; G.Env.Ess { gst = 3 }; G.Env.Sync ]
+
+let test_map_plan_scripted_inadmissible () =
+  (* The inner script is fully synchronous (admissible in MS); the wrapper
+     pushes every delivery one round late from round 2 on and erases the
+     source designation — the checker must catch the hole. *)
+  let base =
+    G.Adversary.scripted ~name:"script" ~env:G.Env.Ms (fun ctx _rng ->
+        G.Adversary.timely_all ctx)
+  in
+  let sabotage (ctx : G.Adversary.ctx) _rng (p : G.Adversary.plan) =
+    if ctx.round < 2 then p
+    else
+      {
+        G.Adversary.source = None;
+        deliveries =
+          List.map
+            (fun (sender, ds) ->
+              ( sender,
+                List.map
+                  (fun (d : G.Adversary.delivery) ->
+                    { d with G.Adversary.arrival = ctx.round + 1 })
+                  ds ))
+            p.G.Adversary.deliveries;
+      }
+  in
+  let wrapped = G.Adversary.map_plan ~rename:(fun n -> n ^ "+late") sabotage base in
+  check_bool "declared env unchanged by sabotage" true
+    (G.Adversary.env wrapped = G.Env.Ms);
+  let config =
+    G.Runner.default_config ~horizon:12 ~seed:3 ~inputs:[ 2; 7; 5 ]
+      ~crash:(G.Crash.none ~n:3) wrapped
+  in
+  let module R = G.Runner.Make (Anon_consensus.Es_consensus) in
+  let out = R.run config in
+  let vs = G.Checker.check_env out.G.Runner.trace in
+  check_bool "checker flags the transformed schedule" true
+    (has_tag `No_source vs || has_tag `Not_timely vs)
+
 (* --- scenario JSON ------------------------------------------------------------ *)
 
 let test_scenario_json_roundtrip () =
@@ -214,6 +280,10 @@ let () =
           Alcotest.test_case "drop-obligated caught" `Quick test_drop_obligated_detected;
           Alcotest.test_case "unstable-source caught" `Quick
             test_unstable_source_detected;
+          Alcotest.test_case "map_plan over scripted keeps env" `Quick
+            test_map_plan_scripted_env;
+          Alcotest.test_case "map_plan sabotage caught" `Quick
+            test_map_plan_scripted_inadmissible;
         ] );
       ( "fuzz",
         [

@@ -26,6 +26,63 @@ let test_table_csv () =
   let t = mk_table [ [ "x,y"; "z\"w" ] ] in
   Alcotest.(check string) "escaped csv" "a,b\n\"x,y\",\"z\"\"w\"\n" (H.Table.to_csv t)
 
+(* RFC 4180 round-trip: unescape a single escaped field and recover the
+   original. The tiny parser here is the inverse any spreadsheet applies:
+   a field starting with '"' ends at the matching quote, with '""'
+   unescaping to '"'. *)
+let csv_unescape s =
+  let len = String.length s in
+  if len = 0 || s.[0] <> '"' then s
+  else begin
+    let buf = Buffer.create len in
+    let rec go i =
+      if i >= len - 1 then ()
+      else if s.[i] = '"' then
+        if i + 1 <= len - 1 && s.[i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          go (i + 2)
+        end
+        else () (* closing quote *)
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+    in
+    go 1;
+    Buffer.contents buf
+  end
+
+let test_csv_escape_rfc4180 () =
+  let plain = [ "x"; ""; "no specials"; "semi;colon"; "tab\there" ] in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("unquoted: " ^ s) s (H.Table.csv_escape s))
+    plain;
+  let quoted =
+    [
+      "a,b";
+      "say \"hi\"";
+      "line1\nline2";
+      "cr\rhere";
+      "crlf\r\nline";
+      "\"";
+      ",";
+      "all,of\"it\r\n";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let e = H.Table.csv_escape s in
+      check_bool ("quoted: " ^ String.escaped s) true
+        (String.length e >= 2 && e.[0] = '"' && e.[String.length e - 1] = '"');
+      (* No bare quote or separator survives inside the quoted body
+         unescaped: round-tripping recovers the original exactly. *)
+      Alcotest.(check string) ("roundtrip: " ^ String.escaped s) s (csv_unescape e))
+    quoted;
+  List.iter
+    (fun s -> Alcotest.(check string) ("identity: " ^ s) s (csv_unescape (H.Table.csv_escape s)))
+    plain
+
 let test_table_cells () =
   Alcotest.(check string) "int" "3" (H.Table.cell_int 3);
   Alcotest.(check string) "float" "3.1" (H.Table.cell_float 3.14);
@@ -60,7 +117,7 @@ let test_batch_counts () =
 let test_registry_ids_unique () =
   let ids = List.map (fun (e : H.Registry.experiment) -> e.id) H.Registry.all in
   check_int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
-  check_int "all experiments present" 20 (List.length ids)
+  check_int "all experiments present" 21 (List.length ids)
 
 let test_registry_find () =
   check_bool "finds t9 case-insensitively" true (H.Registry.find "t9" <> None);
@@ -108,6 +165,7 @@ let () =
           Alcotest.test_case "ragged" `Quick test_table_ragged;
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "csv escaping rfc4180" `Quick test_csv_escape_rfc4180;
           Alcotest.test_case "cells" `Quick test_table_cells;
         ] );
       ( "runs",

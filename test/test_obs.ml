@@ -48,6 +48,51 @@ let test_json_parse_errors () =
   bad "tru";
   bad "1 2"
 
+let test_json_unicode_escapes () =
+  let parses s expected =
+    match Json.of_string s with
+    | Ok (Json.String got) -> Alcotest.(check string) s expected got
+    | Ok _ -> Alcotest.failf "%S parsed to a non-string" s
+    | Error e -> Alcotest.failf "%S: %s" s e
+  in
+  (* \u escapes decode to UTF-8 bytes, not truncated chars. *)
+  parses {|"\u0041"|} "A";
+  parses {|"\u00e9"|} "\xc3\xa9" (* e-acute *);
+  parses {|"\u00E9"|} "\xc3\xa9" (* upper-case hex digits *);
+  parses {|"\u2713"|} "\xe2\x9c\x93" (* check mark *);
+  parses {|"\u0000"|} "\x00";
+  (* A surrogate pair decodes to one astral code point. *)
+  parses {|"\ud83d\ude00"|} "\xf0\x9f\x98\x80" (* U+1F600 *);
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  (* Lone or misordered surrogates are rejected. *)
+  bad {|"\ud83d"|};
+  bad {|"\ud83d rest"|};
+  bad {|"\ude00"|};
+  bad {|"\ud83dA"|};
+  bad {|"\u12"|};
+  bad {|"\u12g4"|}
+
+let test_json_non_ascii_roundtrip () =
+  (* Raw UTF-8 passes through the printer untouched and survives the
+     parser; escaped input re-prints as the same raw bytes. *)
+  List.iter
+    (fun s ->
+      let v = Json.String s in
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> Alcotest.check json ("roundtrip " ^ s) v v'
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    [ "h\xc3\xa9llo"; "\xe2\x9c\x93 done"; "\xf0\x9f\x98\x80";
+      "mixed \xe2\x9c\x93 \xf0\x9f\x98\x80 end" ];
+  match Json.of_string {|"caf\u00e9 \u2713 \ud83d\ude00"|} with
+  | Ok v ->
+    Alcotest.check json "escapes normalize to UTF-8"
+      (Json.String "caf\xc3\xa9 \xe2\x9c\x93 \xf0\x9f\x98\x80") v
+  | Error e -> Alcotest.failf "parse error: %s" e
+
 (* --- Metrics ---------------------------------------------------------------- *)
 
 let test_metrics_counters_gauges () =
@@ -268,6 +313,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "non-finite" `Quick test_json_non_finite;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "non-ascii roundtrip" `Quick
+            test_json_non_ascii_roundtrip;
         ] );
       ( "metrics",
         [
