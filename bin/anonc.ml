@@ -55,8 +55,9 @@ let set_jobs jobs =
   end;
   Anon_exec.Pool.default_jobs := jobs
 
-let trace_arg =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full round-by-round trace.")
+let rounds_trace_arg =
+  Arg.(value & flag
+       & info [ "rounds" ] ~doc:"Print the full round-by-round textual trace.")
 
 let metrics_arg =
   Arg.(value & flag
@@ -67,10 +68,18 @@ let json_trace_arg =
        & info [ "json-trace" ] ~docv:"FILE"
            ~doc:"Stream structured events (one JSON object per line) to $(docv).")
 
-(* Build a recorder from the [--metrics] / [--json-trace FILE] options,
-   run [f] with it, then print the metrics table and close the trace
-   file. *)
-let with_recorder ~metrics ~json_trace f =
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file to $(docv): per-process \
+                 round spans, message flow edges, decide/crash instants. Open \
+                 it in ui.perfetto.dev or chrome://tracing. Deterministic at a \
+                 fixed seed.")
+
+(* Build a recorder from the [--metrics] / [--json-trace FILE] /
+   [--trace FILE] options, run [f] with it, then print the metrics table
+   and write/close the trace files. *)
+let with_recorder ?(trace = None) ~metrics ~json_trace f =
   let registry = if metrics then O.Metrics.create () else O.Metrics.disabled in
   let oc =
     Option.map
@@ -81,7 +90,16 @@ let with_recorder ~metrics ~json_trace f =
           exit 1)
       json_trace
   in
-  let sink = match oc with None -> O.Sink.null | Some oc -> O.Sink.jsonl oc in
+  let tracer = Option.map (fun _ -> O.Trace.create ()) trace in
+  let sink =
+    match
+      (match oc with None -> [] | Some oc -> [ O.Sink.jsonl oc ])
+      @ (match tracer with None -> [] | Some tr -> [ O.Trace.sink tr ])
+    with
+    | [] -> O.Sink.null
+    | [ s ] -> s
+    | sinks -> O.Sink.tee sinks
+  in
   let recorder = O.Recorder.create ~metrics:registry ~sink () in
   let finally () =
     O.Recorder.flush recorder;
@@ -93,6 +111,16 @@ let with_recorder ~metrics ~json_trace f =
       (match json_trace with
       | Some path -> Format.fprintf ppf "json trace written to %s@." path
       | None -> ());
+      (match (trace, tracer) with
+      | Some path, Some tr -> (
+        match O.Trace.write ~path tr with
+        | () ->
+          Format.fprintf ppf
+            "chrome trace written to %s (open in ui.perfetto.dev)@." path
+        | exception Sys_error msg ->
+          Format.eprintf "anonc: cannot write trace file: %s@." msg;
+          exit 1)
+      | _ -> ());
       result)
 
 (* --- run ------------------------------------------------------------------ *)
@@ -121,8 +149,8 @@ let adversary_of ~algo ~schedule ~gst =
   | Ess, Blocking -> G.Adversary.ess_blocking ~gst ()
   | Ess, Noisy -> G.Adversary.ess ~gst ~noise:0.25 ()
 
-let report_outcome ~trace (outcome : G.Runner.outcome) =
-  if trace then Format.fprintf ppf "%a@." G.Trace.pp outcome.trace;
+let report_outcome ~rounds (outcome : G.Runner.outcome) =
+  if rounds then Format.fprintf ppf "%a@." G.Trace.pp outcome.trace;
   List.iter
     (fun (p, r, v) -> Format.fprintf ppf "decision: p%d at round %d = %d@." p r v)
     outcome.decisions;
@@ -140,7 +168,8 @@ let report_outcome ~trace (outcome : G.Runner.outcome) =
     (G.Checker.check_consensus ~expect_termination:false outcome.trace)
 
 let run_cmd =
-  let run algo schedule n gst seed horizon failures trace metrics json_trace jobs =
+  let run algo schedule n gst seed horizon failures rounds trace metrics
+      json_trace jobs =
     (* A single simulation is one task; --jobs is accepted for interface
        uniformity and to set the pool default for anything that fans out. *)
     set_jobs jobs;
@@ -160,25 +189,25 @@ let run_cmd =
       G.Env.pp (G.Adversary.env adversary)
       (String.concat ";" (List.map string_of_int inputs))
       G.Crash.pp crash;
-    with_recorder ~metrics ~json_trace (fun recorder ->
+    with_recorder ~trace ~metrics ~json_trace (fun recorder ->
         match algo with
         | Es ->
           let module R = G.Runner.Make (C.Es_consensus) in
-          report_outcome ~trace (R.run ~recorder config)
+          report_outcome ~rounds (R.run ~recorder config)
         | Ess ->
           let module R = G.Runner.Make (C.Ess_consensus) in
-          report_outcome ~trace (R.run ~recorder config))
+          report_outcome ~rounds (R.run ~recorder config))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one consensus simulation.")
     Term.(
       const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg
-      $ horizon_arg () $ failures_arg $ trace_arg $ metrics_arg $ json_trace_arg
-      $ jobs_arg)
+      $ horizon_arg () $ failures_arg $ rounds_trace_arg $ trace_arg
+      $ metrics_arg $ json_trace_arg $ jobs_arg)
 
 (* --- weakset -------------------------------------------------------------- *)
 
 let weakset_cmd =
-  let run n seed horizon failures ops metrics json_trace =
+  let run n seed horizon failures ops trace metrics json_trace =
     let rng = Anon_kernel.Rng.make seed in
     let crash = G.Crash.random ~n ~failures ~max_round:(max 1 horizon) rng in
     let workload =
@@ -189,7 +218,7 @@ let weakset_cmd =
       { G.Service_runner.n; crash; adversary = G.Adversary.ms (); horizon; seed }
     in
     let module W = G.Service_runner.Make (C.Weak_set_ms) in
-    with_recorder ~metrics ~json_trace (fun recorder ->
+    with_recorder ~trace ~metrics ~json_trace (fun recorder ->
         let out = W.run ~recorder config ~workload in
         List.iter
           (fun (a : G.Service_runner.add_record) ->
@@ -208,7 +237,7 @@ let weakset_cmd =
   Cmd.v (Cmd.info "weakset" ~doc:"Drive the MS weak-set (Alg. 4).")
     Term.(
       const run $ n_arg $ seed_arg $ horizon_arg ~default:120 () $ failures_arg
-      $ ops_arg $ metrics_arg $ json_trace_arg)
+      $ ops_arg $ trace_arg $ metrics_arg $ json_trace_arg)
 
 (* --- emulate -------------------------------------------------------------- *)
 
@@ -287,7 +316,7 @@ let sigma_cmd =
 (* --- metrics --------------------------------------------------------------- *)
 
 let metrics_cmd =
-  let run algo schedule n gst seed horizon failures runs json jobs =
+  let run algo schedule n gst seed horizon failures runs json out jobs =
     set_jobs jobs;
     let batch =
       let inputs rng =
@@ -311,6 +340,21 @@ let metrics_cmd =
     match batch.metrics with
     | None -> ()
     | Some snap ->
+      (match out with
+      | Some path -> (
+        match
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (O.Json.to_string (O.Metrics.to_json snap));
+              output_char oc '\n')
+        with
+        | () -> Format.fprintf ppf "metrics snapshot written to %s@." path
+        | exception Sys_error msg ->
+          Format.eprintf "anonc metrics: cannot write %s: %s@." path msg;
+          exit 1)
+      | None -> ());
       if json then print_endline (O.Json.to_string (O.Metrics.to_json snap))
       else begin
         Format.fprintf ppf
@@ -328,12 +372,18 @@ let metrics_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the merged snapshot as JSON.")
   in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the full merged snapshot (counters, gauges, \
+                   histogram summaries) as JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Run a batch with instrumentation on; print the merged metrics.")
     Term.(
       const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg
-      $ horizon_arg () $ failures_arg $ runs_arg $ json_arg $ jobs_arg)
+      $ horizon_arg () $ failures_arg $ runs_arg $ json_arg $ out_arg $ jobs_arg)
 
 (* --- fuzz ------------------------------------------------------------------ *)
 
@@ -413,7 +463,7 @@ let fuzz_cmd =
 let mc_cmd =
   let module Mc = Anon_mc.Mc in
   let run algo env gst n rounds crashes max_delay search armed jobs seed
-      ops_per_client out metrics json_trace =
+      ops_per_client out progress trace metrics json_trace =
     set_jobs jobs;
     let env =
       match env with
@@ -446,8 +496,12 @@ let mc_cmd =
         ops_per_client;
       }
     in
-    with_recorder ~metrics ~json_trace (fun recorder ->
-        let report = Mc.run ~recorder ?out config in
+    with_recorder ~trace ~metrics ~json_trace (fun recorder ->
+        let report =
+          Mc.run ~recorder
+            ?progress:(if progress then Some Format.err_formatter else None)
+            ?out config
+        in
         Format.fprintf ppf "%a@." Mc.pp_report report;
         (match (out, report.Mc.witness) with
         | Some path, Some _ ->
@@ -511,6 +565,13 @@ let mc_cmd =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Write the witness repro JSON to $(docv).")
   in
+  let progress_arg =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Print live exploration progress to stderr: one line per crash \
+                   schedule and per BFS level (frontier size, canonical states, \
+                   states/sec, dedup hit-rate).")
+  in
   Cmd.v
     (Cmd.info "mc"
        ~doc:"Exhaustively model-check bounded schedules (symmetry-reduced); exits 1 \
@@ -518,7 +579,61 @@ let mc_cmd =
     Term.(
       const run $ algo_arg $ env_arg $ gst_arg $ n_arg $ rounds_arg $ crashes_arg
       $ max_delay_arg $ search_arg $ armed_arg $ jobs_arg $ seed_arg $ ops_arg
-      $ out_arg $ metrics_arg $ json_trace_arg)
+      $ out_arg $ progress_arg $ trace_arg $ metrics_arg $ json_trace_arg)
+
+(* --- bench ----------------------------------------------------------------- *)
+
+let bench_cmd =
+  let diff_run old_path new_path threshold force =
+    let load path =
+      match H.Bench_diff.load ~path with
+      | Ok b -> b
+      | Error e ->
+        Format.eprintf "anonc bench diff: %s@." e;
+        exit 2
+    in
+    let old_b = load old_path in
+    let new_b = load new_path in
+    let report = H.Bench_diff.diff ~threshold ~old_b ~new_b () in
+    if report.H.Bench_diff.cross_cores && not force then begin
+      Format.eprintf
+        "anonc bench diff: %s was measured on %d cores but %s on %d — timings \
+         are not comparable across machines; pass --force to compare anyway@."
+        old_path old_b.H.Bench_diff.cores new_path new_b.H.Bench_diff.cores;
+      exit 2
+    end;
+    Format.fprintf ppf "%a@." H.Bench_diff.render report;
+    if H.Bench_diff.regressions report <> [] then exit 1
+  in
+  let old_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OLD" ~doc:"Baseline JSON (anon-bench/2) to compare against.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"NEW" ~doc:"Fresh baseline JSON to check for regressions.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float H.Bench_diff.default_threshold
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Regression threshold in percent: a row regresses when it \
+                   moves more than $(docv) in the worse direction.")
+  in
+  let force_arg =
+    Arg.(value & flag
+         & info [ "force" ]
+             ~doc:"Compare baselines even when they were measured on different \
+                   core counts.")
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Compare two persisted bench baselines row by row; exits 1 iff a \
+               row regressed beyond the threshold, 2 on unreadable/incomparable \
+               baselines.")
+      Term.(const diff_run $ old_arg $ new_arg $ threshold_arg $ force_arg)
+  in
+  Cmd.group (Cmd.info "bench" ~doc:"Benchmark baseline tooling.") [ diff_cmd ]
 
 (* --- experiment / list ---------------------------------------------------- *)
 
@@ -577,7 +692,7 @@ let () =
   let group =
     Cmd.group info
       [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; metrics_cmd;
-        fuzz_cmd; mc_cmd; experiment_cmd; list_cmd ]
+        fuzz_cmd; mc_cmd; bench_cmd; experiment_cmd; list_cmd ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code

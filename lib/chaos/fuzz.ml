@@ -12,17 +12,17 @@ let violation_strings vs =
 
 (* --- one case, end to end -------------------------------------------------- *)
 
-let run_consensus (case : Scenario.t) runner =
+let run_consensus ?recorder (case : Scenario.t) runner =
   let inputs = Scenario.inputs case in
   let config =
     G.Runner.default_config ~horizon:case.horizon ~seed:case.seed ~inputs
       ~crash:(Scenario.crash case) (Scenario.adversary case)
   in
-  let out = runner config in
+  let out = runner ?recorder config in
   G.Checker.check_env out.G.Runner.trace
   @ G.Checker.check_consensus ~expect_termination:true out.G.Runner.trace
 
-let run_weak_set (case : Scenario.t) =
+let run_weak_set ?recorder (case : Scenario.t) =
   let crash = Scenario.crash case in
   let workload =
     match case.schedule with
@@ -44,7 +44,7 @@ let run_weak_set (case : Scenario.t) =
       seed = case.seed;
     }
   in
-  let out = Ws_runner.run config ~workload in
+  let out = Ws_runner.run ?recorder config ~workload in
   G.Checker.check_env out.trace
   @ G.Checker.check_weak_set ~correct:(G.Crash.correct crash) out.ops
 
@@ -76,13 +76,16 @@ let run_register (case : Scenario.t) =
    case, independent of what the campaign (or the shrinker) ran before
    it. That is what makes --jobs 1 and --jobs N reports byte-identical
    and repro files replayable from any process state. *)
-let run_case (case : Scenario.t) =
+let run_case ?recorder (case : Scenario.t) =
   Anon_exec.Pool.isolate
     (fun (case : Scenario.t) ->
       match case.algo with
-      | Scenario.Es -> run_consensus case Es_runner.run
-      | Scenario.Ess -> run_consensus case Ess_runner.run
-      | Scenario.Weak_set -> run_weak_set case
+      | Scenario.Es ->
+        run_consensus ?recorder case (fun ?recorder c -> Es_runner.run ?recorder c)
+      | Scenario.Ess ->
+        run_consensus ?recorder case (fun ?recorder c ->
+            Ess_runner.run ?recorder c)
+      | Scenario.Weak_set -> run_weak_set ?recorder case
       | Scenario.Register -> run_register case)
     case
 
@@ -211,7 +214,7 @@ let campaign ?algo ?(inadmissible = false) ?jobs ~runs ~seed () =
     else
       let stop = min runs (start + chunk_size) in
       let chunk = Array.to_list (Array.sub cases start (stop - start)) in
-      match first start (Anon_exec.Pool.map ~jobs run_case chunk) with
+      match first start (Anon_exec.Pool.map ~jobs (fun c -> run_case c) chunk) with
       | None -> go stop
       | Some (i, vs) ->
         let case = cases.(i) in

@@ -8,11 +8,15 @@
     minimal counterexample can be serialized as a JSON repro file and
     replayed bit-for-bit (every run is a pure function of the case). *)
 
-val run_case : Scenario.t -> Anon_giraf.Checker.violation list
+val run_case :
+  ?recorder:Anon_obs.Recorder.t -> Scenario.t -> Anon_giraf.Checker.violation list
 (** Execute one case and return every environment + semantic violation the
     checker finds ([] on a clean run). Runs inside its own kernel interner
     scope ({!Anon_exec.Pool.isolate}): the verdict is a pure function of
-    the case, whatever ran before in the process. *)
+    the case, whatever ran before in the process. [recorder] (default off)
+    is threaded into the underlying runner — campaign fan-out never sets
+    it; it exists so a single replay (witness emission, [--replay]) can
+    capture events/metrics for the counterexample timeline. *)
 
 val violation_strings : Anon_giraf.Checker.violation list -> string list
 (** Rendered via {!Anon_giraf.Checker.pp_violation} — the stable form

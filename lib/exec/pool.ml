@@ -23,15 +23,19 @@ let map ?jobs ?(recorder = O.Recorder.off) f items =
   let n = Array.length items in
   let results = Array.make n Pending in
   let task_us = Array.make n 0.0 in
+  let wait_us = Array.make n 0.0 in
+  let wall0 = O.Clock.now_ns () in
   let run_task i =
     let t0 = O.Clock.now_ns () in
+    (* Queue wait: how long the task sat between submission (all tasks
+       are submitted when [map] starts) and a worker picking it up. *)
+    wait_us.(i) <- O.Clock.ns_to_us (Int64.sub t0 wall0);
     results.(i) <-
       (match isolate f items.(i) with
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ()));
     task_us.(i) <- O.Clock.ns_to_us (O.Clock.since_ns t0)
   in
-  let wall0 = O.Clock.now_ns () in
   let parallel = jobs > 1 && n > 1 && not (Domain.DLS.get in_worker_key) in
   if not parallel then
     for i = 0 to n - 1 do
@@ -69,10 +73,18 @@ let map ?jobs ?(recorder = O.Recorder.off) f items =
       ~by:(int_of_float (Float.max 0.0 ((float_of_int jobs *. wall) -. busy)))
       (O.Recorder.counter recorder "exec.idle_us");
     M.set_gauge (O.Recorder.gauge recorder "exec.jobs") (float_of_int jobs);
-    if wall > 0.0 then
+    if wall > 0.0 then begin
       M.set_gauge (O.Recorder.gauge recorder "exec.speedup") (busy /. wall);
+      (* Fraction of the pool's total capacity (jobs × wall) spent inside
+         tasks: 1.0 means every domain was busy the whole call. *)
+      M.set_gauge
+        (O.Recorder.gauge recorder "exec.utilization")
+        (busy /. (float_of_int jobs *. wall))
+    end;
     let h = O.Recorder.histogram recorder "exec.task_us" in
-    Array.iter (fun us -> M.observe h us) task_us
+    Array.iter (fun us -> M.observe h us) task_us;
+    let hw = O.Recorder.histogram recorder "exec.queue_wait_us" in
+    Array.iter (fun us -> M.observe hw us) wait_us
   end;
   for i = 0 to n - 1 do
     match results.(i) with

@@ -48,9 +48,12 @@ val map : ?jobs:int -> ?recorder:Anon_obs.Recorder.t -> ('a -> 'b) -> 'a list ->
     - [recorder] (default off) receives [exec.*] metrics, recorded by
       the coordinating domain only: counters [exec.tasks] and
       [exec.busy_us]/[exec.wall_us]/[exec.idle_us] totals (µs, rounded),
-      histogram [exec.task_us], gauges [exec.jobs] and [exec.speedup]
-      (busy/wall — the cpu-vs-wall parallel speedup). Worker domains
-      never touch the recorder, so [f] may freely create its own.
+      histograms [exec.task_us] (per-task latency) and
+      [exec.queue_wait_us] (submission-to-start wait), gauges
+      [exec.jobs], [exec.speedup] (busy/wall — the cpu-vs-wall parallel
+      speedup) and [exec.utilization] (busy / (jobs × wall), 1.0 = all
+      domains busy throughout). Worker domains never touch the recorder,
+      so [f] may freely create its own.
 
     Tasks must not let interned histories escape into shared state: each
     task's interner scope is private (see {!Anon_kernel.History}). *)

@@ -111,8 +111,10 @@ module Make (A : Intf.ALGORITHM) = struct
             compute_log = Hashtbl.create 64;
           })
     in
-    (* Delivery events: tick -> (receiver, round, message set) list. *)
-    let events : (int, (int * int * A.msg list) list) Hashtbl.t = Hashtbl.create 256 in
+    (* Delivery events: tick -> (sender, receiver, round, message set) list. *)
+    let events : (int, (int * int * int * A.msg list) list) Hashtbl.t =
+      Hashtbl.create 256
+    in
     let schedule_delivery tick ev =
       Hashtbl.replace events tick (ev :: Option.value ~default:[] (Hashtbl.find_opt events tick))
     in
@@ -204,7 +206,7 @@ module Make (A : Intf.ALGORITHM) = struct
                   Stdlib.max 1
                     (config.delay ~sender:proc.pid ~receiver:q ~round:next rng)
                 in
-                schedule_delivery (t + d) (q, next, snapshot))
+                schedule_delivery (t + d) (proc.pid, q, next, snapshot))
               receivers;
             if crashing_now then begin
               proc.stopped <- true;
@@ -224,14 +226,26 @@ module Make (A : Intf.ALGORITHM) = struct
       | None -> ()
       | Some evs ->
         List.iter
-          (fun (q, k, msgs) ->
+          (fun (s, q, k, msgs) ->
             let proc = procs.(q) in
             if not proc.stopped then
               List.iter
                 (fun m ->
                   if insert proc ~k m then begin
                     proc.fresh <- (k, m) :: proc.fresh;
-                    M.incr m_deliveries
+                    M.incr m_deliveries;
+                    (* Arrival round: the first round whose compute sees
+                       this message as fresh (the relay carries round-k
+                       sets, so [s] may not be the original sender of
+                       every copy — it is the flow edge's source). *)
+                    R.emit recorder (fun () ->
+                        E.Deliver
+                          {
+                            sender = s;
+                            receiver = q;
+                            round = k;
+                            arrival = Stdlib.max k (proc.round + 1);
+                          })
                   end)
                 msgs)
           (List.rev evs);

@@ -38,9 +38,8 @@ let note_of_snapshot snap =
     in
     let compute_us =
       match List.assoc_opt "phase.compute_us" snap.histograms with
-      | Some samples when Array.length samples > 0 ->
-        Printf.sprintf "; compute %.1fus/round mean"
-          (Stats.mean (Array.to_list samples))
+      | Some h when not (Anon_obs.Hist.is_empty h) ->
+        Printf.sprintf "; compute %.1fus/round mean" (Anon_obs.Hist.mean h)
       | Some _ | None -> ""
     in
     Printf.sprintf

@@ -177,6 +177,20 @@ let emit_metrics recorder r =
       (float_of_int r.stats.frontier_peak)
   end
 
+(* Live progress lines (stderr under [anonc mc --progress]). Wall clock
+   feeds only this reporting — never the result — so verdicts stay
+   deterministic. *)
+let report_progress ppf ~t0 ~label ~depth ~frontier acc =
+  let secs = Anon_obs.Clock.ns_to_s (Anon_obs.Clock.since_ns t0) in
+  let rate = if secs > 0.0 then float_of_int acc.raw /. secs else 0.0 in
+  let dedup_pct =
+    if acc.raw > 0 then 100.0 *. float_of_int acc.dedup /. float_of_int acc.raw
+    else 0.0
+  in
+  Format.fprintf ppf
+    "mc: %s=%d frontier=%d canonical=%d states/s=%.0f dedup-hit=%.1f%%@." label
+    depth frontier acc.canonical rate dedup_pct
+
 (* Root bookkeeping shared by both orders: returns [true] when the root
    itself still needs expansion. *)
 let seed_root acc ~depth ~key ~terminal ~pending =
@@ -197,8 +211,9 @@ let seed_root acc ~depth ~key ~terminal ~pending =
   end
   else true
 
-let bfs ?jobs ?(recorder = R.off) ~depth (module S : SYSTEM) =
+let bfs ?jobs ?(recorder = R.off) ?progress ~depth (module S : SYSTEM) =
   let jobs = Anon_exec.Pool.resolve ?jobs () in
+  let t0 = Anon_obs.Clock.now_ns () in
   let acc = make_acc () in
   let successors sys =
     List.map
@@ -228,6 +243,9 @@ let bfs ?jobs ?(recorder = R.off) ~depth (module S : SYSTEM) =
   while !frontier <> [] && acc.viol = None do
     let len = List.length !frontier in
     acc.peak <- max acc.peak len;
+    (match progress with
+    | Some ppf -> report_progress ppf ~t0 ~label:"level" ~depth:!level ~frontier:len acc
+    | None -> ());
     (* Workers re-simulate each prefix from a fresh [init] inside their own
        task (own interner scope) and return only plain successor records;
        the merge below is sequential in submission order, so the whole
@@ -261,7 +279,8 @@ let bfs ?jobs ?(recorder = R.off) ~depth (module S : SYSTEM) =
   emit_metrics recorder r;
   r
 
-let dfs ?(recorder = R.off) ~depth (module S : SYSTEM) =
+let dfs ?(recorder = R.off) ?progress ~depth (module S : SYSTEM) =
+  let t0 = Anon_obs.Clock.now_ns () in
   let r =
     Anon_exec.Pool.isolate
       (fun () ->
@@ -274,6 +293,11 @@ let dfs ?(recorder = R.off) ~depth (module S : SYSTEM) =
         let rec go sys prefix level stack =
           if acc.viol = None then begin
             acc.n_expanded <- acc.n_expanded + 1;
+            (match progress with
+            | Some ppf when acc.n_expanded mod 10_000 = 0 ->
+              report_progress ppf ~t0 ~label:"stack" ~depth:stack ~frontier:stack
+                acc
+            | Some _ | None -> ());
             acc.peak <- max acc.peak stack;
             List.iter
               (fun (plan, s', viols) ->

@@ -83,17 +83,23 @@ type result = {
 val bfs :
   ?jobs:int ->
   ?recorder:Anon_obs.Recorder.t ->
+  ?progress:Format.formatter ->
   depth:int ->
   (module SYSTEM) ->
   result
 (** Explore every admissible schedule of up to [depth] rounds.
     [jobs] as in {!Anon_exec.Pool.resolve}. Reports (verdict, stats,
-    witnesses) are byte-identical for every [jobs] value. *)
+    witnesses) are byte-identical for every [jobs] value. [progress]
+    (e.g. [Format.err_formatter]) receives one live status line per BFS
+    level — frontier size, canonical states, states/sec, dedup hit-rate;
+    wall clock feeds only these lines, never the result. *)
 
 val dfs :
   ?recorder:Anon_obs.Recorder.t ->
+  ?progress:Format.formatter ->
   depth:int ->
   (module SYSTEM) ->
   result
 (** Depth-first variant: same node ordering per level, first violation in
-    branch order (not necessarily shallowest), single-domain. *)
+    branch order (not necessarily shallowest), single-domain. [progress]
+    prints a status line every 10k expansions. *)

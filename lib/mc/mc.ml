@@ -123,7 +123,7 @@ let system config ~inputs ~crash =
 
 (* --- the run ------------------------------------------------------------------ *)
 
-let run ?(recorder = R.off) ?out config =
+let run ?(recorder = R.off) ?progress ?out config =
   if config.n < 1 then invalid_arg "Mc.run: n must be >= 1";
   if config.rounds < 1 then invalid_arg "Mc.run: rounds must be >= 1";
   if config.crashes < 0 || config.crashes > config.n then
@@ -135,8 +135,10 @@ let run ?(recorder = R.off) ?out config =
   in
   let explore sysmod =
     match config.search with
-    | Bfs -> Explore.bfs ?jobs:config.jobs ~recorder ~depth:config.rounds sysmod
-    | Dfs -> Explore.dfs ~recorder ~depth:config.rounds sysmod
+    | Bfs ->
+      Explore.bfs ?jobs:config.jobs ~recorder ?progress ~depth:config.rounds
+        sysmod
+    | Dfs -> Explore.dfs ~recorder ?progress ~depth:config.rounds sysmod
   in
   let stats = ref Explore.zero_stats in
   let violation = ref None in
@@ -146,6 +148,18 @@ let run ?(recorder = R.off) ?out config =
     (fun events ->
       if !violation = None then begin
         incr schedules;
+        (match progress with
+        | Some ppf ->
+          Format.fprintf ppf "mc: schedule %d (crashes: %s)@." !schedules
+            (match events with
+            | [] -> "none"
+            | evs ->
+              String.concat ","
+                (List.map
+                   (fun (ev : G.Crash.event) ->
+                     Printf.sprintf "p%d@r%d" ev.pid ev.round)
+                   evs))
+        | None -> ());
         let crash = G.Crash.of_events ~n:config.n events in
         let r = explore (system config ~inputs ~crash) in
         stats := Explore.add_stats !stats r.Explore.stats;
@@ -168,8 +182,9 @@ let run ?(recorder = R.off) ?out config =
     let build ~crashes ~plans ~mc_violations =
       Option.map
         (fun algo ->
-          Witness.build ~algo ~env:config.env ~n:config.n ~seed:config.seed
-            ~ops_per_client:config.ops_per_client ~crashes ~plans ~mc_violations)
+          Witness.build ~recorder ~algo ~env:config.env ~n:config.n
+            ~seed:config.seed ~ops_per_client:config.ops_per_client ~crashes
+            ~plans ~mc_violations ())
         scen_algo
     in
     match (!violation, !non_deciding) with

@@ -66,10 +66,20 @@ type report = {
 val reduction_factor : report -> float
 (** [raw_states / canonical_states] — the symmetry-reduction payoff. *)
 
-val run : ?recorder:Anon_obs.Recorder.t -> ?out:string -> config -> report
+val run :
+  ?recorder:Anon_obs.Recorder.t ->
+  ?progress:Format.formatter ->
+  ?out:string ->
+  config ->
+  report
 (** Explore schedules in order, stopping at the first violating one.
     When [out] is given and a witness exists, the repro JSON is written
-    there. Emits [mc.*] metrics through [recorder]. *)
+    there. Emits [mc.*] metrics through [recorder]; the witness replay
+    (when any) also runs under [recorder], so an attached
+    {!Anon_obs.Trace} sink captures the counterexample timeline.
+    [progress] (e.g. [Format.err_formatter] under [anonc mc --progress])
+    prints one live line per crash schedule and per BFS level — frontier
+    depth, canonical states/sec, dedup hit-rate. *)
 
 val pp_report : Format.formatter -> report -> unit
 val report_json : report -> Anon_obs.Json.t

@@ -8,7 +8,8 @@ type t = {
   replay_violations : G.Checker.violation list;
 }
 
-let build ~algo ~env ~n ~seed ~ops_per_client ~crashes ~plans ~mc_violations =
+let build ?recorder ~algo ~env ~n ~seed ~ops_per_client ~crashes ~plans
+    ~mc_violations () =
   let case =
     {
       Scenario.algo;
@@ -24,7 +25,7 @@ let build ~algo ~env ~n ~seed ~ops_per_client ~crashes ~plans ~mc_violations =
       schedule = Some { Scenario.sched_env = env; plans };
     }
   in
-  { case; mc_violations; replay_violations = Fuzz.run_case case }
+  { case; mc_violations; replay_violations = Fuzz.run_case ?recorder case }
 
 let confirmed t = t.replay_violations <> []
 

@@ -22,6 +22,7 @@ type t = {
 }
 
 val build :
+  ?recorder:Anon_obs.Recorder.t ->
   algo:Anon_chaos.Scenario.algo ->
   env:Anon_giraf.Env.t ->
   n:int ->
@@ -30,12 +31,14 @@ val build :
   crashes:Anon_giraf.Crash.event list ->
   plans:Anon_giraf.Adversary.plan list ->
   mc_violations:Anon_giraf.Checker.violation list ->
+  unit ->
   t
 (** Package and immediately re-execute. [horizon = length plans + 1]: the
     recorded plans drive rounds [1..k] and the round past the prefix falls
     back to fully-timely, which is enough for the runner to perform the
     compute phase in which the violation (or the blocked progress)
-    manifests. *)
+    manifests. [recorder] observes the replay — attach a {!Anon_obs.Trace}
+    sink to capture the counterexample's causal timeline. *)
 
 val confirmed : t -> bool
 (** The replay exhibits at least one checker violation. *)

@@ -1,0 +1,172 @@
+(* Fixed-bucket log-scale histogram (HDR-style).
+
+   Storage is one int array whose length never depends on the number of
+   observations, so million-sample fuzz/batch runs stay bounded-memory.
+   Buckets are geometric: [sub] sub-buckets per power-of-two octave,
+   which bounds the relative quantization error of any reconstructed
+   sample at 2^(1/sub) - 1 (~4.4% with sub = 16). Exact integer counts
+   plus exact float min/max make {!merge} associative and commutative in
+   the strict, byte-identical sense — there is no float accumulation
+   whose grouping could matter. Moments (mean/stddev) and percentiles
+   are reconstructed from bucket representatives at read time. *)
+
+let sub = 16
+
+(* frexp exponents covered by the log buckets: a positive value
+   [v = m * 2^e] with [m] in [0.5, 1) is bucketed when
+   [min_exp <= e < max_exp], i.e. v in [2^-21, 2^43) — generous for
+   microsecond timings, message sizes and queue depths alike. Smaller
+   positives clamp into the first log bucket; larger ones land in the
+   overflow bucket. *)
+let min_exp = -20
+let max_exp = 44
+let log_buckets = (max_exp - min_exp) * sub
+
+(* bucket 0: v <= 0 (and non-finite); buckets 1..log_buckets: geometric;
+   bucket [log_buckets + 1]: overflow. *)
+let bucket_count = log_buckets + 2
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable min_v : float;  (* exact; +inf when empty *)
+  mutable max_v : float;  (* exact; -inf when empty *)
+}
+
+let create () =
+  { counts = Array.make bucket_count 0; n = 0; min_v = infinity; max_v = neg_infinity }
+
+let clear t =
+  Array.fill t.counts 0 bucket_count 0;
+  t.n <- 0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+let copy t = { t with counts = Array.copy t.counts }
+
+(* mantissa_bounds.(s) = 0.5 * 2^(s/sub): the lower mantissa bound of
+   sub-bucket [s]. Comparisons against these precomputed constants are
+   exact, so bucketing is deterministic across runs and platforms. *)
+let mantissa_bounds =
+  Array.init sub (fun s -> 0.5 *. Float.pow 2.0 (float_of_int s /. float_of_int sub))
+
+let sub_index m =
+  (* largest s with mantissa_bounds.(s) <= m; m in [0.5, 1) so s exists. *)
+  let rec go lo hi =
+    (* invariant: bounds.(lo) <= m < bounds.(hi) (hi = sub means 1.0) *)
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if m >= mantissa_bounds.(mid) then go mid hi else go lo mid
+  in
+  go 0 sub
+
+let index_of v =
+  if not (v > 0.0) || not (Float.is_finite v) then 0
+  else
+    let m, e = Float.frexp v in
+    if e < min_exp then 1
+    else if e >= max_exp then bucket_count - 1
+    else 1 + (((e - min_exp) * sub) + sub_index m)
+
+(* Geometric midpoint of log bucket [i] (1-based within the log range):
+   lower bound * 2^(1/(2*sub)). *)
+let representative =
+  let half_step = Float.pow 2.0 (1.0 /. float_of_int (2 * sub)) in
+  fun i ->
+    if i = 0 then 0.0
+    else if i = bucket_count - 1 then Float.ldexp 1.0 max_exp
+    else
+      let p = i - 1 in
+      let e = min_exp + (p / sub) and s = p mod sub in
+      Float.ldexp mantissa_bounds.(s) e *. half_step
+
+let observe t v =
+  t.counts.(index_of v) <- t.counts.(index_of v) + 1;
+  t.n <- t.n + 1;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.n
+let is_empty t = t.n = 0
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let clamp t x = Float.min t.max_v (Float.max t.min_v x)
+
+let mean t =
+  if t.n = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to bucket_count - 1 do
+      if t.counts.(i) > 0 then
+        sum := !sum +. (float_of_int t.counts.(i) *. representative i)
+    done;
+    clamp t (!sum /. float_of_int t.n)
+  end
+
+let stddev t =
+  if t.n <= 1 then 0.0
+  else begin
+    let mu = mean t in
+    let acc = ref 0.0 in
+    for i = 0 to bucket_count - 1 do
+      if t.counts.(i) > 0 then begin
+        let d = representative i -. mu in
+        acc := !acc +. (float_of_int t.counts.(i) *. d *. d)
+      end
+    done;
+    sqrt (Float.max 0.0 (!acc /. float_of_int t.n))
+  end
+
+let percentile t p =
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Hist.percentile: p must be in [0,100]";
+  if t.n = 0 then invalid_arg "Hist.percentile: empty histogram";
+  (* nearest-rank, matching Anon_kernel.Stats.percentile *)
+  let rank =
+    Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.n)))
+  in
+  let rec walk i seen =
+    if i >= bucket_count then t.max_v
+    else
+      let seen = seen + t.counts.(i) in
+      if seen >= rank then
+        if i = 0 then t.min_v
+        else if i = bucket_count - 1 then t.max_v
+        else clamp t (representative i)
+      else walk (i + 1) seen
+  in
+  walk 0 0
+
+(* Element-wise integer adds plus float min/max: exactly associative and
+   commutative, so any merge tree over the same multiset of snapshots is
+   byte-identical. *)
+let merge ts =
+  let r = create () in
+  List.iter
+    (fun t ->
+      for i = 0 to bucket_count - 1 do
+        r.counts.(i) <- r.counts.(i) + t.counts.(i)
+      done;
+      r.n <- r.n + t.n;
+      if t.min_v < r.min_v then r.min_v <- t.min_v;
+      if t.max_v > r.max_v then r.max_v <- t.max_v)
+    ts;
+  r
+
+let equal a b = a.n = b.n && a.min_v = b.min_v && a.max_v = b.max_v && a.counts = b.counts
+
+let summary t : Anon_kernel.Stats.summary option =
+  if t.n = 0 then None
+  else
+    Some
+      {
+        count = t.n;
+        mean = mean t;
+        stddev = stddev t;
+        min = t.min_v;
+        p50 = percentile t 50.0;
+        p95 = percentile t 95.0;
+        max = t.max_v;
+      }

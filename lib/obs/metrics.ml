@@ -1,25 +1,6 @@
-open Anon_kernel
-
-(* Resizable sample buffer: histograms on hot paths must not allocate a
-   list cell per observation. *)
-type samples = { mutable data : float array; mutable len : int }
-
-let samples_create () = { data = Array.make 16 0.0; len = 0 }
-
-let samples_push s x =
-  if s.len = Array.length s.data then begin
-    let bigger = Array.make (2 * s.len) 0.0 in
-    Array.blit s.data 0 bigger 0 s.len;
-    s.data <- bigger
-  end;
-  s.data.(s.len) <- x;
-  s.len <- s.len + 1
-
-let samples_to_array s = Array.sub s.data 0 s.len
-
 type counter = No_counter | Counter of { mutable c : int }
 type gauge = No_gauge | Gauge of { mutable g : float; mutable set : bool }
-type histogram = No_histogram | Histogram of samples
+type histogram = No_histogram | Histogram of Hist.t
 
 type t = {
   enabled : bool;
@@ -74,9 +55,9 @@ let set_gauge g x =
 
 let histogram t name =
   if not t.enabled then No_histogram
-  else find_or_add t.histograms name (fun () -> Histogram (samples_create ()))
+  else find_or_add t.histograms name (fun () -> Histogram (Hist.create ()))
 
-let observe h x = match h with No_histogram -> () | Histogram s -> samples_push s x
+let observe h x = match h with No_histogram -> () | Histogram s -> Hist.observe s x
 
 let time h f =
   match h with
@@ -84,13 +65,13 @@ let time h f =
   | Histogram s ->
     let t0 = Clock.now_ns () in
     let result = f () in
-    samples_push s (Clock.ns_to_us (Clock.since_ns t0));
+    Hist.observe s (Clock.ns_to_us (Clock.since_ns t0));
     result
 
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * float) list;
-  histograms : (string * float array) list;
+  histograms : (string * Hist.t) list;
 }
 
 let sorted_bindings tbl f =
@@ -110,8 +91,8 @@ let snapshot (t : t) =
       |> List.sort (fun (a, _) (b, _) -> String.compare a b));
     histograms =
       sorted_bindings t.histograms (function
-        | No_histogram -> [||]
-        | Histogram s -> samples_to_array s);
+        | No_histogram -> Hist.create ()
+        | Histogram s -> Hist.copy s);
   }
 
 let reset (t : t) =
@@ -124,7 +105,7 @@ let reset (t : t) =
         r.set <- false)
     t.gauges;
   Hashtbl.iter
-    (fun _ -> function No_histogram -> () | Histogram s -> s.len <- 0)
+    (fun _ -> function No_histogram -> () | Histogram s -> Hist.clear s)
     t.histograms
 
 (* Merge sorted association lists, combining values under equal keys. *)
@@ -143,17 +124,17 @@ let merge_assoc combine lists =
 let merge snapshots =
   {
     counters =
-      merge_assoc (List.fold_left ( + ) 0) (List.map (fun s -> s.counters) snapshots);
-    gauges = merge_assoc Stats.mean (List.map (fun s -> s.gauges) snapshots);
-    histograms =
-      merge_assoc Array.concat (List.map (fun s -> s.histograms) snapshots);
+      merge_assoc
+        (List.fold_left ( + ) 0)
+        (List.map (fun s -> s.counters) snapshots);
+    gauges =
+      merge_assoc Anon_kernel.Stats.mean (List.map (fun s -> s.gauges) snapshots);
+    histograms = merge_assoc Hist.merge (List.map (fun s -> s.histograms) snapshots);
   }
 
 let summaries s =
   List.filter_map
-    (fun (name, samples) ->
-      if Array.length samples = 0 then None
-      else Some (name, Stats.summarize (Array.to_list samples)))
+    (fun (name, h) -> Option.map (fun sm -> (name, sm)) (Hist.summary h))
     s.histograms
 
 let width rows =
@@ -172,10 +153,11 @@ let render ppf s =
     s.gauges;
   List.iter
     (fun (name, summary) ->
-      Format.fprintf ppf "  %s %a@." (pad name) Stats.pp_summary summary)
+      Format.fprintf ppf "  %s %a@." (pad name)
+        Anon_kernel.Stats.pp_summary summary)
     (summaries s)
 
-let summary_to_json (s : Stats.summary) =
+let summary_to_json (s : Anon_kernel.Stats.summary) =
   Json.Obj
     [
       ("count", Json.Int s.count);

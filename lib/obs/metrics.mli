@@ -44,7 +44,8 @@ type histogram
 val histogram : t -> string -> histogram
 
 val observe : histogram -> float -> unit
-(** Append one sample (amortized O(1), resizable buffer). *)
+(** Record one sample into a fixed-size log-scale bucket array (O(1),
+    bounded memory — see {!Hist}). *)
 
 val time : histogram -> (unit -> 'a) -> 'a
 (** [time h f] runs [f] and observes its monotonic duration in
@@ -56,8 +57,8 @@ val time : histogram -> (unit -> 'a) -> 'a
 type snapshot = {
   counters : (string * int) list;  (** Sorted by name. *)
   gauges : (string * float) list;  (** Sorted by name. *)
-  histograms : (string * float array) list;
-      (** Raw samples in observation order, sorted by name. *)
+  histograms : (string * Hist.t) list;
+      (** Independent histogram copies, sorted by name. *)
 }
 
 val snapshot : t -> snapshot
@@ -68,7 +69,9 @@ val reset : t -> unit
 
 val merge : snapshot list -> snapshot
 (** Batch aggregation: counters sum, gauges average (a merged gauge is the
-    mean of the runs that set it), histogram samples concatenate. *)
+    mean of the runs that set it), histograms merge bucket-wise
+    ({!Hist.merge} — associative, commutative, byte-deterministic at any
+    [--jobs]). *)
 
 val summaries : snapshot -> (string * Anon_kernel.Stats.summary) list
 (** One {!Anon_kernel.Stats} summary per non-empty histogram. *)

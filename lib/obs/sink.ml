@@ -11,6 +11,7 @@ type t =
   | Null
   | Memory of ring
   | Jsonl of stream
+  | Handler of (Event.t -> unit)
   | Tee of t list
 
 let null = Null
@@ -20,11 +21,12 @@ let memory ~capacity =
   Memory { slots = Array.make capacity None; next = 0; stored = 0; overwritten = 0 }
 
 let jsonl oc = Jsonl { oc; unflushed = 0 }
+let handler f = Handler f
 let tee ts = Tee ts
 
 let rec is_null = function
   | Null -> true
-  | Memory _ | Jsonl _ -> false
+  | Memory _ | Jsonl _ | Handler _ -> false
   | Tee ts -> List.for_all is_null ts
 
 let rec emit t ev =
@@ -44,12 +46,13 @@ let rec emit t ev =
       flush_channel s;
       s.unflushed <- 0
     end
+  | Handler f -> f ev
   | Tee ts -> List.iter (fun t -> emit t ev) ts
 
 and flush_channel s = Stdlib.flush s.oc
 
 let rec events = function
-  | Null | Jsonl _ -> []
+  | Null | Jsonl _ | Handler _ -> []
   | Memory r ->
     let cap = Array.length r.slots in
     let start = (r.next - r.stored + cap) mod cap in
@@ -60,11 +63,11 @@ let rec events = function
   | Tee ts -> List.concat_map events ts
 
 let rec dropped = function
-  | Null | Jsonl _ -> 0
+  | Null | Jsonl _ | Handler _ -> 0
   | Memory r -> r.overwritten
   | Tee ts -> List.fold_left (fun acc t -> acc + dropped t) 0 ts
 
 let rec flush = function
-  | Null | Memory _ -> ()
+  | Null | Memory _ | Handler _ -> ()
   | Jsonl s -> flush_channel s
   | Tee ts -> List.iter flush ts

@@ -21,6 +21,10 @@ val jsonl : out_channel -> t
     The channel is flushed by {!flush} (and on every 256th event); the
     caller closes it. *)
 
+val handler : (Event.t -> unit) -> t
+(** Calls the function on every event — the hook used to feed live
+    consumers such as {!Trace.sink}. Never null, buffers nothing. *)
+
 val tee : t list -> t
 
 val is_null : t -> bool

@@ -1,0 +1,34 @@
+(** Causal trace collector: Chrome trace-event export of a run.
+
+    A tracer accumulates the {!Event.t} stream of a single run (feed it
+    through the {!Recorder} seam via {!sink}) and renders it as a Chrome
+    trace-event JSON document that Perfetto ([ui.perfetto.dev]) or
+    [chrome://tracing] can open: per-process round spans, message
+    send→deliver flow arrows, decide/crash instants, plus a global round
+    timeline carrying the per-round senders/delivered/timely counts.
+
+    Timestamps are {e logical}: round [k] owns ticks
+    [[(k-1)*1000, k*1000)] and each event kind sits at a fixed offset in
+    its round, so a fixed-seed run exports a byte-identical trace every
+    time (DESIGN.md §11). *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Event.t -> unit
+(** Append one event (O(1)). *)
+
+val sink : t -> Sink.t
+(** A {!Sink.handler} feeding this tracer — tee it with other sinks and
+    pass the result to [Recorder.create]. *)
+
+val events : t -> Event.t list
+(** Everything fed so far, oldest first. *)
+
+val to_json : t -> Json.t
+(** Render the Chrome trace-event document
+    [{"traceEvents": [...], ...}]. Pure: does not consume the tracer. *)
+
+val write : path:string -> t -> unit
+(** [to_json] serialized to [path] (plus a trailing newline). *)

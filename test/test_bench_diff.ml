@@ -1,0 +1,209 @@
+(* Tests for the bench-regression gate: baseline parsing, row flattening,
+   threshold semantics, the cross-core guard, and missing/added rows. *)
+
+module B = Anon_harness.Bench_diff
+module Json = Anon_obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A small anon-bench/2 document. [mutate] lets each test tweak values
+   without re-stating the whole skeleton. *)
+let doc ?(label = "base") ?(cores = 4) ?(t1 = 2.0) ?(t4 = 0.8)
+    ?(pool_ns = 5000.0) ?(states_per_sec = 120000.0) ?(micro_ns = Some 310.0) () =
+  let micro =
+    match micro_ns with
+    | Some ns ->
+      [ Json.Obj [ ("name", Json.String "history_append"); ("ns", Json.Float ns) ] ]
+    | None -> []
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "anon-bench/2");
+      ("label", Json.String label);
+      ("git_revision", Json.String "deadbeefcafe0123");
+      ("cores", Json.Int cores);
+      ("jobs", Json.Int 2);
+      ( "experiments",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("id", Json.String "T1"); ("parallel_s", Json.Float t1);
+                ("sequential_s", Json.Null);
+              ];
+            Json.Obj [ ("id", Json.String "T4"); ("parallel_s", Json.Float t4) ];
+          ] );
+      ( "pool",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("jobs", Json.Int 2); ("ns_per_run", Json.Float pool_ns);
+                ("speedup", Json.Float 1.7);
+              ];
+          ] );
+      ( "mc",
+        Json.Obj
+          [
+            ("states", Json.Int 1000); ("seconds", Json.Float 0.5);
+            ("states_per_sec", Json.Float states_per_sec);
+          ] );
+      ("micro", Json.List micro);
+    ]
+
+let baseline ?label ?cores ?t1 ?t4 ?pool_ns ?states_per_sec ?micro_ns path =
+  match
+    B.of_json ~path (doc ?label ?cores ?t1 ?t4 ?pool_ns ?states_per_sec ?micro_ns ())
+  with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "of_json: %s" e
+
+let test_flatten () =
+  let b = baseline "old.json" in
+  let names = List.map (fun (m, _, _) -> m) b.B.rows in
+  Alcotest.(check (list string)) "row names, document order"
+    [
+      "experiment/T1.parallel_s"; "experiment/T4.parallel_s";
+      "pool/jobs=2.ns_per_run"; "mc.states_per_sec"; "micro/history_append.ns";
+    ]
+    names;
+  check_int "cores" 4 b.B.cores;
+  Alcotest.(check string) "label" "base" b.B.label;
+  (* Directions: throughput is higher-better, everything else lower. *)
+  List.iter
+    (fun (m, _, dir) ->
+      let want =
+        if m = "mc.states_per_sec" then B.Higher_better else B.Lower_better
+      in
+      check_bool m true (dir = want))
+    b.B.rows
+
+let test_schema_rejected () =
+  let bad schema =
+    let j = Json.Obj [ ("schema", Json.String schema) ] in
+    match B.of_json ~path:"x.json" j with
+    | Ok _ -> Alcotest.failf "schema %S must be rejected" schema
+    | Error _ -> ()
+  in
+  bad "anon-bench/1";
+  bad "other";
+  match B.of_json ~path:"x.json" (Json.Obj []) with
+  | Ok _ -> Alcotest.fail "missing schema must be rejected"
+  | Error _ -> ()
+
+let test_no_change () =
+  let b = baseline "a.json" in
+  let r = B.diff ~old_b:b ~new_b:b () in
+  check_int "all rows compared" 5 (List.length r.B.rows);
+  check_int "no regressions" 0 (List.length (B.regressions r));
+  check_int "no improvements" 0 (List.length (B.improvements r));
+  check_bool "same cores" false r.B.cross_cores
+
+let test_regression_detected () =
+  let old_b = baseline ~label:"old" "old.json" in
+  (* T4 slows down 50%; mc throughput halves; T1 improves 25%. *)
+  let new_b =
+    baseline ~label:"new" ~t1:1.5 ~t4:1.2 ~states_per_sec:60000.0 "new.json"
+  in
+  let r = B.diff ~threshold:20.0 ~old_b ~new_b () in
+  let regs = List.map (fun row -> row.B.metric) (B.regressions r) in
+  Alcotest.(check (list string)) "regressions"
+    [ "experiment/T4.parallel_s"; "mc.states_per_sec" ]
+    regs;
+  let imps = List.map (fun row -> row.B.metric) (B.improvements r) in
+  Alcotest.(check (list string)) "improvements" [ "experiment/T1.parallel_s" ] imps;
+  (* A generous threshold silences everything. *)
+  let r = B.diff ~threshold:120.0 ~old_b ~new_b () in
+  check_int "wide threshold" 0 (List.length (B.regressions r))
+
+let test_threshold_boundary () =
+  (* Exactly-at-threshold is not a regression (strict >). 2.0 -> 2.5 is
+     +25.0% exactly in binary floating point. *)
+  let old_b = baseline ~t1:2.0 "old.json" in
+  let new_b = baseline ~t1:2.5 "new.json" in
+  let r = B.diff ~threshold:25.0 ~old_b ~new_b () in
+  check_bool "exactly 25% is not a regression" true
+    (List.for_all (fun row -> not row.B.regressed) r.B.rows);
+  let r = B.diff ~threshold:24.0 ~old_b ~new_b () in
+  check_int "just under threshold regresses" 1 (List.length (B.regressions r));
+  match B.diff ~threshold:(-1.0) ~old_b ~new_b () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative threshold must raise"
+
+let test_direction_sign () =
+  (* Higher-better metrics regress on decrease, improve on increase. *)
+  let old_b = baseline "old.json" in
+  let faster = baseline ~states_per_sec:200000.0 "new.json" in
+  let r = B.diff ~threshold:20.0 ~old_b ~new_b:faster () in
+  let row =
+    List.find (fun row -> row.B.metric = "mc.states_per_sec") r.B.rows
+  in
+  check_bool "throughput gain improves" true row.B.improved;
+  check_bool "not regressed" false row.B.regressed;
+  check_bool "delta positive" true (row.B.delta_pct > 0.0)
+
+let test_cross_cores_flag () =
+  let old_b = baseline ~cores:1 "old.json" in
+  let new_b = baseline ~cores:8 "new.json" in
+  let r = B.diff ~old_b ~new_b () in
+  check_bool "cross-core comparison flagged" true r.B.cross_cores
+
+let test_missing_and_added_rows () =
+  let old_b = baseline "old.json" in
+  (* NEW drops the micro row: warn-only, never a regression. *)
+  let new_b = baseline ~micro_ns:None "new.json" in
+  let r = B.diff ~old_b ~new_b () in
+  Alcotest.(check (list string)) "missing rows" [ "micro/history_append.ns" ]
+    r.B.missing;
+  check_int "missing is not a regression" 0 (List.length (B.regressions r));
+  check_int "remaining rows compared" 4 (List.length r.B.rows);
+  (* Reversed, the extra row in NEW is reported as added. *)
+  let r = B.diff ~old_b:new_b ~new_b:old_b () in
+  Alcotest.(check (list string)) "added rows" [ "micro/history_append.ns" ] r.B.added
+
+let test_null_rows_skipped () =
+  (* sequential_s is null in the skeleton — it must not become a row, and
+     a render of a real report must not raise. *)
+  let b = baseline "a.json" in
+  check_bool "null sequential_s skipped" true
+    (not (List.exists (fun (m, _, _) -> m = "experiment/T1.sequential_s") b.B.rows));
+  let r = B.diff ~old_b:b ~new_b:(baseline ~t4:2.0 "b.json") () in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  B.render ppf r;
+  Format.pp_print_flush ppf ();
+  let text = Buffer.contents buf in
+  check_bool "render mentions REGRESSED" true
+    (let re = "REGRESSED" in
+     let rec find i =
+       i + String.length re <= String.length text
+       && (String.sub text i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+let test_load_missing_file () =
+  match B.load ~path:"/nonexistent/bench.json" with
+  | Ok _ -> Alcotest.fail "loading a missing file must error"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "bench_diff"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "flatten rows" `Quick test_flatten;
+          Alcotest.test_case "schema rejected" `Quick test_schema_rejected;
+          Alcotest.test_case "null rows skipped" `Quick test_null_rows_skipped;
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "no change" `Quick test_no_change;
+          Alcotest.test_case "regression detected" `Quick test_regression_detected;
+          Alcotest.test_case "threshold boundary" `Quick test_threshold_boundary;
+          Alcotest.test_case "direction sign" `Quick test_direction_sign;
+          Alcotest.test_case "cross cores" `Quick test_cross_cores_flag;
+          Alcotest.test_case "missing/added rows" `Quick test_missing_and_added_rows;
+        ] );
+    ]

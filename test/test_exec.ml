@@ -115,7 +115,18 @@ let test_batch_jobs_equivalence () =
   match b1.metrics, b4.metrics with
   | Some s1, Some s4 ->
     check_bool "merged metrics identical (modulo wall-clock timings)" true
-      (deterministic_part s1 = deterministic_part s4)
+      (deterministic_part s1 = deterministic_part s4);
+    (* The histogram merge itself must be jobs-invariant: the merged
+       message-size histogram is non-empty and byte-identical whatever
+       the chunking. *)
+    (match
+       ( List.assoc_opt "runner.msg_size" s1.histograms,
+         List.assoc_opt "runner.msg_size" s4.histograms )
+     with
+    | Some h1, Some h4 ->
+      check_bool "msg_size histogram populated" false (Anon_obs.Hist.is_empty h1);
+      check_bool "msg_size histogram jobs-invariant" true (Anon_obs.Hist.equal h1 h4)
+    | _ -> Alcotest.fail "merged batches must carry the msg_size histogram")
   | _ -> Alcotest.fail "both batches must carry metrics"
 
 let test_batch_reproducible_at_same_jobs () =

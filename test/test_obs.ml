@@ -114,8 +114,10 @@ let test_metrics_counters_gauges () =
   Alcotest.(check (list (pair string (float 1e-9)))) "gauges"
     [ ("a.gauge", 2.5) ] snap.gauges;
   (match snap.histograms with
-  | [ ("a.hist_us", samples) ] ->
-    Alcotest.(check (array (float 1e-9))) "samples" [| 1.0; 3.0 |] samples
+  | [ ("a.hist_us", hist) ] ->
+    check_int "samples" 2 (Hist.count hist);
+    Alcotest.(check (float 1e-9)) "min" 1.0 (Hist.min_value hist);
+    Alcotest.(check (float 1e-9)) "max" 3.0 (Hist.max_value hist)
   | _ -> Alcotest.fail "histogram snapshot shape");
   Metrics.reset r;
   let snap = Metrics.snapshot r in
@@ -146,14 +148,16 @@ let test_metrics_merge () =
   let merged =
     Metrics.merge [ mk 2 (Some 1.0) [ 1.0 ]; mk 3 (Some 3.0) [ 2.0; 4.0 ]; mk 5 None [] ]
   in
-  (* Counters sum; gauges average over the runs that set them; histogram
-     samples concatenate in run order. *)
+  (* Counters sum; gauges average over the runs that set them; histograms
+     merge bucket-wise. *)
   Alcotest.(check (list (pair string int))) "counters sum" [ ("n", 10) ] merged.counters;
   Alcotest.(check (list (pair string (float 1e-9)))) "gauges mean"
     [ ("g", 2.0) ] merged.gauges;
   (match merged.histograms with
-  | [ ("h", samples) ] ->
-    Alcotest.(check (array (float 1e-9))) "samples concat" [| 1.0; 2.0; 4.0 |] samples
+  | [ ("h", hist) ] ->
+    check_int "merged count" 3 (Hist.count hist);
+    Alcotest.(check (float 1e-9)) "merged min" 1.0 (Hist.min_value hist);
+    Alcotest.(check (float 1e-9)) "merged max" 4.0 (Hist.max_value hist)
   | _ -> Alcotest.fail "merged histogram shape")
 
 let test_metrics_json () =
@@ -167,6 +171,123 @@ let test_metrics_json () =
   check_bool "histogram count" true
     (Option.bind (Option.bind (member "histograms" j) (member "h")) (member "count")
     = Some (Int 1))
+
+(* --- Hist ------------------------------------------------------------------- *)
+
+(* Deterministic pseudo-random sample stream (no Random state shared with
+   other tests). *)
+let lcg_samples ~seed n =
+  let state = ref seed in
+  List.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      float_of_int (1 + (!state mod 100_000)) /. 10.0)
+
+let test_hist_edge_buckets () =
+  let h = Hist.create () in
+  (* Non-positive and non-finite samples land in the zero bucket: counted,
+     exact min/max still tracked for finite samples. *)
+  Hist.observe h 0.0;
+  Hist.observe h (-3.0);
+  Hist.observe h Float.nan;
+  check_int "zero-bucket count" 3 (Hist.count h);
+  Alcotest.(check (float 0.0)) "min exact" (-3.0) (Hist.min_value h);
+  Alcotest.(check (float 0.0)) "max exact" 0.0 (Hist.max_value h);
+  Alcotest.(check (float 0.0)) "p50 of zero bucket is min" (-3.0) (Hist.percentile h 50.0);
+  (* Overflow bucket: beyond 2^43 the exact max survives. *)
+  let big = Float.ldexp 1.0 50 in
+  let o = Hist.create () in
+  Hist.observe o big;
+  Hist.observe o 1.0;
+  Alcotest.(check (float 0.0)) "overflow max exact" big (Hist.max_value o);
+  Alcotest.(check (float 0.0)) "p100 hits overflow max" big (Hist.percentile o 100.0);
+  (* Tiny positives clamp into the first log bucket but keep the exact min. *)
+  let tiny = Hist.create () in
+  Hist.observe tiny 1e-30;
+  Alcotest.(check (float 0.0)) "tiny min exact" 1e-30 (Hist.min_value tiny);
+  (* Empty-histogram errors. *)
+  check_bool "empty" true (Hist.is_empty (Hist.create ()));
+  (match Hist.percentile (Hist.create ()) 50.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "percentile on empty must raise");
+  match Hist.percentile h 101.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "percentile out of range must raise"
+
+let test_hist_bucket_boundaries () =
+  (* Exact powers of two sit on bucket boundaries; bucketing must be
+     deterministic and quantization bounded by 2^(1/16) - 1 (~4.4%). *)
+  let exact = [ 1.0; 2.0; 4.0; 1024.0; 0.5; 3.0; 7.5; 100.0 ] in
+  List.iter
+    (fun v ->
+      let h = Hist.create () in
+      Hist.observe h v;
+      let p50 = Hist.percentile h 50.0 in
+      (* A single sample clamps to its own exact min/max. *)
+      Alcotest.(check (float 0.0)) (Printf.sprintf "p50 of singleton %g" v) v p50;
+      let m = Hist.mean h in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "mean of singleton %g" v) v m)
+    exact;
+  (* Two samples straddling a boundary: reconstruction stays within the
+     quantization bound of the true values. *)
+  let h = Hist.create () in
+  Hist.observe h 10.0;
+  Hist.observe h 1000.0;
+  let p95 = Hist.percentile h 95.0 in
+  check_bool "p95 within 4.5% of 1000" true
+    (Float.abs (p95 -. 1000.0) /. 1000.0 <= 0.045);
+  (* Same samples, same buckets: structural equality. *)
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.observe a) (lcg_samples ~seed:3 500);
+  List.iter (Hist.observe b) (lcg_samples ~seed:3 500);
+  check_bool "deterministic bucketing" true (Hist.equal a b)
+
+let test_hist_merge_laws () =
+  let mk seed n =
+    let h = Hist.create () in
+    List.iter (Hist.observe h) (lcg_samples ~seed n);
+    h
+  in
+  let a = mk 1 400 and b = mk 2 700 and c = mk 3 150 in
+  (* Associativity and commutativity, in the strict structural sense. *)
+  let left = Hist.merge [ Hist.merge [ a; b ]; c ] in
+  let right = Hist.merge [ a; Hist.merge [ b; c ] ] in
+  let flat = Hist.merge [ a; b; c ] in
+  let perm = Hist.merge [ c; a; b ] in
+  check_bool "associative (left = right)" true (Hist.equal left right);
+  check_bool "flat = nested" true (Hist.equal flat left);
+  check_bool "commutative" true (Hist.equal flat perm);
+  check_int "merged count" (400 + 700 + 150) (Hist.count flat);
+  (* Identity and empties. *)
+  check_bool "merge [] is empty" true (Hist.is_empty (Hist.merge []));
+  check_bool "merge with empty is identity" true
+    (Hist.equal (Hist.copy a) (Hist.merge [ a; Hist.create () ]));
+  (* The merge result is fresh: mutating it leaves inputs alone. *)
+  let n_a = Hist.count a in
+  Hist.observe flat 1.0;
+  check_int "inputs untouched" n_a (Hist.count a)
+
+let test_hist_bounded_million () =
+  (* 10^6 observations: storage is the fixed bucket array, and summary
+     statistics stay within the documented quantization error. *)
+  let h = Hist.create () in
+  for i = 1 to 1_000_000 do
+    Hist.observe h (float_of_int (((i * 7919) mod 1000) + 1))
+  done;
+  check_int "count exact" 1_000_000 (Hist.count h);
+  check_int "bucket_count fixed" Hist.bucket_count ((44 + 20) * 16 + 2);
+  Alcotest.(check (float 0.0)) "min exact" 1.0 (Hist.min_value h);
+  Alcotest.(check (float 0.0)) "max exact" 1000.0 (Hist.max_value h);
+  (* gcd(7919, 1000) = 1, so the samples are 1..1000 uniform (1000 full
+     cycles): true mean 500.5. Allow the 4.4% quantization bound. *)
+  let m = Hist.mean h in
+  check_bool "mean within quantization bound" true
+    (Float.abs (m -. 500.5) /. 500.5 <= 0.045);
+  match Hist.summary h with
+  | None -> Alcotest.fail "summary of non-empty histogram"
+  | Some s ->
+    check_int "summary count" 1_000_000 s.count;
+    check_bool "summary p50 within bound" true
+      (Float.abs (s.p50 -. 500.0) /. 500.0 <= 0.05)
 
 (* --- Events ----------------------------------------------------------------- *)
 
@@ -251,12 +372,111 @@ let test_sink_jsonl_roundtrip () =
       close_in ic;
       Alcotest.(check (list event)) "file roundtrip" all_events evs)
 
+let test_sink_handler () =
+  let got = ref [] in
+  let s = Sink.handler (fun ev -> got := ev :: !got) in
+  check_bool "handler is live" false (Sink.is_null s);
+  List.iter (Sink.emit s) all_events;
+  Alcotest.(check (list event)) "handler saw every event" all_events (List.rev !got);
+  (* Handlers stream: they retain nothing and never drop. *)
+  Alcotest.(check (list event)) "no retained events" [] (Sink.events s);
+  check_int "no drops" 0 (Sink.dropped s);
+  Sink.flush s
+
+(* --- Trace ------------------------------------------------------------------- *)
+
+(* Count trace events with a given "ph" in a rendered document. *)
+let phase_count doc ph =
+  match Json.member "traceEvents" doc with
+  | Some (Json.List evs) ->
+    List.length
+      (List.filter (fun e -> Json.member "ph" e = Some (Json.String ph)) evs)
+  | _ -> Alcotest.fail "traceEvents missing or not a list"
+
+let test_trace_structure () =
+  let tr = Trace.create () in
+  let sink = Sink.tee [ Trace.sink tr; Sink.null ] in
+  List.iter (Sink.emit sink) all_events;
+  Alcotest.(check (list event)) "tracer accumulates in order" all_events
+    (Trace.events tr);
+  let doc = Trace.to_json tr in
+  check_bool "displayTimeUnit present" true
+    (Json.member "displayTimeUnit" doc = Some (Json.String "ms"));
+  (* Flow arrows come in send/finish pairs sharing an id. *)
+  check_int "flow starts = flow finishes" (phase_count doc "s") (phase_count doc "f");
+  check_bool "has metadata records" true (phase_count doc "M" > 0);
+  check_bool "has round spans" true (phase_count doc "X" > 0);
+  check_bool "has instants" true (phase_count doc "i" > 0)
+
+let run_es_traced () =
+  let module R = G.Runner.Make (C.Es_consensus) in
+  let tr = Trace.create () in
+  let recorder = Recorder.create ~sink:(Trace.sink tr) () in
+  let outcome =
+    R.run ~recorder
+      (G.Runner.default_config ~horizon:100 ~seed:11
+         ~inputs:(List.init 6 (fun i -> i + 1))
+         ~crash:(G.Crash.none ~n:6)
+         (G.Adversary.es_blocking ~gst:8 ()))
+  in
+  (outcome, Trace.to_json tr)
+
+let test_trace_runner_deterministic () =
+  let outcome, doc1 = run_es_traced () in
+  let _, doc2 = run_es_traced () in
+  (* Logical timestamps only: a fixed-seed run exports byte-identical
+     trace JSON every time. *)
+  Alcotest.(check string) "byte-identical across runs" (Json.to_string doc1)
+    (Json.to_string doc2);
+  (* One decide instant per decision; every delivery is one flow pair. *)
+  let instants =
+    match Json.member "traceEvents" doc1 with
+    | Some (Json.List evs) ->
+      List.filter
+        (fun e ->
+          Json.member "ph" e = Some (Json.String "i")
+          && Json.member "name" e = Some (Json.String "decide"))
+        evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  check_int "decide instants" (List.length outcome.decisions) (List.length instants);
+  check_int "flow pairs" outcome.deliveries (phase_count doc1 "s");
+  (* The document itself must be valid JSON through the codec. *)
+  match Json.of_string (Json.to_string doc1) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "trace document does not reparse: %s" e
+
 (* --- Recorder + runner integration ------------------------------------------ *)
 
 let test_recorder_off () =
   check_bool "off is inactive" false (Recorder.active Recorder.off);
   (* Event thunks must not run against the null sink. *)
   Recorder.emit Recorder.off (fun () -> Alcotest.fail "thunk forced on null sink")
+
+let test_recorder_surfaces_drops () =
+  (* A full ring sink drops oldest events; flushing the recorder surfaces
+     the drop count as a metric so lossy captures are visible in
+     [anonc metrics] reports. *)
+  let registry = Metrics.create () in
+  let sink = Sink.memory ~capacity:2 in
+  let recorder = Recorder.create ~metrics:registry ~sink () in
+  for i = 1 to 5 do
+    Recorder.emit recorder (fun () -> Event.Round_start { round = i })
+  done;
+  Recorder.flush recorder;
+  let dropped snap =
+    Option.value ~default:0
+      (List.assoc_opt "obs.events_dropped" snap.Metrics.counters)
+  in
+  check_int "3 drops surfaced" 3 (dropped (Metrics.snapshot registry));
+  (* Surfacing is incremental: only new drops are added on later flushes. *)
+  Recorder.emit recorder (fun () -> Event.Round_start { round = 6 });
+  Recorder.emit recorder (fun () -> Event.Round_start { round = 7 });
+  Recorder.flush recorder;
+  check_int "incremental surfacing" 5 (dropped (Metrics.snapshot registry));
+  (* No double counting when nothing new dropped. *)
+  Recorder.flush recorder;
+  check_int "idempotent when no new drops" 5 (dropped (Metrics.snapshot registry))
 
 let run_es ~recorder =
   let module R = G.Runner.Make (C.Es_consensus) in
@@ -325,6 +545,13 @@ let () =
           Alcotest.test_case "merge" `Quick test_metrics_merge;
           Alcotest.test_case "to_json" `Quick test_metrics_json;
         ] );
+      ( "hist",
+        [
+          Alcotest.test_case "edge buckets" `Quick test_hist_edge_buckets;
+          Alcotest.test_case "bucket boundaries" `Quick test_hist_bucket_boundaries;
+          Alcotest.test_case "merge laws" `Quick test_hist_merge_laws;
+          Alcotest.test_case "bounded at 10^6" `Quick test_hist_bounded_million;
+        ] );
       ( "events",
         [ Alcotest.test_case "json roundtrip" `Quick test_event_roundtrip ] );
       ( "sinks",
@@ -332,10 +559,18 @@ let () =
           Alcotest.test_case "ring buffer" `Quick test_sink_ring;
           Alcotest.test_case "null and tee" `Quick test_sink_null_and_tee;
           Alcotest.test_case "jsonl roundtrip" `Quick test_sink_jsonl_roundtrip;
+          Alcotest.test_case "handler" `Quick test_sink_handler;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "structure" `Quick test_trace_structure;
+          Alcotest.test_case "runner deterministic" `Quick
+            test_trace_runner_deterministic;
         ] );
       ( "recorder",
         [
           Alcotest.test_case "off" `Quick test_recorder_off;
+          Alcotest.test_case "surfaces ring drops" `Quick test_recorder_surfaces_drops;
           Alcotest.test_case "runner metrics" `Quick test_runner_metrics_match_outcome;
           Alcotest.test_case "runner events" `Quick test_runner_event_stream;
         ] );
