@@ -138,6 +138,7 @@ let run_mc_bench () =
       n = 3;
       env = G.Env.Es { gst = 2 };
       rounds = 6;
+      churn = 0;
       crashes = 1;
       max_delay = 1;
       search = Mc.Bfs;
@@ -311,6 +312,7 @@ let bench_weakset_run =
          W.run
            { G.Service_runner.n = 8;
              crash = G.Crash.none ~n:8;
+             churn = G.Churn.none ~n:8;
              adversary = G.Adversary.ms ();
              horizon = 80;
              seed = 4 }

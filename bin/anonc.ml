@@ -149,6 +149,62 @@ let adversary_of ~algo ~schedule ~gst =
   | Ess, Blocking -> G.Adversary.ess_blocking ~gst ()
   | Ess, Noisy -> G.Adversary.ess ~gst ~noise:0.25 ()
 
+(* "p0@3,p2@1-4": p0 leaves at round 3 forever, p2 leaves at 1 and rejoins
+   at 4. *)
+let churn_of_spec ~n spec =
+  if spec = "" then G.Churn.none ~n
+  else
+    let parse_one part =
+      let fail () =
+        Format.eprintf
+          "anonc: bad --churn entry %S (expected pN@LEAVE or pN@LEAVE-REJOIN)@."
+          part;
+        exit 2
+      in
+      match String.split_on_char '@' part with
+      | [ pid; rounds ] ->
+        let pid =
+          match int_of_string_opt (
+            if String.length pid > 1 && pid.[0] = 'p' then
+              String.sub pid 1 (String.length pid - 1)
+            else pid)
+          with
+          | Some p -> p
+          | None -> fail ()
+        in
+        (match String.split_on_char '-' rounds with
+        | [ leave ] -> (
+          match int_of_string_opt leave with
+          | Some leave -> { G.Churn.pid; leave; rejoin = None }
+          | None -> fail ())
+        | [ leave; rejoin ] -> (
+          match (int_of_string_opt leave, int_of_string_opt rejoin) with
+          | Some leave, Some rejoin -> { G.Churn.pid; leave; rejoin = Some rejoin }
+          | _ -> fail ())
+        | _ -> fail ())
+      | _ -> fail ()
+    in
+    match G.Churn.of_events ~n (List.map parse_one (String.split_on_char ',' spec)) with
+    | churn -> churn
+    | exception Invalid_argument msg ->
+      Format.eprintf "anonc: bad --churn spec: %s@." msg;
+      exit 2
+
+let env_override_arg =
+  Cmdliner.Arg.(
+    value & opt (some string) None
+    & info [ "env" ] ~docv:"ENV"
+        ~doc:"Environment override; currently dynamic:S or dynamic:S:unrooted \
+              (per-round communication graphs, healed for S-round windows). \
+              Replaces --schedule's adversary.")
+
+let churn_spec_arg =
+  Cmdliner.Arg.(
+    value & opt string ""
+    & info [ "churn" ] ~docv:"SPEC"
+        ~doc:"Join/leave schedule, e.g. p0@3,p2@1-4 (p2 leaves at round 1, \
+              rejoins at 4 with a fresh state). Churners may not also crash.")
+
 let report_outcome ~rounds (outcome : G.Runner.outcome) =
   if rounds then Format.fprintf ppf "%a@." G.Trace.pp outcome.trace;
   List.iter
@@ -168,8 +224,8 @@ let report_outcome ~rounds (outcome : G.Runner.outcome) =
     (G.Checker.check_consensus ~expect_termination:false outcome.trace)
 
 let run_cmd =
-  let run algo schedule n gst seed horizon failures rounds trace metrics
-      json_trace jobs =
+  let run algo schedule env_override churn_spec n gst seed horizon failures
+      rounds trace metrics json_trace jobs =
     (* A single simulation is one task; --jobs is accepted for interface
        uniformity and to set the pool default for anything that fans out. *)
     set_jobs jobs;
@@ -179,16 +235,36 @@ let run_cmd =
       | Blocking -> H.Exp_consensus.ordered_inputs ~n rng
       | Noisy | Synchronous -> H.Runs.distinct_inputs ~n rng
     in
+    let churn = churn_of_spec ~n churn_spec in
     let crash =
       G.Crash.random ~n ~failures ~max_round:(max 1 (min horizon (gst + 10))) rng
     in
-    let adversary = adversary_of ~algo ~schedule ~gst in
-    let config = G.Runner.default_config ~horizon ~seed ~inputs ~crash adversary in
-    Format.fprintf ppf "algorithm: %s; env: %a; inputs: [%s]; crash: %a@."
+    let adversary =
+      match env_override with
+      | None -> adversary_of ~algo ~schedule ~gst
+      | Some spec -> (
+        match G.Env.of_string spec with
+        | Ok (G.Env.Dynamic { stability; rooted }) ->
+          let noise = match schedule with Noisy -> 0.25 | _ -> 0. in
+          G.Adversary.dynamic ~stability ~rooted ~noise ()
+        | Ok env ->
+          Format.eprintf
+            "anonc run: --env %s not supported here (only dynamic:...; use \
+             --schedule for the static environments)@."
+            (G.Env.to_string env);
+          exit 2
+        | Error e ->
+          Format.eprintf "anonc run: %s@." e;
+          exit 2)
+    in
+    let config =
+      G.Runner.default_config ~horizon ~seed ~inputs ~crash ~churn adversary
+    in
+    Format.fprintf ppf "algorithm: %s; env: %a; inputs: [%s]; crash: %a; churn: %a@."
       (match algo with Es -> C.Es_consensus.name | Ess -> C.Ess_consensus.name)
       G.Env.pp (G.Adversary.env adversary)
       (String.concat ";" (List.map string_of_int inputs))
-      G.Crash.pp crash;
+      G.Crash.pp crash G.Churn.pp churn;
     with_recorder ~trace ~metrics ~json_trace (fun recorder ->
         match algo with
         | Es ->
@@ -200,9 +276,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one consensus simulation.")
     Term.(
-      const run $ algo_arg $ schedule_arg $ n_arg $ gst_arg $ seed_arg
-      $ horizon_arg () $ failures_arg $ rounds_trace_arg $ trace_arg
-      $ metrics_arg $ json_trace_arg $ jobs_arg)
+      const run $ algo_arg $ schedule_arg $ env_override_arg $ churn_spec_arg
+      $ n_arg $ gst_arg $ seed_arg $ horizon_arg () $ failures_arg
+      $ rounds_trace_arg $ trace_arg $ metrics_arg $ json_trace_arg $ jobs_arg)
 
 (* --- weakset -------------------------------------------------------------- *)
 
@@ -215,7 +291,14 @@ let weakset_cmd =
         ~max_start:(horizon / 2) ~value_range:10_000 rng
     in
     let config =
-      { G.Service_runner.n; crash; adversary = G.Adversary.ms (); horizon; seed }
+      {
+        G.Service_runner.n;
+        crash;
+        churn = G.Churn.none ~n;
+        adversary = G.Adversary.ms ();
+        horizon;
+        seed;
+      }
     in
     let module W = G.Service_runner.Make (C.Weak_set_ms) in
     with_recorder ~trace ~metrics ~json_trace (fun recorder ->
@@ -388,7 +471,7 @@ let metrics_cmd =
 (* --- fuzz ------------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let run runs seed inadmissible out replay jobs =
+  let run runs seed inadmissible dynamic churn out replay jobs =
     set_jobs jobs;
     match replay with
     | Some path -> (
@@ -409,7 +492,7 @@ let fuzz_cmd =
           exit 1
         end)
     | None -> (
-      let report = Ch.Fuzz.campaign ~inadmissible ~runs ~seed () in
+      let report = Ch.Fuzz.campaign ~inadmissible ~dynamic ~churn ~runs ~seed () in
       match report.finding with
       | None ->
         Format.fprintf ppf "fuzz: %d runs, no violations@." report.runs_done;
@@ -445,6 +528,18 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None
          & info [ "out" ] ~docv:"FILE" ~doc:"Repro file path (default fuzz-repro.json).")
   in
+  let dynamic_arg =
+    Arg.(value & flag
+         & info [ "dynamic" ]
+             ~doc:"Sample dynamic-graph environment overrides (per-round \
+                   communication graphs with stability windows).")
+  in
+  let churn_arg =
+    Arg.(value & flag
+         & info [ "churn" ]
+             ~doc:"Sample join/leave schedules (distinct from crashes; \
+                   rejoiners restart from their input with empty state).")
+  in
   let replay_arg =
     Arg.(value & opt (some string) None
          & info [ "replay" ] ~docv:"FILE"
@@ -455,14 +550,14 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Fuzz random configurations against the checker; shrink and save \
              counterexamples.")
-    Term.(const run $ runs_arg $ seed_arg $ inadmissible_arg $ out_arg $ replay_arg
-          $ jobs_arg)
+    Term.(const run $ runs_arg $ seed_arg $ inadmissible_arg $ dynamic_arg
+          $ churn_arg $ out_arg $ replay_arg $ jobs_arg)
 
 (* --- mc -------------------------------------------------------------------- *)
 
 let mc_cmd =
   let module Mc = Anon_mc.Mc in
-  let run algo env gst n rounds crashes max_delay search armed jobs seed
+  let run algo env gst n rounds crashes churn max_delay search armed jobs seed
       ops_per_client out progress trace metrics json_trace =
     set_jobs jobs;
     let env =
@@ -477,9 +572,14 @@ let mc_cmd =
       | Some "es" -> G.Env.Es { gst }
       | Some "ess" -> G.Env.Ess { gst }
       | Some "async" -> G.Env.Async
-      | Some other ->
-        Format.eprintf "anonc mc: unknown --env %s (sync|ms|es|ess|async)@." other;
-        exit 2
+      | Some spec -> (
+        match G.Env.of_string spec with
+        | Ok env -> env
+        | Error _ ->
+          Format.eprintf
+            "anonc mc: unknown --env %s (sync|ms|es|ess|async|dynamic:S[:unrooted])@."
+            spec;
+          exit 2)
     in
     let config =
       {
@@ -488,6 +588,7 @@ let mc_cmd =
         env;
         rounds;
         crashes;
+        churn;
         max_delay;
         search;
         armed;
@@ -526,8 +627,8 @@ let mc_cmd =
   let env_arg =
     Arg.(value & opt (some string) None
          & info [ "env" ] ~docv:"ENV"
-             ~doc:"Environment to enumerate plans for: sync, ms, es, ess or async \
-                   (default: the algorithm's native one).")
+             ~doc:"Environment to enumerate plans for: sync, ms, es, ess, async or \
+                   dynamic:S[:unrooted] (default: the algorithm's native one).")
   in
   let n_arg =
     Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
@@ -539,6 +640,12 @@ let mc_cmd =
   let crashes_arg =
     Arg.(value & opt int 0
          & info [ "crashes" ] ~docv:"F" ~doc:"Crash budget (max crashing processes).")
+  in
+  let churn_arg =
+    Arg.(value & opt int 0
+         & info [ "churn" ] ~docv:"C"
+             ~doc:"Churn budget (max join/leave processes; schedules enumerated \
+                   like crashes and crossed with them, pid-disjoint).")
   in
   let max_delay_arg =
     Arg.(value & opt int 1
@@ -578,8 +685,9 @@ let mc_cmd =
              iff a violation is found.")
     Term.(
       const run $ algo_arg $ env_arg $ gst_arg $ n_arg $ rounds_arg $ crashes_arg
-      $ max_delay_arg $ search_arg $ armed_arg $ jobs_arg $ seed_arg $ ops_arg
-      $ out_arg $ progress_arg $ trace_arg $ metrics_arg $ json_trace_arg)
+      $ churn_arg $ max_delay_arg $ search_arg $ armed_arg $ jobs_arg $ seed_arg
+      $ ops_arg $ out_arg $ progress_arg $ trace_arg $ metrics_arg
+      $ json_trace_arg)
 
 (* --- bench ----------------------------------------------------------------- *)
 

@@ -29,6 +29,7 @@ let () =
     {
       G.Service_runner.n;
       crash;
+      churn = G.Churn.none ~n;
       (* Pure moving source, rotating every round, zero extra links: the
          weakest network in which the weak-set is implementable. *)
       adversary = G.Adversary.ms ~rotation:G.Adversary.Round_robin ();

@@ -5,9 +5,13 @@ module R = Anon_obs.Recorder
 module M = Anon_obs.Metrics
 module E = Anon_obs.Event
 
+module Env = Anon_giraf.Env
+
 type inadmissible =
   | Drop_obligated of { from_round : int }
   | Unstable_source of { from_round : int }
+  | Root_starvation of { from_round : int }
+  | Stability_break of { from_round : int }
 
 type spec = {
   duplicate : float;
@@ -22,6 +26,19 @@ let none =
 
 let is_noop s =
   s.duplicate <= 0. && s.extra_delay <= 0. && s.reorder <= 0. && s.inadmissible = None
+
+let validate spec =
+  let fail = Anon_giraf.Config_error.fail ~where:"Fault" in
+  let prob name p =
+    if Float.is_nan p then fail (Printf.sprintf "%s probability is NaN" name);
+    if p < 0. || p > 1. then
+      fail (Printf.sprintf "%s probability %g outside [0, 1]" name p)
+  in
+  prob "duplicate" spec.duplicate;
+  prob "extra_delay" spec.extra_delay;
+  prob "reorder" spec.reorder;
+  if spec.max_extra < 0 then
+    fail (Printf.sprintf "max_extra must be >= 0 (got %d)" spec.max_extra)
 
 let sample ?(inadmissible = None) rng =
   {
@@ -65,13 +82,17 @@ let promote ~obligated ~round ds =
     ds
 
 let wrap ?(recorder = R.off) spec adv =
+  validate spec;
   if is_noop spec then adv
   else begin
+    let env = Adv.env adv in
     let c_dup = R.counter recorder "fault.duplicates" in
     let c_delay = R.counter recorder "fault.extra_delays" in
     let c_reorder = R.counter recorder "fault.reorders" in
     let c_drop = R.counter recorder "fault.drops" in
     let c_swap = R.counter recorder "fault.source_swaps" in
+    let c_starve = R.counter recorder "fault.root_starvations" in
+    let c_break = R.counter recorder "fault.stability_breaks" in
     let emit kind ~round ~sender ~receiver =
       R.emit recorder (fun () -> E.Fault { kind; round; sender; receiver })
     in
@@ -174,6 +195,52 @@ let wrap ?(recorder = R.off) spec adv =
               plan.Adv.deliveries
           in
           { source = Some keep; deliveries })
+      | Some (Root_starvation { from_round }) when k >= from_round -> (
+        (* Pulse rounds of a rooted dynamic environment only: demote every
+           covering sender, so no root reaches all obligated receivers.
+           Healed rounds are left intact — the resulting trace violates
+           exactly the root-reachability obligation. *)
+        match env with
+        | Env.Dynamic { stability; rooted = true }
+          when Env.pulse ~stability ~round:k ->
+          let deliveries =
+            List.map
+              (fun (s, ds) ->
+                if covers ~obligated:ctx.obligated ~round:k s ds then
+                  match degrade ~obligated:ctx.obligated ~round:k s ds with
+                  | Some (q, ds') ->
+                    M.incr c_starve;
+                    emit "root_starvation" ~round:k ~sender:s ~receiver:q;
+                    (s, ds')
+                  | None -> (s, ds)
+                else (s, ds))
+              plan.Adv.deliveries
+          in
+          { plan with Adv.deliveries }
+        | _ -> plan)
+      | Some (Stability_break { from_round }) when k >= from_round -> (
+        (* Healed rounds of a dynamic environment only: make one correct
+           sender late to one obligated receiver, breaking the
+           stability-window promise while leaving pulse rounds intact. *)
+        match env with
+        | Env.Dynamic { stability; _ } when not (Env.pulse ~stability ~round:k) ->
+          let broken = ref false in
+          let deliveries =
+            List.map
+              (fun (s, ds) ->
+                if (not !broken) && List.mem s ctx.correct then
+                  match degrade ~obligated:ctx.obligated ~round:k s ds with
+                  | Some (q, ds') ->
+                    broken := true;
+                    M.incr c_break;
+                    emit "stability_break" ~round:k ~sender:s ~receiver:q;
+                    (s, ds')
+                  | None -> (s, ds)
+                else (s, ds))
+              plan.Adv.deliveries
+          in
+          { plan with Adv.deliveries }
+        | _ -> plan)
       | Some _ | None -> plan
     in
     Adv.map_plan ~rename:(fun n -> n ^ "+faults") inject adv

@@ -29,6 +29,20 @@ type inadmissible =
           covers every round — violating exactly the ESS stability
           obligation once the alternation crosses [gst]. Start it well
           before [gst] so the algorithm cannot decide first. *)
+  | Root_starvation of { from_round : int }
+      (** From [from_round] on, at every {e pulse} round of a rooted
+          {!Anon_giraf.Env.Dynamic} environment, every sender covering the
+          obligated processes loses one timely delivery — no covering root
+          remains, violating exactly the root-reachability obligation
+          ({!Anon_giraf.Checker.No_root}). No-op under any other
+          environment and on healed rounds. *)
+  | Stability_break of { from_round : int }
+      (** From [from_round] on, at every {e healed} round of a
+          {!Anon_giraf.Env.Dynamic} environment, one correct sender is made
+          late to one obligated receiver — violating exactly the
+          stability-window obligation
+          ({!Anon_giraf.Checker.Stability_violation}). No-op under any
+          other environment and on pulse rounds. *)
 
 type spec = {
   duplicate : float;  (** P(a delivery gets a late echo copy). *)
@@ -44,6 +58,11 @@ val none : spec
 
 val is_noop : spec -> bool
 
+val validate : spec -> unit
+(** Reject malformed specs: NaN or out-of-[\[0, 1\]] probabilities and
+    negative [max_extra] raise
+    {!Anon_giraf.Config_error.Invalid_config}. Called by {!wrap}. *)
+
 val sample : ?inadmissible:inadmissible option -> Anon_kernel.Rng.t -> spec
 (** Random admissible fault intensities; [inadmissible] (default [None])
     is threaded through. *)
@@ -56,7 +75,11 @@ val wrap :
     suffix). Fault events/metrics flow into [recorder] (default
     {!Anon_obs.Recorder.off}): counters [fault.duplicates],
     [fault.extra_delays], [fault.reorders], [fault.drops],
-    [fault.source_swaps]. *)
+    [fault.source_swaps], [fault.root_starvations],
+    [fault.stability_breaks].
+
+    @raise Anon_giraf.Config_error.Invalid_config on a malformed [spec]
+    (see {!validate}). *)
 
 (* --- crash-schedule shapes ------------------------------------------------- *)
 

@@ -14,13 +14,21 @@ let violation_strings vs =
 
 let run_consensus ?recorder (case : Scenario.t) runner =
   let inputs = Scenario.inputs case in
+  let adversary = Scenario.adversary case in
+  (* Environments that never promise a deciding schedule get no
+     termination check; everything the fuzzer samples today does. *)
+  let expect_termination =
+    match G.Adversary.env adversary with
+    | G.Env.Async | G.Env.Dynamic { rooted = false; _ } -> false
+    | G.Env.Sync | G.Env.Ms | G.Env.Es _ | G.Env.Ess _ | G.Env.Dynamic _ -> true
+  in
   let config =
-    G.Runner.default_config ~horizon:case.horizon ~seed:case.seed ~inputs
-      ~crash:(Scenario.crash case) (Scenario.adversary case)
+    G.Runner.default_config ~horizon:case.horizon ~seed:case.seed
+      ~churn:(Scenario.churn case) ~inputs ~crash:(Scenario.crash case) adversary
   in
   let out = runner ?recorder config in
   G.Checker.check_env out.G.Runner.trace
-  @ G.Checker.check_consensus ~expect_termination:true out.G.Runner.trace
+  @ G.Checker.check_consensus ~expect_termination out.G.Runner.trace
 
 let run_weak_set ?recorder (case : Scenario.t) =
   let crash = Scenario.crash case in
@@ -35,18 +43,24 @@ let run_weak_set ?recorder (case : Scenario.t) =
       G.Service_runner.random_workload ~n:case.n ~ops_per_client:case.ops_per_client
         ~max_start:(max 1 (case.horizon / 2)) ~value_range:1000 rng
   in
+  let churn = Scenario.churn case in
   let config =
     {
       G.Service_runner.n = case.n;
       crash;
+      churn;
       adversary = Scenario.adversary case;
       horizon = case.horizon;
       seed = case.seed;
     }
   in
   let out = Ws_runner.run ?recorder config ~workload in
-  G.Checker.check_env out.trace
-  @ G.Checker.check_weak_set ~correct:(G.Crash.correct crash) out.ops
+  (* Correct stayers only: a rejoiner restarts on an empty replica, so its
+     gets legitimately miss adds that completed before it was back. *)
+  let correct =
+    List.filter (G.Churn.is_stayer churn) (G.Crash.correct crash)
+  in
+  G.Checker.check_env out.trace @ G.Checker.check_weak_set ~correct out.ops
 
 let run_register (case : Scenario.t) =
   let rng = Rng.make case.seed in
@@ -98,6 +112,8 @@ let tag = function
   | G.Checker.No_source _ -> "no_source"
   | G.Checker.Source_not_timely _ -> "source_not_timely"
   | G.Checker.Unstable_source _ -> "unstable_source"
+  | G.Checker.No_root _ -> "no_root"
+  | G.Checker.Stability_violation _ -> "stability"
   | G.Checker.Weak_set_lost_add _ -> "ws_lost_add"
   | G.Checker.Weak_set_phantom_value _ -> "ws_phantom"
   | G.Checker.Register_stale_read _ -> "register_stale"
@@ -119,6 +135,7 @@ let candidates (case : Scenario.t) =
           case with
           n;
           crashes = List.filter (fun (ev : G.Crash.event) -> ev.pid < n) case.crashes;
+          churn = List.filter (fun (ev : G.Churn.event) -> ev.pid < n) case.churn;
         };
       ]
   in
@@ -133,6 +150,11 @@ let candidates (case : Scenario.t) =
     | evs ->
       let half = take (List.length evs / 2) evs in
       List.sort_uniq compare [ { case with crashes = half }; { case with crashes = drop_last evs } ]
+  in
+  let fewer_churn =
+    match case.churn with
+    | [] -> []
+    | evs -> [ { case with churn = drop_last evs } ]
   in
   let fewer_ops =
     match case.algo with
@@ -156,7 +178,7 @@ let candidates (case : Scenario.t) =
          else None);
       ]
   in
-  smaller_n @ shorter @ fewer_crashes @ fewer_ops @ weaker_faults
+  smaller_n @ shorter @ fewer_crashes @ fewer_churn @ fewer_ops @ weaker_faults
 
 let shrink case vs =
   let orig_tags = tags vs in
@@ -190,13 +212,14 @@ type finding = {
 
 type report = { runs_done : int; finding : finding option }
 
-let campaign ?algo ?(inadmissible = false) ?jobs ~runs ~seed () =
+let campaign ?algo ?(inadmissible = false) ?(dynamic = false) ?(churn = false)
+    ?jobs ~runs ~seed () =
   let rng = Rng.make seed in
   (* Sampling consumes the rng stream independently of run outcomes, so
      drawing all cases up front yields exactly the cases the sequential
      campaign would have visited. *)
   let cases =
-    Array.init runs (fun _ -> Scenario.sample ?algo ~inadmissible rng)
+    Array.init runs (fun _ -> Scenario.sample ?algo ~inadmissible ~dynamic ~churn rng)
   in
   let jobs = Anon_exec.Pool.resolve ?jobs () in
   (* Evaluate in submission-order chunks and stop at the first chunk

@@ -41,6 +41,8 @@ type report = { runs_done : int; finding : finding option }
 val campaign :
   ?algo:Scenario.algo ->
   ?inadmissible:bool ->
+  ?dynamic:bool ->
+  ?churn:bool ->
   ?jobs:int ->
   runs:int ->
   seed:int ->
@@ -50,7 +52,9 @@ val campaign :
     the first violation, which is returned shrunk. [inadmissible] (default
     [false]) arms a model-violating fault mode in every case — the
     campaign is then expected to find a violation (it validates the
-    checker, not the algorithms).
+    checker, not the algorithms). [dynamic]/[churn] (defaults [false])
+    sample dynamic-graph environment overrides and join/leave schedules —
+    see {!Scenario.sample}.
 
     Cases execute through {!Anon_exec.Pool.map} — [jobs] as there. All
     cases are sampled up front and evaluated in submission-order chunks,

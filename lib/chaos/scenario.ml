@@ -1,6 +1,7 @@
 open Anon_kernel
 module Adv = Anon_giraf.Adversary
 module Crash = Anon_giraf.Crash
+module Churn = Anon_giraf.Churn
 module Env = Anon_giraf.Env
 module Json = Anon_obs.Json
 
@@ -25,6 +26,8 @@ type t = {
   horizon : int;
   seed : int;
   crashes : Crash.event list;
+  churn : Churn.event list;
+  env : Env.t option;
   ops_per_client : int;
   faults : Fault.spec;
   schedule : schedule option;
@@ -32,15 +35,22 @@ type t = {
 
 (* Horizons generous enough for the liveness theorems (Thm. 1/2/3) to have
    fired long before the run is cut off, leaving slack for fault-injected
-   delays on non-obligated links. *)
-let horizon_for algo ~n ~gst =
-  match algo with
-  | Es -> gst + (6 * n) + 40
-  | Ess -> gst + (20 * n) + 80
-  | Weak_set -> 40 * (n + 2)
-  | Register -> 300 + (40 * n)
+   delays on non-obligated links. A dynamic environment only promises full
+   synchrony on the healed tail of each window, so progress slows by a
+   factor of the window length. *)
+let horizon_for ?env algo ~n ~gst =
+  let base =
+    match algo with
+    | Es -> gst + (6 * n) + 40
+    | Ess -> gst + (20 * n) + 80
+    | Weak_set -> 40 * (n + 2)
+    | Register -> 300 + (40 * n)
+  in
+  match env with
+  | Some (Env.Dynamic { stability; _ }) -> stability * base
+  | Some _ | None -> base
 
-let sample ?algo ?(inadmissible = false) rng =
+let sample ?algo ?(inadmissible = false) ?(dynamic = false) ?(churn = false) rng =
   let algo = match algo with Some a -> a | None -> Rng.pick rng all_algos in
   let n = if inadmissible then Rng.int_in rng 3 6 else Rng.int_in rng 2 6 in
   let gst = Rng.int_in rng 3 12 in
@@ -67,12 +77,60 @@ let sample ?algo ?(inadmissible = false) rng =
         Fault.cascade_crashes ~n ~failures ~start:(Rng.int_in rng 1 6)
           ~gap:(Rng.int_in rng 1 5) rng
   in
+  (* Dynamic-graph override: only consensus and weak-set cases take it
+     (the register stack layers on the MS emulation), and the admissible
+     pool keeps stability >= 2 and a covering root — a rotating-root
+     stability-1 regime legitimately never decides (that is the model
+     checker's counterexample, not a fuzzing bug). *)
+  let env =
+    if (not dynamic) || algo = Register then None
+    else Some (Env.Dynamic { stability = Rng.int_in rng 2 4; rooted = true })
+  in
+  (* Churn: disjoint from crashers, with at least one correct stayer.
+     For the consensus algorithms only permanent leaves are sampled — a
+     leaver is observationally a silent crash, which Alg. 2/3 tolerate,
+     whereas a rejoiner re-initializes from its original input and can
+     re-inject a value that never circulated before a stayer decided,
+     legitimately splitting agreement (see DESIGN.md: the committed
+     model-checker counterexample pins this down). The weak-set service is
+     join-tolerant — its axioms are monotone in the set contents — so
+     rejoiners are admissible there. *)
+  let churn_events =
+    if (not churn) || algo = Register then []
+    else
+      let crashed = List.map (fun (ev : Crash.event) -> ev.pid) crashes in
+      let free =
+        List.filter (fun p -> not (List.mem p crashed)) (List.init n Fun.id)
+      in
+      match free with
+      | [] | [ _ ] -> []
+      | free ->
+        let count = Rng.int_in rng 1 (min 2 (List.length free - 1)) in
+        let pids = List.filteri (fun i _ -> i < count) (Rng.shuffle rng free) in
+        let may_rejoin = algo = Weak_set in
+        List.map
+          (fun pid ->
+            let leave = Rng.int_in rng 2 (max 2 (gst - 1)) in
+            let rejoin =
+              if may_rejoin && Rng.chance rng 0.7 then
+                Some (min gst (leave + Rng.int_in rng 1 2))
+              else None
+            in
+            { Churn.pid; leave; rejoin })
+          pids
+  in
   let mode =
     if not inadmissible then None
     else
-      match algo with
-      | Ess when Rng.bool rng -> Some (Fault.Unstable_source { from_round = 2 })
-      | _ -> Some (Fault.Drop_obligated { from_round = 2 })
+      match env with
+      | Some (Env.Dynamic _) ->
+        Some
+          (if Rng.bool rng then Fault.Root_starvation { from_round = 2 }
+           else Fault.Stability_break { from_round = 2 })
+      | Some _ | None -> (
+        match algo with
+        | Ess when Rng.bool rng -> Some (Fault.Unstable_source { from_round = 2 })
+        | _ -> Some (Fault.Drop_obligated { from_round = 2 }))
   in
   let faults = Fault.sample ~inadmissible:mode rng in
   {
@@ -81,9 +139,11 @@ let sample ?algo ?(inadmissible = false) rng =
     gst;
     rotation;
     noise;
-    horizon = horizon_for algo ~n ~gst;
+    horizon = horizon_for ?env algo ~n ~gst;
     seed;
     crashes;
+    churn = churn_events;
+    env;
     ops_per_client = Rng.int_in rng 2 6;
     faults;
     schedule = None;
@@ -95,14 +155,19 @@ let adversary ?recorder t =
     | Some { sched_env; plans } ->
       Adv.of_schedule ~name:("mc-" ^ algo_name t.algo) ~env:sched_env plans
     | None -> (
-      match t.algo with
-      | Es -> Adv.es ~gst:t.gst ~noise:t.noise ()
-      | Ess -> Adv.ess ~gst:t.gst ~rotation:t.rotation ~noise:t.noise ()
-      | Weak_set | Register -> Adv.ms ~rotation:t.rotation ~noise:t.noise ())
+      match t.env with
+      | Some (Env.Dynamic { stability; rooted }) ->
+        Adv.dynamic ~stability ~rooted ~rotation:t.rotation ~noise:t.noise ()
+      | Some _ | None -> (
+        match t.algo with
+        | Es -> Adv.es ~gst:t.gst ~noise:t.noise ()
+        | Ess -> Adv.ess ~gst:t.gst ~rotation:t.rotation ~noise:t.noise ()
+        | Weak_set | Register -> Adv.ms ~rotation:t.rotation ~noise:t.noise ()))
   in
   Fault.wrap ?recorder t.faults base
 
 let crash t = Crash.of_events ~n:t.n t.crashes
+let churn t = Churn.of_events ~n:t.n t.churn
 
 let inputs t = Rng.shuffle (Rng.make t.seed) (List.init t.n (fun i -> i + 1))
 
@@ -120,12 +185,19 @@ let mc_workload ~n ~ops_per_client =
               else Anon_giraf.Service_runner.Do_get )) ))
 
 let pp ppf t =
-  Format.fprintf ppf "%s n=%d gst=%d noise=%.2f horizon=%d seed=%d crashes=%d%s"
+  Format.fprintf ppf "%s n=%d gst=%d noise=%.2f horizon=%d seed=%d crashes=%d%s%s%s"
     (algo_name t.algo) t.n t.gst t.noise t.horizon t.seed (List.length t.crashes)
+    (match t.env with
+    | None -> ""
+    | Some e -> Format.asprintf " env=%a" Env.pp e)
+    (if t.churn = [] then ""
+     else Printf.sprintf " churn=%d" (List.length t.churn))
     (match t.faults.inadmissible with
     | None -> ""
     | Some (Fault.Drop_obligated _) -> " [drop-obligated]"
-    | Some (Fault.Unstable_source _) -> " [unstable-source]")
+    | Some (Fault.Unstable_source _) -> " [unstable-source]"
+    | Some (Fault.Root_starvation _) -> " [root-starvation]"
+    | Some (Fault.Stability_break _) -> " [stability-break]")
 
 (* --- JSON ------------------------------------------------------------------ *)
 
@@ -162,6 +234,14 @@ let json_of_crash (ev : Crash.event) =
       ("broadcast", Json.String (json_of_broadcast ev.broadcast));
     ]
 
+let json_of_churn (ev : Churn.event) =
+  Json.Obj
+    [
+      ("pid", Json.Int ev.pid);
+      ("leave", Json.Int ev.leave);
+      ("rejoin", match ev.rejoin with None -> Json.Null | Some r -> Json.Int r);
+    ]
+
 let json_of_inadmissible = function
   | Fault.Drop_obligated { from_round } ->
     Json.Obj
@@ -169,6 +249,12 @@ let json_of_inadmissible = function
   | Fault.Unstable_source { from_round } ->
     Json.Obj
       [ ("kind", Json.String "unstable_source"); ("from_round", Json.Int from_round) ]
+  | Fault.Root_starvation { from_round } ->
+    Json.Obj
+      [ ("kind", Json.String "root_starvation"); ("from_round", Json.Int from_round) ]
+  | Fault.Stability_break { from_round } ->
+    Json.Obj
+      [ ("kind", Json.String "stability_break"); ("from_round", Json.Int from_round) ]
 
 let json_of_faults (f : Fault.spec) =
   Json.Obj
@@ -188,6 +274,8 @@ let json_of_env = function
   | Env.Async -> Json.String "async"
   | Env.Es { gst } -> Json.Obj [ ("es", Json.Int gst) ]
   | Env.Ess { gst } -> Json.Obj [ ("ess", Json.Int gst) ]
+  | Env.Dynamic { stability; rooted } ->
+    Json.Obj [ ("dynamic", Json.Int stability); ("rooted", Json.Bool rooted) ]
 
 let env_of_json = function
   | Json.String "sync" -> Ok Env.Sync
@@ -196,12 +284,20 @@ let env_of_json = function
   | Json.Obj _ as j -> (
     match
       ( Json.member "es" j |> Option.map Json.to_int |> Option.join,
-        Json.member "ess" j |> Option.map Json.to_int |> Option.join )
+        Json.member "ess" j |> Option.map Json.to_int |> Option.join,
+        Json.member "dynamic" j |> Option.map Json.to_int |> Option.join )
     with
-    | Some gst, None -> Ok (Env.Es { gst })
-    | None, Some gst -> Ok (Env.Ess { gst })
-    | _ -> Error "env: expected {es: gst} or {ess: gst}")
-  | _ -> Error "env: expected sync/ms/async/{es}/{ess}"
+    | Some gst, None, None -> Ok (Env.Es { gst })
+    | None, Some gst, None -> Ok (Env.Ess { gst })
+    | None, None, Some stability ->
+      let rooted =
+        match Json.member "rooted" j |> Option.map Json.to_bool |> Option.join with
+        | Some b -> b
+        | None -> true
+      in
+      Ok (Env.Dynamic { stability; rooted })
+    | _ -> Error "env: expected {es: gst}, {ess: gst} or {dynamic: stability}")
+  | _ -> Error "env: expected sync/ms/async/{es}/{ess}/{dynamic}"
 
 let json_of_plan (p : Adv.plan) =
   Json.Obj
@@ -235,9 +331,15 @@ let json_of_schedule s =
       ("plans", Json.List (List.map json_of_plan s.plans));
     ]
 
+(* Schema version: v1 (PR 2/4 repro files, no field) has neither dynamic
+   environments nor churn; v2 adds the optional [env] override and the
+   [churn] schedule. Decoding accepts both; encoding always writes v2. *)
+let version = 2
+
 let to_json t =
   Json.Obj
     ([
+       ("v", Json.Int version);
        ("algo", Json.String (algo_name t.algo));
        ("n", Json.Int t.n);
        ("gst", Json.Int t.gst);
@@ -249,6 +351,9 @@ let to_json t =
        ("ops_per_client", Json.Int t.ops_per_client);
        ("faults", json_of_faults t.faults);
      ]
+    @ (match t.env with None -> [] | Some e -> [ ("env", json_of_env e) ])
+    @ (if t.churn = [] then []
+       else [ ("churn", Json.List (List.map json_of_churn t.churn)) ])
     @ match t.schedule with None -> [] | Some s -> [ ("schedule", json_of_schedule s) ])
 
 let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
@@ -283,6 +388,17 @@ let crash_of_json j =
   let* broadcast = broadcast_of_json b in
   Ok { Crash.pid; round; broadcast }
 
+let churn_of_json j =
+  let* pid = req_int j "pid" in
+  let* leave = req_int j "leave" in
+  let* rejoin =
+    match Json.member "rejoin" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Int r) -> Ok (Some r)
+    | Some _ -> Error "churn: bad rejoin"
+  in
+  Ok { Churn.pid; leave; rejoin }
+
 let rec map_result f = function
   | [] -> Ok []
   | x :: xs ->
@@ -296,6 +412,8 @@ let inadmissible_of_json j =
   match kind with
   | "drop_obligated" -> Ok (Fault.Drop_obligated { from_round })
   | "unstable_source" -> Ok (Fault.Unstable_source { from_round })
+  | "root_starvation" -> Ok (Fault.Root_starvation { from_round })
+  | "stability_break" -> Ok (Fault.Stability_break { from_round })
   | s -> Error ("unknown inadmissible kind " ^ s)
 
 let faults_of_json j =
@@ -354,6 +472,18 @@ let schedule_of_json j =
   Ok { sched_env; plans }
 
 let of_json j =
+  let* v =
+    match Json.member "v" j with
+    | None -> Ok 1 (* pre-versioning repro files (PR 2/4) *)
+    | Some n -> (
+      match Json.to_int n with
+      | Some n when n >= 1 && n <= version -> Ok n
+      | Some n ->
+        Error
+          (Printf.sprintf "unsupported scenario schema v%d (this build reads <= v%d)"
+             n version)
+      | None -> Error "v: expected an integer")
+  in
   let* algo_s = req_str j "algo" in
   let* algo = algo_of_string algo_s in
   let* n = req_int j "n" in
@@ -370,6 +500,23 @@ let of_json j =
     match Json.member "crashes" j with
     | Some (Json.List l) -> map_result crash_of_json l
     | _ -> Error "missing list field crashes"
+  in
+  let* churn =
+    if v < 2 then Ok []
+    else
+      match Json.member "churn" j with
+      | None | Some Json.Null -> Ok []
+      | Some (Json.List l) -> map_result churn_of_json l
+      | Some _ -> Error "churn: expected a list"
+  in
+  let* env =
+    if v < 2 then Ok None
+    else
+      match Json.member "env" j with
+      | None | Some Json.Null -> Ok None
+      | Some e ->
+        let* e = env_of_json e in
+        Ok (Some e)
   in
   let* ops_per_client = req_int j "ops_per_client" in
   let* faults =
@@ -394,6 +541,8 @@ let of_json j =
       horizon;
       seed;
       crashes;
+      churn;
+      env;
       ops_per_client;
       faults;
       schedule;

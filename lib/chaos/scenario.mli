@@ -27,6 +27,14 @@ type t = {
   horizon : int;
   seed : int;
   crashes : Anon_giraf.Crash.event list;
+  churn : Anon_giraf.Churn.event list;
+      (** Join/leave schedule, disjoint from [crashes] by construction
+          ([sample]) and validated on use by the runners. *)
+  env : Anon_giraf.Env.t option;
+      (** Environment override. Only [Dynamic] overrides are sampled and
+          honored (they swap the base adversary for
+          {!Anon_giraf.Adversary.dynamic}); [None] keeps the classic
+          algo-derived adversary. *)
   ops_per_client : int;  (** Workload size for [Weak_set]/[Register]. *)
   faults : Fault.spec;
   schedule : schedule option;
@@ -35,17 +43,35 @@ type t = {
           seed-derived random one. *)
 }
 
-val sample : ?algo:algo -> ?inadmissible:bool -> Anon_kernel.Rng.t -> t
+val sample :
+  ?algo:algo -> ?inadmissible:bool -> ?dynamic:bool -> ?churn:bool ->
+  Anon_kernel.Rng.t -> t
 (** A random case; [algo] pins the algorithm, [inadmissible] (default
     [false]) attaches a deliberately model-violating fault mode (and keeps
     [n >= 3] with at least two correct processes so the violation is
-    actually forceable). *)
+    actually forceable). [dynamic] (default [false]) samples a rooted
+    dynamic-graph environment override with stability >= 2 (the admissible
+    regime); with [inadmissible] it arms {!Fault.Root_starvation} or
+    {!Fault.Stability_break} instead of the classic modes. [churn] (default
+    [false]) samples 1–2 churn events disjoint from the crash schedule,
+    keeping at least one correct stayer. For consensus algorithms the
+    events are {e permanent leaves} (no rejoin — behaviourally a silent
+    crash, which is provably safe); rejoiners are sampled only for
+    [Weak_set], the join-tolerant service. A rejoiner restarts with an
+    empty PROPOSED set, which can legitimately split agreement between
+    stayers — see the committed [repros/churn-rejoin-split.json]
+    counterexample and DESIGN.md section 12. Neither flag applies to
+    [Register] cases (whose checker assumes stable crash-free clients). *)
 
 val adversary : ?recorder:Anon_obs.Recorder.t -> t -> Anon_giraf.Adversary.t
 (** The case's base adversary ([es]/[ess]/[ms] per [algo]) wrapped with its
     fault plan via {!Fault.wrap}. *)
 
 val crash : t -> Anon_giraf.Crash.t
+
+val churn : t -> Anon_giraf.Churn.t
+(** The case's churn schedule as a validated {!Anon_giraf.Churn.t}
+    ({!Anon_giraf.Churn.none}-equivalent when the [churn] field is empty). *)
 
 val inputs : t -> Anon_kernel.Value.t list
 (** The consensus input assignment of a case: values [1..n], shuffled by
@@ -60,4 +86,10 @@ val mc_workload : n:int -> ops_per_client:int -> Anon_giraf.Service_runner.workl
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Anon_obs.Json.t
+(** Current schema (["v"]: 2): v2 added the optional ["env"] override and
+    the ["churn"] schedule. *)
+
 val of_json : Anon_obs.Json.t -> (t, string) result
+(** Reads v2 documents and, for compatibility with repro files written
+    before the version field existed, unversioned v1 documents (decoded
+    with [env = None], [churn = \[\]]). Newer versions are rejected. *)

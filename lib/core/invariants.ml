@@ -4,22 +4,32 @@ module Checker = Anon_giraf.Checker
 module Consensus = struct
   type t = {
     inputs : Value.Set.t;
+    exempt : int list;  (* pids outside the agreement obligation *)
     first : (int * Value.t) option;
     decided : (int * Value.t) list;  (* latest first *)
   }
 
-  let create ~inputs = { inputs = Value.set_of_list inputs; first = None; decided = [] }
+  let create ?(agreement_exempt = []) ~inputs () =
+    {
+      inputs = Value.set_of_list inputs;
+      exempt = agreement_exempt;
+      first = None;
+      decided = [];
+    }
 
   let observe t ~pid ~value =
+    let exempt = List.mem pid t.exempt in
     let validity =
       if Value.Set.mem value t.inputs then []
       else [ Checker.Validity_violation { pid; value } ]
     in
     let agreement =
-      match t.first with
-      | Some (p1, v1) when not (Value.equal v1 value) ->
-        [ Checker.Agreement_violation { p1; v1; p2 = pid; v2 = value } ]
-      | Some _ | None -> []
+      if exempt then []
+      else
+        match t.first with
+        | Some (p1, v1) when not (Value.equal v1 value) ->
+          [ Checker.Agreement_violation { p1; v1; p2 = pid; v2 = value } ]
+        | Some _ | None -> []
     in
     let irrevocability =
       match List.assoc_opt pid t.decided with
@@ -30,7 +40,9 @@ module Consensus = struct
     let t =
       {
         t with
-        first = (match t.first with None -> Some (pid, value) | some -> some);
+        first =
+          (if exempt then t.first
+           else match t.first with None -> Some (pid, value) | some -> some);
         decided = (pid, value) :: t.decided;
       }
     in

@@ -10,12 +10,16 @@
 module Consensus : sig
   type t
 
-  val create : inputs:Anon_kernel.Value.t list -> t
+  val create : ?agreement_exempt:int list -> inputs:Anon_kernel.Value.t list -> unit -> t
+  (** [agreement_exempt] (default [\[\]]) lists pids outside the agreement
+      obligation — churners, whose post-rejoin solo decisions are
+      legitimate (see {!Anon_giraf.Checker.check_consensus}). *)
 
   val observe :
     t -> pid:int -> value:Anon_kernel.Value.t -> t * Anon_giraf.Checker.violation list
   (** Record one decision. Flags validity (value never proposed) against
-      [inputs], agreement against the earliest recorded decision, and
+      [inputs], agreement against the earliest recorded decision among
+      non-exempt pids (exempt deciders are skipped in both directions), and
       irrevocability — a process deciding twice with different values —
       as an agreement violation of the process with itself. *)
 

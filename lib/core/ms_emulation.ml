@@ -248,6 +248,7 @@ module Make (A : Giraf.Intf.ALGORITHM) = struct
         Giraf.Trace.n;
         inputs;
         crash = config.crash;
+        churn = Giraf.Churn.none ~n;
         env = Giraf.Env.Ms;
         rounds;
       }

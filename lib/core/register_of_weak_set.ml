@@ -111,6 +111,7 @@ let run ~crash ~adversary ~horizon ~seed ~workload =
     {
       Giraf.Service_runner.n = Giraf.Crash.n crash;
       crash;
+      churn = Giraf.Churn.none ~n:(Giraf.Crash.n crash);
       adversary;
       horizon;
       seed;

@@ -150,6 +150,26 @@ let ess_blocking ~gst ?source () =
   in
   { name = "ess-blocking"; env = Env.Ess { gst }; plan }
 
+let dynamic ~stability ?(rooted = true) ?(rotation = Round_robin) ?(noise = 0.0)
+    ?(max_delay = 3) () =
+  if stability < 1 then invalid_arg "Adversary.dynamic: stability must be >= 1";
+  let plan ctx rng =
+    if not (Env.pulse ~stability ~round:ctx.round) then
+      (* Healed remainder of the window: full synchrony. *)
+      timely_all ctx
+    else if rooted then
+      (* Reconfiguration pulse: rewire to a minimal covering star around a
+         rotating root, plus noise. *)
+      let source = pick_source ~rotation ctx rng in
+      noisy_round ~source ~noise ~max_delay ctx rng
+    else noisy_round ~source:None ~noise ~max_delay ctx rng
+  in
+  {
+    name = Printf.sprintf "dynamic(s=%d%s)" stability (if rooted then "" else ",unrooted");
+    env = Env.Dynamic { stability; rooted };
+    plan;
+  }
+
 let async ?(max_delay = 5) ?(timely_chance = 0.3) () =
   let plan ctx rng = noisy_round ~source:None ~noise:timely_chance ~max_delay ctx rng in
   { name = "async"; env = Env.Async; plan }

@@ -73,6 +73,16 @@ val ess_blocking : gst:int -> ?source:int -> unit -> t
 (** Same pre-[gst] two-source alternation; from [gst] on only the pinned
     stable source is timely (minimal ESS). *)
 
+val dynamic :
+  stability:int -> ?rooted:bool -> ?rotation:rotation -> ?noise:float ->
+  ?max_delay:int -> unit -> t
+(** Per-round graphs with stability windows ({!Env.Dynamic}): each pulse
+    round rewires the graph to a minimal covering star around a rotating
+    root (no root at all when [rooted = false], default [true]); the
+    remaining [stability - 1] rounds of each window are fully timely.
+    Compose with {!Topology.sever} to restrict the non-obligated links to a
+    generated graph. Requires [stability >= 1]. *)
+
 val async : ?max_delay:int -> ?timely_chance:float -> unit -> t
 (** No obligations: each link is timely with probability [timely_chance]
     (default 0.3), late otherwise. *)

@@ -7,6 +7,8 @@ type violation =
   | No_source of { round : int }
   | Source_not_timely of { round : int; sender : int; missing : int list }
   | Unstable_source of { gst : int }
+  | No_root of { round : int; window : int; senders : (int * int list) list }
+  | Stability_violation of { round : int; window : int; sender : int; missing : int list }
   | Weak_set_lost_add of { value : Value.t; get_client : int; get_invoked : int }
   | Weak_set_phantom_value of { value : Value.t; get_client : int }
   | Register_stale_read of { reader : int; read_value : Value.t; expected : Value.t }
@@ -30,6 +32,25 @@ let pp_violation ppf = function
       missing
   | Unstable_source { gst } ->
     Format.fprintf ppf "env: no single source covers every round from %d on" gst
+  | No_root { round; window; senders } ->
+    let pp_sender ppf (s, missing) =
+      Format.fprintf ppf "p%d late to %a" s
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           (fun ppf q -> Format.fprintf ppf "p%d" q))
+        missing
+    in
+    Format.fprintf ppf
+      "env: round %d (window %d) root reachability failed — no covering root: %a"
+      round window
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_sender)
+      senders
+  | Stability_violation { round; window; sender; missing } ->
+    Format.fprintf ppf
+      "env: round %d (window %d) stability failed — sender p%d late to %a"
+      round window sender
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         (fun ppf q -> Format.fprintf ppf "p%d" q))
+      missing
   | Weak_set_lost_add { value; get_client; get_invoked } ->
     Format.fprintf ppf
       "weak-set: get by client %d (at %d) missed value %a added before it"
@@ -103,6 +124,35 @@ let check_stable_source t ~gst rounds =
     | [] -> [ Unstable_source { gst } ]
     | candidates -> walk candidates rest)
 
+(* Pulse round of a rooted dynamic environment: some sender must cover
+   every obligated receiver (a root of the round's graph). The diagnostic
+   carries every sender's missing receivers — the offending links. *)
+let check_root t ~stability (info : Trace.round_info) =
+  let window = ((info.round - 1) / stability) + 1 in
+  let has_root = List.exists (fun s -> missing_receivers info s = []) info.senders in
+  if has_root then []
+  else
+    [
+      No_root
+        {
+          round = info.round;
+          window;
+          senders =
+            List.map (fun s -> (s, missing_receivers info s)) (correct_senders t info);
+        };
+    ]
+
+(* Healed round of a stability window: every correct sender timely to every
+   obligated receiver. *)
+let check_stability t ~stability (info : Trace.round_info) =
+  let window = ((info.round - 1) / stability) + 1 in
+  List.concat_map
+    (fun s ->
+      match missing_receivers info s with
+      | [] -> []
+      | missing -> [ Stability_violation { round = info.round; window; sender = s; missing } ])
+    (correct_senders t info)
+
 let check_env (t : Trace.t) =
   let rounds = demanding_rounds t in
   match t.env with
@@ -115,6 +165,13 @@ let check_env (t : Trace.t) =
         (List.filter (fun (i : Trace.round_info) -> i.round >= gst) rounds)
   | Env.Ess { gst } ->
     List.concat_map (check_ms_round t) rounds @ check_stable_source t ~gst rounds
+  | Env.Dynamic { stability; rooted } ->
+    List.concat_map
+      (fun (info : Trace.round_info) ->
+        if Env.pulse ~stability ~round:info.round then
+          if rooted then check_root t ~stability info else []
+        else check_stability t ~stability info)
+      rounds
 
 (* --- Consensus checking -------------------------------------------------- *)
 
@@ -128,8 +185,14 @@ let check_consensus ?(expect_termination = true) (t : Trace.t) =
         else Some (Validity_violation { pid; value = v }))
       decisions
   in
+  (* Agreement and termination are promised to correct {e stayers} only: a
+     churner that rejoins after every stayer halted runs alone on a fresh
+     state and may legitimately decide its own value (anonymity leaves it
+     nothing to recover). With [Churn.none] every pid is a stayer, so this
+     is the classic check. Validity binds everyone. *)
+  let stayer pid = Churn.is_stayer t.churn pid in
   let agreement =
-    match decisions with
+    match List.filter (fun (p, _, _) -> stayer p) decisions with
     | [] -> []
     | (p1, _, v1) :: rest ->
       List.filter_map
@@ -143,7 +206,9 @@ let check_consensus ?(expect_termination = true) (t : Trace.t) =
     else
       let decided = List.map (fun (pid, _, _) -> pid) decisions in
       let undecided =
-        List.filter (fun p -> not (List.mem p decided)) (Crash.correct t.crash)
+        List.filter
+          (fun p -> stayer p && not (List.mem p decided))
+          (Crash.correct t.crash)
       in
       if undecided = [] then []
       else [ Termination_violation { undecided; horizon = Trace.last_round t } ]

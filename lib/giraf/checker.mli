@@ -11,6 +11,13 @@ type violation =
   | No_source of { round : int }
   | Source_not_timely of { round : int; sender : int; missing : int list }
   | Unstable_source of { gst : int }
+  | No_root of { round : int; window : int; senders : (int * int list) list }
+      (** A rooted [Dynamic] pulse round where no sender covered the
+          obligated receivers; [senders] lists every correct sender with
+          the receivers it missed (the offending links). *)
+  | Stability_violation of { round : int; window : int; sender : int; missing : int list }
+      (** A healed round of a [Dynamic] stability window where a correct
+          [sender] was late to [missing] obligated receivers. *)
   | Weak_set_lost_add of { value : Anon_kernel.Value.t; get_client : int; get_invoked : int }
   | Weak_set_phantom_value of { value : Anon_kernel.Value.t; get_client : int }
   | Register_stale_read of {
@@ -33,12 +40,19 @@ val check_env : Trace.t -> violation list
       stable source to change only when the previous one decided and
       halted (halted processes execute no rounds, so the obligation
       passes on);
-    - [Async]: nothing. *)
+    - [Async]: nothing;
+    - [Dynamic (stability, rooted)]: each pulse round (the first of every
+      [stability]-round window) needs, when [rooted], some sender covering
+      every obligated receiver (root reachability); every other round of
+      the window needs every correct sender timely to every obligated
+      receiver (the healed graph). *)
 
 val check_consensus :
   ?expect_termination:bool -> Trace.t -> violation list
-(** Validity, agreement and (when [expect_termination], default [true])
-    termination of every correct process within the trace. *)
+(** Validity of every decision; agreement and (when [expect_termination],
+    default [true]) termination of every correct {e stayer} — processes
+    with a churn event are exempt from the latter two, because a rejoiner
+    restarting after the stayers halted can legitimately decide alone. *)
 
 (** Operation records for weak-set semantics checking. Timestamps come from
     any totally ordered logical clock shared by all operations of a run. *)

@@ -62,7 +62,10 @@ let enumerate spec (ctx : Adversary.ctx) =
       match spec.env with
       | Env.Sync -> correct_senders
       | Env.Es { gst } when round >= gst -> correct_senders
-      | Env.Es _ | Env.Ess _ | Env.Ms | Env.Async -> []
+      | Env.Dynamic { stability; _ } when not (Env.pulse ~stability ~round) ->
+        (* Healed round of a stability window: full synchrony. *)
+        correct_senders
+      | Env.Es _ | Env.Ess _ | Env.Ms | Env.Async | Env.Dynamic _ -> []
   in
   let source_choices =
     if not demanding then [ None ]
@@ -75,6 +78,14 @@ let enumerate spec (ctx : Adversary.ctx) =
         match spec.stable with
         | Some s when List.mem s ctx.senders -> [ Some s ]
         | Some _ | None -> List.map (fun s -> Some s) correct_senders)
+      | Env.Dynamic { stability; rooted } ->
+        if not (Env.pulse ~stability ~round) then
+          (* Healed: everyone is forced timely anyway; one source suffices. *)
+          [ Some (List.hd correct_senders) ]
+        else if rooted then
+          (* Pulse: any sender (even a crasher) may be the covering root. *)
+          List.map (fun s -> Some s) all_senders
+        else [ None ]
       | Env.Ms | Env.Es _ | Env.Ess _ -> List.map (fun s -> Some s) all_senders
   in
   let restrict_cover ~source s =
@@ -82,7 +93,7 @@ let enumerate spec (ctx : Adversary.ctx) =
     | Env.Ess { gst } ->
       round >= gst && demanding && Some s <> source
       && not (List.mem s spec.crashing)
-    | Env.Sync | Env.Ms | Env.Es _ | Env.Async -> false
+    | Env.Sync | Env.Ms | Env.Es _ | Env.Async | Env.Dynamic _ -> false
   in
   let assignments ~source s =
     let receivers = List.filter (fun q -> q <> s) ctx.alive in
@@ -141,11 +152,20 @@ let enumerate spec (ctx : Adversary.ctx) =
         (fun s -> List.for_all (fun q -> q = s) ctx.obligated)
         all_senders
     in
+    (* Rounds where the environment owes nothing: an all-late plan there
+       is admissible, not armed. *)
+    let unobligated =
+      match spec.env with
+      | Env.Async -> true
+      | Env.Dynamic { stability; rooted } ->
+        (not rooted) && Env.pulse ~stability ~round
+      | Env.Sync | Env.Ms | Env.Es _ | Env.Ess _ -> false
+    in
     if
       (not spec.include_inadmissible)
       || (not demanding)
       || trivially_covered
-      || spec.env = Env.Async
+      || unobligated
     then []
     else
       let deliveries =

@@ -3,6 +3,7 @@ open Anon_kernel
 type config = {
   inputs : Value.t array;
   crash : Crash.t;
+  churn : Churn.t;
   adversary : Adversary.t;
   horizon : int;
   seed : int;
@@ -18,12 +19,25 @@ let validate ~where config =
   if Crash.n config.crash <> n then
     Config_error.fail ~where
       (Printf.sprintf "inputs/crash size mismatch (%d inputs, crash schedule for %d)"
-         n (Crash.n config.crash))
+         n (Crash.n config.crash));
+  if Churn.n config.churn <> n then
+    Config_error.fail ~where
+      (Printf.sprintf "inputs/churn size mismatch (%d inputs, churn schedule for %d)"
+         n (Churn.n config.churn));
+  List.iter
+    (fun (ev : Churn.event) ->
+      if Crash.crash_round config.crash ev.pid <> None then
+        Config_error.fail ~where
+          (Printf.sprintf "p%d both crashes and churns — pick one" ev.pid))
+    (Churn.events config.churn)
 
-let default_config ?(horizon = 200) ?(stop_on_decision = true) ?(seed = 42) ~inputs
-    ~crash adversary =
+let default_config ?(horizon = 200) ?(stop_on_decision = true) ?(seed = 42) ?churn
+    ~inputs ~crash adversary =
   let inputs = Array.of_list inputs in
-  let config = { inputs; crash; adversary; horizon; seed; stop_on_decision } in
+  let churn =
+    match churn with Some c -> c | None -> Churn.none ~n:(Array.length inputs)
+  in
+  let config = { inputs; crash; churn; adversary; horizon; seed; stop_on_decision } in
   validate ~where:"Runner.default_config" config;
   config
 
@@ -52,11 +66,11 @@ let decision_round outcome =
 
 module Make (A : Intf.ALGORITHM) = struct
   type proc = {
-    mutable st : A.state option;  (* None before initialize *)
+    mutable st : A.state option;  (* None before initialize / while away *)
     mutable halted : bool;  (* decided *)
     mutable crashed : bool;
     mutable was_leader : bool;  (* last sampled A.leader, for transitions *)
-    mailbox : A.msg Mailbox.t;
+    mutable mailbox : A.msg Mailbox.t;  (* replaced wholesale on rejoin *)
   }
 
   let run ?observe ?(recorder = Anon_obs.Recorder.off) config =
@@ -70,6 +84,8 @@ module Make (A : Intf.ALGORITHM) = struct
     let m_timely = R.counter recorder "runner.timely_deliveries" in
     let m_decisions = R.counter recorder "runner.decisions" in
     let m_crashes = R.counter recorder "runner.crashes" in
+    let m_leaves = R.counter recorder "churn.leaves" in
+    let m_rejoins = R.counter recorder "churn.rejoins" in
     let m_leader_changes = R.counter recorder "runner.leader_changes" in
     let m_rounds = R.gauge recorder "runner.rounds" in
     let m_msg_size = R.histogram recorder "runner.msg_size" in
@@ -92,17 +108,46 @@ module Make (A : Intf.ALGORITHM) = struct
     in
     R.emit recorder (fun () -> E.Run_start { algo = A.name; n; seed = config.seed });
     let correct = Crash.correct config.crash in
+    let correct_stayers = List.filter (Churn.is_stayer config.churn) correct in
     let decisions = ref [] in
     let rounds = ref [] in
     let messages_sent = ref 0 in
     let deliveries = ref 0 in
     let timely_deliveries = ref 0 in
-    let undecided_correct () = List.filter (fun p -> not procs.(p).halted) correct in
+    (* Liveness is owed to correct stayers only; a churner may rejoin after
+       everyone halted and run alone forever. *)
+    let undecided_correct () =
+      List.filter (fun p -> not procs.(p).halted) correct_stayers
+    in
     let round = ref 1 in
     let continue = ref true in
     while !continue && !round <= config.horizon do
       let k = !round in
       R.emit recorder (fun () -> E.Round_start { round = k });
+      (* Churn transitions. Halted processes ignore their churn event —
+         decisions are irrevocable, there is nothing left to leave. A
+         rejoiner restarts from scratch: anonymity leaves no identifier
+         under which state or mail could have been parked. *)
+      let away p = (not procs.(p).halted) && Churn.away config.churn ~pid:p ~round:k in
+      List.iter
+        (fun (ev : Churn.event) ->
+          if (not procs.(ev.pid).halted) && not procs.(ev.pid).crashed then begin
+            M.incr m_leaves;
+            R.emit recorder (fun () ->
+                E.Churn { pid = ev.pid; round = k; rejoin = false })
+          end)
+        (Churn.leaving_at config.churn ~round:k);
+      List.iter
+        (fun (ev : Churn.event) ->
+          let proc = procs.(ev.pid) in
+          if (not proc.halted) && not proc.crashed then begin
+            proc.st <- None;
+            proc.mailbox <- Mailbox.create ~compare:A.msg_compare ();
+            M.incr m_rejoins;
+            R.emit recorder (fun () ->
+                E.Churn { pid = ev.pid; round = k; rejoin = true })
+          end)
+        (Churn.rejoining_at config.churn ~round:k);
       let crashing_events =
         List.filter
           (fun (ev : Crash.event) ->
@@ -112,7 +157,7 @@ module Make (A : Intf.ALGORITHM) = struct
       let crashing_pids = List.map (fun (ev : Crash.event) -> ev.pid) crashing_events in
       let participants =
         List.filter
-          (fun p -> (not procs.(p).crashed) && not procs.(p).halted)
+          (fun p -> (not procs.(p).crashed) && (not procs.(p).halted) && not (away p))
           (List.init n Fun.id)
       in
       (* Phase 1: each participant's k-th end-of-round — compute round k-1
@@ -126,7 +171,9 @@ module Make (A : Intf.ALGORITHM) = struct
                 let proc = procs.(p) in
                 let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
                 let result =
-                  if k = 1 then begin
+                  (* [st = None] at round 1 and just after a rejoin: both
+                     start the algorithm fresh from the original input. *)
+                  if proc.st = None then begin
                     let st, m = A.initialize config.inputs.(p) in
                     proc.st <- Some st;
                     Some m
@@ -194,6 +241,7 @@ module Make (A : Intf.ALGORITHM) = struct
           (fun p ->
             (not procs.(p).crashed)
             && (not procs.(p).halted)
+            && (not (away p))
             && not (List.mem p crashing_pids))
           (List.init n Fun.id)
       in
@@ -211,7 +259,8 @@ module Make (A : Intf.ALGORITHM) = struct
         M.time t_deliver (fun () ->
             Dispatch.dispatch ~round:k ~outgoing ~crashing_events
               ~eligible:(fun q ->
-                q < n && (not procs.(q).crashed) && not procs.(q).halted)
+                q < n && (not procs.(q).crashed) && (not procs.(q).halted)
+                && not (away q))
               ~receivers:alive_receivers ~plan ~crash_rng
               ~on_deliver:(fun ~sender ~receiver ~arrival ->
                 R.emit recorder (fun () ->
@@ -279,6 +328,7 @@ module Make (A : Intf.ALGORITHM) = struct
         Trace.n;
         inputs = config.inputs;
         crash = config.crash;
+        churn = config.churn;
         env = Adversary.env config.adversary;
         rounds = List.rev !rounds;
       }

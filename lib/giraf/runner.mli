@@ -11,28 +11,35 @@
 type config = {
   inputs : Anon_kernel.Value.t array;  (** One proposal per process; defines [n]. *)
   crash : Crash.t;
+  churn : Churn.t;
+      (** Join/leave schedule ({!Churn.none} for a static membership). An
+          away process takes no steps, receives nothing, and loses its
+          mailbox; a rejoiner restarts from [initialize] on its original
+          input. Halted (decided) processes ignore their churn event. *)
   adversary : Adversary.t;
   horizon : int;  (** Maximum number of rounds to simulate. *)
   seed : int;
   stop_on_decision : bool;
-      (** Stop as soon as every correct process has decided (default
+      (** Stop as soon as every correct stayer has decided (default
           behaviour of [default_config]). *)
 }
 
 val default_config :
-  ?horizon:int -> ?stop_on_decision:bool -> ?seed:int ->
+  ?horizon:int -> ?stop_on_decision:bool -> ?seed:int -> ?churn:Churn.t ->
   inputs:Anon_kernel.Value.t list -> crash:Crash.t -> Adversary.t -> config
-(** [horizon] defaults to 200 rounds, [seed] to 42.
+(** [horizon] defaults to 200 rounds, [seed] to 42, [churn] to
+    {!Churn.none}.
 
     @raise Config_error.Invalid_config on empty [inputs], [horizon < 1],
-    or an inputs/crash size mismatch. [run] re-validates, so directly
-    constructed configs are rejected too. *)
+    an inputs/crash or inputs/churn size mismatch, or a pid that both
+    crashes and churns. [run] re-validates, so directly constructed
+    configs are rejected too. *)
 
 type outcome = {
   trace : Trace.t;
   decisions : (int * int * Anon_kernel.Value.t) list;
       (** [(pid, round, value)], chronological. *)
-  all_correct_decided : bool;
+  all_correct_decided : bool;  (** Every correct stayer decided. *)
   rounds_executed : int;
   messages_sent : int;  (** Broadcast invocations. *)
   deliveries : int;  (** Point-to-point deliveries (excluding self). *)

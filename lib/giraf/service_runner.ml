@@ -31,6 +31,7 @@ let random_workload ~n ~ops_per_client ~max_start ~value_range rng =
 type config = {
   n : int;
   crash : Crash.t;
+  churn : Churn.t;
   adversary : Adversary.t;
   horizon : int;
   seed : int;
@@ -57,7 +58,7 @@ module Make (S : Intf.SERVICE) = struct
   type proc = {
     mutable st : S.state option;
     mutable crashed : bool;
-    mailbox : S.msg Mailbox.t;
+    mutable mailbox : S.msg Mailbox.t;  (* replaced wholesale on rejoin *)
     mutable script : (int * op_spec) list;
     mutable pending : pending_add option;
   }
@@ -72,6 +73,8 @@ module Make (S : Intf.SERVICE) = struct
     let m_adds = R.counter recorder "service.ws_adds" in
     let m_gets = R.counter recorder "service.ws_gets" in
     let m_crashes = R.counter recorder "service.crashes" in
+    let m_leaves = R.counter recorder "churn.leaves" in
+    let m_rejoins = R.counter recorder "churn.rejoins" in
     let m_add_latency = R.histogram recorder "service.ws_add_latency_rounds" in
     let t_compute = R.histogram recorder "phase.compute_us" in
     let t_deliver = R.histogram recorder "phase.deliver_us" in
@@ -85,6 +88,16 @@ module Make (S : Intf.SERVICE) = struct
       Config_error.fail ~where
         (Printf.sprintf "crash schedule size mismatch (n = %d, crash schedule for %d)"
            n (Crash.n config.crash));
+    if Churn.n config.churn <> n then
+      Config_error.fail ~where
+        (Printf.sprintf "churn schedule size mismatch (n = %d, churn schedule for %d)"
+           n (Churn.n config.churn));
+    List.iter
+      (fun (ev : Churn.event) ->
+        if Crash.crash_round config.crash ev.pid <> None then
+          Config_error.fail ~where
+            (Printf.sprintf "p%d both crashes and churns — pick one" ev.pid))
+      (Churn.events config.churn);
     R.emit recorder (fun () -> E.Run_start { algo = S.name; n; seed = config.seed });
     let rng = Rng.make config.seed in
     let crash_rng = Rng.split rng in
@@ -106,6 +119,52 @@ module Make (S : Intf.SERVICE) = struct
     for k = 1 to config.horizon do
       let compute_time = 2 * k in
       let op_time = (2 * k) + 1 in
+      (* Churn transitions. A leaver's pending add is recorded incomplete —
+         the value may or may not have propagated; the weak-set axioms only
+         bind completed adds. A rejoiner restarts with a fresh replica and
+         an empty mailbox, its remaining client script intact. *)
+      let away p = Churn.away config.churn ~pid:p ~round:k in
+      List.iter
+        (fun (ev : Churn.event) ->
+          let proc = procs.(ev.pid) in
+          if not proc.crashed then begin
+            (match proc.pending with
+            | Some pa ->
+              proc.pending <- None;
+              ops :=
+                Checker.Ws_add
+                  {
+                    add_client = ev.pid;
+                    add_value = pa.value;
+                    add_invoked = pa.invoked;
+                    add_completed = None;
+                  }
+                :: !ops;
+              adds :=
+                {
+                  client = ev.pid;
+                  value = pa.value;
+                  invoked_round = pa.invoked_round;
+                  completed_round = None;
+                }
+                :: !adds
+            | None -> ());
+            M.incr m_leaves;
+            R.emit recorder (fun () ->
+                E.Churn { pid = ev.pid; round = k; rejoin = false })
+          end)
+        (Churn.leaving_at config.churn ~round:k);
+      List.iter
+        (fun (ev : Churn.event) ->
+          let proc = procs.(ev.pid) in
+          if not proc.crashed then begin
+            proc.st <- None;
+            proc.mailbox <- Mailbox.create ~compare:S.msg_compare ();
+            M.incr m_rejoins;
+            R.emit recorder (fun () ->
+                E.Churn { pid = ev.pid; round = k; rejoin = true })
+          end)
+        (Churn.rejoining_at config.churn ~round:k);
       let crashing_events =
         List.filter
           (fun (ev : Crash.event) -> not procs.(ev.pid).crashed)
@@ -113,7 +172,9 @@ module Make (S : Intf.SERVICE) = struct
       in
       let crashing_pids = List.map (fun (ev : Crash.event) -> ev.pid) crashing_events in
       let participants =
-        List.filter (fun p -> not procs.(p).crashed) (List.init n Fun.id)
+        List.filter
+          (fun p -> (not procs.(p).crashed) && not (away p))
+          (List.init n Fun.id)
       in
       (* Phase 1: end-of-round — compute round k-1 (or initialize), send
          round-k message. Pending adds complete when BLOCK clears. *)
@@ -124,7 +185,8 @@ module Make (S : Intf.SERVICE) = struct
                 let proc = procs.(p) in
                 let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
                 let m =
-                  if k = 1 then begin
+                  (* [st = None] at round 1 and just after a rejoin. *)
+                  if proc.st = None then begin
                     let st, m = S.initialize () in
                     proc.st <- Some st;
                     m
@@ -177,7 +239,8 @@ module Make (S : Intf.SERVICE) = struct
       in
       let alive_receivers =
         List.filter
-          (fun p -> (not procs.(p).crashed) && not (List.mem p crashing_pids))
+          (fun p ->
+            (not procs.(p).crashed) && (not (away p)) && not (List.mem p crashing_pids))
           (List.init n Fun.id)
       in
       let normal_senders =
@@ -196,7 +259,7 @@ module Make (S : Intf.SERVICE) = struct
       let stats =
         M.time t_deliver (fun () ->
             Dispatch.dispatch ~round:k ~outgoing ~crashing_events
-              ~eligible:(fun q -> q < n && not procs.(q).crashed)
+              ~eligible:(fun q -> q < n && (not procs.(q).crashed) && not (away q))
               ~receivers:alive_receivers ~plan ~crash_rng
               ~on_deliver:(fun ~sender ~receiver ~arrival ->
                 R.emit recorder (fun () ->
@@ -306,6 +369,7 @@ module Make (S : Intf.SERVICE) = struct
         Trace.n;
         inputs = Array.make n 0;
         crash = config.crash;
+        churn = config.churn;
         env = Adversary.env config.adversary;
         rounds = List.rev !rounds;
       }

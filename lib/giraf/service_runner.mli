@@ -36,6 +36,11 @@ val random_workload :
 type config = {
   n : int;
   crash : Crash.t;
+  churn : Churn.t;
+      (** Join/leave schedule ({!Churn.none} for static membership). A
+          leaver's pending add is recorded incomplete; a rejoiner restarts
+          with a fresh replica and empty mailbox, its remaining client
+          script intact. *)
   adversary : Adversary.t;
   horizon : int;
   seed : int;
@@ -63,6 +68,7 @@ module Make (S : Intf.SERVICE) : sig
       generic delivery/crash stream, plus [service.*] and [phase.*]
       metrics; see DESIGN.md §7.
 
-      @raise Config_error.Invalid_config on [n < 1], [horizon < 1], or a
-      crash schedule sized for a different [n]. *)
+      @raise Config_error.Invalid_config on [n < 1], [horizon < 1], a
+      crash or churn schedule sized for a different [n], or a pid that
+      both crashes and churns. *)
 end

@@ -307,6 +307,7 @@ module Make (A : Intf.ALGORITHM) = struct
         Trace.n;
         inputs;
         crash = config.crash;
+        churn = Churn.none ~n;
         env;
         rounds = List.init max_round (fun i -> round_info (i + 1));
       }

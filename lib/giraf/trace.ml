@@ -15,6 +15,7 @@ type t = {
   n : int;
   inputs : Value.t array;
   crash : Crash.t;
+  churn : Churn.t;
   env : Env.t;
   rounds : round_info list;
 }
@@ -50,7 +51,9 @@ let pp_round ppf info =
   Format.fprintf ppf "@]"
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>trace n=%d env=%a crash=%a@,%a@]" t.n Env.pp t.env
-    Crash.pp t.crash
+  Format.fprintf ppf "@[<v>trace n=%d env=%a crash=%a" t.n Env.pp t.env
+    Crash.pp t.crash;
+  if Churn.events t.churn <> [] then Format.fprintf ppf " churn=%a" Churn.pp t.churn;
+  Format.fprintf ppf "@,%a@]"
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_round)
     t.rounds

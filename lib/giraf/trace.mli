@@ -30,6 +30,7 @@ type t = {
   n : int;
   inputs : Anon_kernel.Value.t array;
   crash : Crash.t;
+  churn : Churn.t;  (** Join/leave schedule ({!Churn.none} when static). *)
   env : Env.t;  (** What the adversary promised. *)
   rounds : round_info list;  (** Chronological. *)
 }

@@ -8,13 +8,14 @@ module Explore = Anon_mc.Explore
    size, depth/crash bounds chosen so the run closes (or demonstrably does
    not, for the MS liveness witness) in well under a minute. *)
 
-let config ~algo ~env ~n ~rounds ~crashes =
+let config ?(churn = 0) ~algo ~env ~n ~rounds ~crashes () =
   {
     Mc.algo;
     n;
     env;
     rounds;
     crashes;
+    churn;
     max_delay = 1;
     search = Mc.Bfs;
     armed = false;
@@ -45,14 +46,14 @@ let t14 () =
   let rows =
     List.map row
       [
-        config ~algo:Mc.Es ~env:es ~n:2 ~rounds:6 ~crashes:0;
-        config ~algo:Mc.Es ~env:es ~n:3 ~rounds:6 ~crashes:0;
-        config ~algo:Mc.Es ~env:es ~n:3 ~rounds:6 ~crashes:1;
-        config ~algo:Mc.Ess ~env:ess ~n:2 ~rounds:8 ~crashes:0;
-        config ~algo:Mc.Ess ~env:ess ~n:3 ~rounds:5 ~crashes:0;
-        config ~algo:Mc.Ms_weakset ~env:G.Env.Ms ~n:2 ~rounds:4 ~crashes:0;
-        config ~algo:Mc.Ms_weakset ~env:G.Env.Ms ~n:3 ~rounds:4 ~crashes:0;
-        config ~algo:Mc.Es_unguarded ~env:es ~n:3 ~rounds:6 ~crashes:1;
+        config ~algo:Mc.Es ~env:es ~n:2 ~rounds:6 ~crashes:0 ();
+        config ~algo:Mc.Es ~env:es ~n:3 ~rounds:6 ~crashes:0 ();
+        config ~algo:Mc.Es ~env:es ~n:3 ~rounds:6 ~crashes:1 ();
+        config ~algo:Mc.Ess ~env:ess ~n:2 ~rounds:8 ~crashes:0 ();
+        config ~algo:Mc.Ess ~env:ess ~n:3 ~rounds:5 ~crashes:0 ();
+        config ~algo:Mc.Ms_weakset ~env:G.Env.Ms ~n:2 ~rounds:4 ~crashes:0 ();
+        config ~algo:Mc.Ms_weakset ~env:G.Env.Ms ~n:3 ~rounds:4 ~crashes:0 ();
+        config ~algo:Mc.Es_unguarded ~env:es ~n:3 ~rounds:6 ~crashes:1 ();
       ]
   in
   Table.make ~id:"T14"
@@ -77,4 +78,65 @@ let t14 () =
          "ESS n=3 is depth-limited: Alg. 3's counters converge slowly when \
           the adversary keeps non-source links late, so the run reports a \
           bounded non-deciding witness rather than closure.";
+       ]
+
+(* --- T15 ----------------------------------------------------------------- *)
+
+(* Stability sweep over the rooted dynamic-graph environment, plus the
+   churn finding.  Each dynamic row explores every admissible per-round
+   communication graph whose stability windows are [stability] rounds
+   long; the last row swaps the dynamic graph for a late GST and a churn
+   budget, exhibiting the rejoin agreement split (a genuine property of
+   anonymous consensus under state-resetting rejoins, committed as
+   repros/churn-rejoin-split.json). *)
+
+let t15 () =
+  let dyn s = G.Env.Dynamic { stability = s; rooted = true } in
+  let row_churn cfg =
+    let r = row cfg in
+    (* Splice the churn budget in after the crash column. *)
+    match r with
+    | a :: e :: n :: k :: c :: rest ->
+      a :: e :: n :: k :: c :: Table.cell_int cfg.Mc.churn :: rest
+    | _ -> r
+  in
+  let rows =
+    List.map row_churn
+      [
+        config ~algo:Mc.Es ~env:(dyn 1) ~n:2 ~rounds:8 ~crashes:0 ();
+        config ~algo:Mc.Es ~env:(dyn 2) ~n:2 ~rounds:8 ~crashes:0 ();
+        config ~algo:Mc.Es ~env:(dyn 3) ~n:2 ~rounds:8 ~crashes:0 ();
+        config ~algo:Mc.Ess ~env:(dyn 1) ~n:2 ~rounds:6 ~crashes:0 ();
+        config ~algo:Mc.Ess ~env:(dyn 2) ~n:2 ~rounds:8 ~crashes:0 ();
+        config ~algo:Mc.Ess ~env:(dyn 3) ~n:2 ~rounds:9 ~crashes:0 ();
+        config ~algo:Mc.Es ~env:(G.Env.Es { gst = 5 }) ~n:3 ~rounds:8 ~crashes:0
+          ~churn:1 ();
+      ]
+  in
+  Table.make ~id:"T15"
+    ~title:"Dynamic graphs and churn: verdict vs stability window"
+    ~claim:
+      "A rooted dynamic graph whose root holds still for >= 2 rounds lets \
+       both consensus algorithms close; a root that may rotate every round \
+       (stability 1) starves them within any bound; and a state-resetting \
+       rejoiner can split agreement between stayers even in the classic ES \
+       environment"
+    ~expectation:
+      "verdict 'verified' at stability 2 and 3 for both algorithms; \
+       'bounded' (non-deciding witness, zero violations) at stability 1; \
+       'violation' on the churn row — the committed rejoin-split \
+       counterexample"
+    ~headers:
+      [ "algo"; "env"; "n"; "rounds"; "crashes"; "churn"; "schedules"; "raw";
+        "canonical"; "reduction"; "verdict" ]
+    ~rows
+  |> Table.with_notes
+       [
+         "stability S: every window of S rounds opens with an arbitrary \
+          rooted pulse graph and heals to full synchrony for the rest of \
+          the window; S=1 is the rotating-root regime.";
+         "churn row: one process may leave and rejoin; the rejoiner's empty \
+          re-initialized PROPOSED set erases the WRITTEN intersection that \
+          otherwise forces stayers to adopt a decider's value (DESIGN.md \
+          section 12).";
        ]

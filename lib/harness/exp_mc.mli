@@ -4,3 +4,8 @@ val t14 : unit -> Table.t
 (** T14 — bounded exhaustive exploration per algorithm and environment at
     n in [{2,3}]: states explored, canonical states, symmetry-reduction
     factor, and verdict. *)
+
+val t15 : unit -> Table.t
+(** T15 — stability sweep over the rooted dynamic-graph environment
+    (verdict vs window length for ES and ESS) plus one churn row that
+    exhibits the rejoin agreement split. *)

@@ -18,6 +18,7 @@ let t5_latencies ~n ~noise ~seeds =
         {
           G.Service_runner.n;
           crash = G.Crash.none ~n;
+          churn = G.Churn.none ~n;
           adversary = G.Adversary.ms ~rotation:Round_robin ~noise ();
           horizon = 40 * (n + 2);
           seed;

@@ -34,6 +34,8 @@ let all =
       build = Exp_chaos.t13 };
     { id = "T14"; title = "Model checking: exhaustive schedule exploration, symmetry-reduced";
       build = Exp_mc.t14 };
+    { id = "T15"; title = "Dynamic graphs and churn: verdict vs stability window";
+      build = Exp_mc.t15 };
     { id = "F1"; title = "Decision-round distribution";
       build = Exp_consensus.f1 };
     { id = "F2"; title = "ESS message growth per round";

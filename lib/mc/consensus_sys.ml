@@ -12,6 +12,7 @@ end
 type spec = {
   inputs : Value.t list;
   crash : G.Crash.t;
+  churn : G.Churn.t;
   env : G.Env.t;
   max_delay : int;
   armed : bool;
@@ -27,10 +28,19 @@ struct
 
   let () =
     if List.length spec.inputs <> n then
-      invalid_arg "Consensus_sys.make: inputs/crash size mismatch"
+      invalid_arg "Consensus_sys.make: inputs/crash size mismatch";
+    if G.Churn.n spec.churn <> n then
+      invalid_arg "Consensus_sys.make: churn/crash size mismatch";
+    List.iter
+      (fun (ev : G.Churn.event) ->
+        if G.Crash.crash_round spec.crash ev.pid <> None then
+          invalid_arg
+            (Printf.sprintf "Consensus_sys.make: p%d both crashes and churns" ev.pid))
+      (G.Churn.events spec.churn)
 
   let inputs = Array.of_list spec.inputs
   let correct = G.Crash.correct spec.crash
+  let correct_stayers = List.filter (G.Churn.is_stayer spec.churn) correct
 
   type live = { st : A.state; out : A.msg; inflight : (int * int * A.msg) list }
   (** [inflight]: [(arrival, sent, msg)] not yet drained. At a node for
@@ -38,7 +48,11 @@ struct
       [j < k] are never re-read by any algorithm, so the in-flight list is
       the whole mailbox. *)
 
-  type proc = Crashed | Halted | Live of live
+  type proc =
+    | Crashed
+    | Halted
+    | Away  (** Churned out; state and mail discarded (see Runner). *)
+    | Live of live
 
   type sys = {
     round : int;  (** Node = system after the compute phase of iteration [round]. *)
@@ -53,20 +67,29 @@ struct
   let crash_events_at ~round procs =
     List.filter
       (fun (ev : G.Crash.event) ->
-        match procs.(ev.pid) with Live _ -> true | Crashed | Halted -> false)
+        match procs.(ev.pid) with
+        | Live _ -> true
+        | Crashed | Halted | Away -> false)
       (G.Crash.crashing_at spec.crash ~round)
 
   let init () =
     let procs =
       Array.init n (fun p ->
-          let st, m = A.initialize inputs.(p) in
-          Live { st; out = m; inflight = [] })
+          if G.Churn.away spec.churn ~pid:p ~round:1 then Away
+          else
+            let st, m = A.initialize inputs.(p) in
+            Live { st; out = m; inflight = [] })
     in
     {
       round = 1;
       procs;
       crashing_now = crash_events_at ~round:1 procs;
-      inv = Inv.Consensus.create ~inputs:spec.inputs;
+      inv =
+        Inv.Consensus.create
+          ~agreement_exempt:
+            (List.map (fun (ev : G.Churn.event) -> ev.pid)
+               (G.Churn.events spec.churn))
+          ~inputs:spec.inputs ();
       stable = None;
     }
 
@@ -80,7 +103,9 @@ struct
     let alive =
       List.filter
         (fun p ->
-          (match s.procs.(p) with Live _ -> true | Crashed | Halted -> false)
+          (match s.procs.(p) with
+          | Live _ -> true
+          | Crashed | Halted | Away -> false)
           && not (List.mem p crashing))
         (List.init n Fun.id)
     in
@@ -98,7 +123,8 @@ struct
     let additions = Array.make n [] in
     let eligible q =
       q >= 0 && q < n
-      && match s.procs.(q) with Live _ -> true | Crashed | Halted -> false
+      &&
+      match s.procs.(q) with Live _ -> true | Crashed | Halted | Away -> false
     in
     let deliver ~sender ~msg (d : G.Adversary.delivery) =
       if d.receiver <> sender && eligible d.receiver then begin
@@ -112,7 +138,7 @@ struct
     Array.iteri
       (fun p proc ->
         match proc with
-        | Crashed | Halted -> ()
+        | Crashed | Halted | Away -> ()
         | Live { out; _ } -> (
           additions.(p) <- (k, k, out) :: additions.(p);
           let ev =
@@ -144,10 +170,35 @@ struct
         s.procs
     in
     let crashing_next = crash_events_at ~round:(k + 1) procs' in
+    (* Churn transitions of Runner round [k+1] happen before its compute
+       phase: a leaver skips the round-[k] compute entirely (its state and
+       mail are gone — anonymity parks nothing under which to resume), a
+       rejoiner re-initializes from its original input with an empty
+       mailbox and broadcasts a fresh round-[k+1] message. Halted processes
+       ignore churn; crashers never churn (disjoint by validation). *)
+    List.iter
+      (fun (ev : G.Churn.event) ->
+        match procs'.(ev.pid) with
+        | Live _ -> procs'.(ev.pid) <- Away
+        | Crashed | Halted | Away -> ())
+      (G.Churn.leaving_at spec.churn ~round:(k + 1));
+    let rejoining =
+      List.filter_map
+        (fun (ev : G.Churn.event) ->
+          match procs'.(ev.pid) with
+          | Away -> Some ev.pid
+          | Crashed | Halted | Live _ -> None)
+        (G.Churn.rejoining_at spec.churn ~round:(k + 1))
+    in
     let decided_now = ref [] in
     for p = 0 to n - 1 do
       match procs'.(p) with
       | Crashed | Halted -> ()
+      | Away ->
+        if List.mem p rejoining then begin
+          let st, m = A.initialize inputs.(p) in
+          procs'.(p) <- Live { st; out = m; inflight = [] }
+        end
       | Live { st; inflight; _ } ->
         let all = inflight @ List.rev additions.(p) in
         let ready, rest = List.partition (fun (a, _, _) -> a <= k) all in
@@ -209,14 +260,50 @@ struct
         include_inadmissible = spec.armed;
       }
     in
+    (* The marker attached to an armed (inadmissible) plan names the
+       obligation the all-late plan breaks in this environment — exactly
+       what the offline checker will report for the replayed trace. *)
+    let armed_violations (c : G.Adversary.ctx) =
+      let round = c.round in
+      match spec.env with
+      | G.Env.Dynamic { stability; _ } ->
+        let window = ((round - 1) / stability) + 1 in
+        let correct_senders =
+          List.filter (fun p -> List.mem p c.correct) c.senders
+        in
+        if G.Env.pulse ~stability ~round then
+          [
+            G.Checker.No_root
+              {
+                round;
+                window;
+                senders =
+                  List.map
+                    (fun p -> (p, List.filter (fun q -> q <> p) c.obligated))
+                    correct_senders;
+              };
+          ]
+        else
+          List.map
+            (fun p ->
+              G.Checker.Stability_violation
+                {
+                  round;
+                  window;
+                  sender = p;
+                  missing = List.filter (fun q -> q <> p) c.obligated;
+                })
+            correct_senders
+      | G.Env.Sync | G.Env.Ms | G.Env.Es _ | G.Env.Ess _ | G.Env.Async ->
+        [ G.Checker.No_source { round } ]
+    in
+    let c0 = ctx s in
     List.map
       (fun (c : G.Plan_enum.choice) ->
         let s', vs = step s c.plan in
-        let vs =
-          if c.admissible then vs else G.Checker.No_source { round = s.round } :: vs
-        in
+        let vs = if c.admissible then vs else armed_violations c0 @ vs in
         (c.plan, s', vs))
-      (G.Plan_enum.enumerate pspec (ctx s))
+      (G.Plan_enum.enumerate pspec c0)
 
   let fate p =
     match G.Crash.crash_round spec.crash p with
@@ -234,12 +321,23 @@ struct
       in
       Printf.sprintf "c%d%c" r kind
 
+  (* Like [fate]: the scheduled churn window is part of a process's view
+     key, so symmetry reduction never merges processes whose futures
+     differ. *)
+  let churn_fate p =
+    match G.Churn.event spec.churn p with
+    | None -> ""
+    | Some { leave; rejoin; _ } ->
+      Printf.sprintf "l%d%s" leave
+        (match rejoin with Some r -> Printf.sprintf "j%d" r | None -> "")
+
   let key s =
     let views =
       List.init n (fun p ->
           match s.procs.(p) with
           | Crashed -> "X"
           | Halted -> "H"
+          | Away -> "A|" ^ churn_fate p
           | Live { st; out; inflight } ->
             let fl =
               List.sort compare
@@ -251,6 +349,7 @@ struct
             Buffer.add_string b (A.msg_key out);
             Buffer.add_char b '|';
             Buffer.add_string b (fate p);
+            Buffer.add_string b (churn_fate p);
             if s.stable = Some p then Buffer.add_string b "|S";
             List.iter
               (fun (a, sent, mk) ->
@@ -265,15 +364,23 @@ struct
       ~global:(String.concat "," (List.map Value.to_string decided))
       ~views
 
+  (* Liveness is owed to correct stayers only (cf. Runner/Checker): a
+     churner may rejoin after everyone halted and run alone forever. *)
   let terminal s =
     List.for_all
-      (fun p -> match s.procs.(p) with Halted -> true | Crashed | Live _ -> false)
-      correct
+      (fun p ->
+        match s.procs.(p) with
+        | Halted -> true
+        | Crashed | Away | Live _ -> false)
+      correct_stayers
 
   let pending s =
     List.filter
-      (fun p -> match s.procs.(p) with Halted -> false | Crashed | Live _ -> true)
-      correct
+      (fun p ->
+        match s.procs.(p) with
+        | Halted -> false
+        | Crashed | Away | Live _ -> true)
+      correct_stayers
 end
 
 let make (module A : MODEL) spec =

@@ -27,10 +27,17 @@ end
 type spec = {
   inputs : Anon_kernel.Value.t list;
   crash : Anon_giraf.Crash.t;
+  churn : Anon_giraf.Churn.t;
+      (** Join/leave schedule, fixed per exploration like [crash]. A
+          leaver's state and mail are discarded; a rejoiner re-initializes
+          from its original input (anonymity leaves nothing to recover).
+          Churners are exempt from the online agreement/termination
+          obligations, mirroring {!Anon_giraf.Checker.check_consensus}. *)
   env : Anon_giraf.Env.t;  (** Environment whose admissible plans are enumerated. *)
   max_delay : int;  (** {!Plan_enum} late-arrival horizon ([1] is WLOG here). *)
   armed : bool;  (** Also branch on one inadmissible plan per demanding round. *)
 }
 
 val make : (module MODEL) -> spec -> (module Explore.SYSTEM)
-(** @raise Invalid_argument when [inputs] size disagrees with [crash]. *)
+(** @raise Invalid_argument when [inputs] size disagrees with [crash] or
+    [churn], or when a pid both crashes and churns. *)

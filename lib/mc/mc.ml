@@ -28,6 +28,7 @@ type config = {
   env : G.Env.t;
   rounds : int;
   crashes : int;
+  churn : int;
   max_delay : int;
   search : search;
   armed : bool;
@@ -47,8 +48,8 @@ type report = {
   config : config;
   schedules : int;
   stats : Explore.stats;
-  violation : (G.Crash.event list * Explore.witness) option;
-  non_deciding : (G.Crash.event list * Explore.bounded) option;
+  violation : (G.Crash.event list * G.Churn.event list * Explore.witness) option;
+  non_deciding : (G.Crash.event list * G.Churn.event list * Explore.bounded) option;
   witness : Witness.t option;
   verdict : verdict;
 }
@@ -71,6 +72,30 @@ let rec combos k lo n =
   else if lo >= n then []
   else
     List.map (fun rest -> lo :: rest) (combos (k - 1) (lo + 1) n) @ combos k (lo + 1) n
+
+(* Churn schedules: every subset of at most [budget] processes, each with a
+   leave round in [1..rounds] and either a rejoin round in (leave, rounds]
+   or none (within the explored depth, "rejoins past the bound" and "never
+   rejoins" coincide). Crossed with the crash schedules under a
+   pid-disjointness filter (a crasher cannot churn, and vice versa). *)
+let churn_schedules ~n ~budget ~rounds =
+  let event_options pid =
+    List.concat_map
+      (fun leave ->
+        { G.Churn.pid; leave; rejoin = None }
+        :: List.filter_map
+             (fun r ->
+               if r > leave then Some { G.Churn.pid; leave; rejoin = Some r }
+               else None)
+             (List.init rounds (fun i -> i + 1)))
+      (List.init rounds (fun i -> i + 1))
+  in
+  List.concat_map
+    (fun k ->
+      List.concat_map
+        (fun pids -> cartesian (List.map event_options pids))
+        (combos k 0 n))
+    (List.init (budget + 1) Fun.id)
 
 let crash_schedules ~n ~budget ~rounds =
   List.concat_map
@@ -95,12 +120,13 @@ module Es_unguarded_model = struct
   let msg_key = C.Es_consensus.msg_key
 end
 
-let system config ~inputs ~crash =
+let system config ~inputs ~crash ~churn =
   let cspec model =
     Consensus_sys.make model
       {
         Consensus_sys.inputs;
         crash;
+        churn;
         env = config.env;
         max_delay = config.max_delay;
         armed = config.armed;
@@ -128,6 +154,10 @@ let run ?(recorder = R.off) ?progress ?out config =
   if config.rounds < 1 then invalid_arg "Mc.run: rounds must be >= 1";
   if config.crashes < 0 || config.crashes > config.n then
     invalid_arg "Mc.run: crashes must be in [0, n]";
+  if config.churn < 0 || config.churn > config.n then
+    invalid_arg "Mc.run: churn must be in [0, n]";
+  if config.churn > 0 && config.algo = Ms_weakset then
+    invalid_arg "Mc.run: churn is not supported for ms-weakset";
   (* The same derivation as Scenario.inputs, so an emitted witness (which
      carries only the seed) replays against identical proposals. *)
   let inputs =
@@ -144,13 +174,33 @@ let run ?(recorder = R.off) ?progress ?out config =
   let violation = ref None in
   let non_deciding = ref None in
   let schedules = ref 0 in
+  let combined_schedules =
+    let churn_scheds =
+      churn_schedules ~n:config.n ~budget:config.churn ~rounds:config.rounds
+    in
+    List.concat_map
+      (fun crash_events ->
+        let crash_pids =
+          List.map (fun (ev : G.Crash.event) -> ev.pid) crash_events
+        in
+        List.filter_map
+          (fun churn_events ->
+            if
+              List.exists
+                (fun (ev : G.Churn.event) -> List.mem ev.pid crash_pids)
+                churn_events
+            then None
+            else Some (crash_events, churn_events))
+          churn_scheds)
+      (crash_schedules ~n:config.n ~budget:config.crashes ~rounds:config.rounds)
+  in
   List.iter
-    (fun events ->
+    (fun (events, churn_events) ->
       if !violation = None then begin
         incr schedules;
         (match progress with
         | Some ppf ->
-          Format.fprintf ppf "mc: schedule %d (crashes: %s)@." !schedules
+          Format.fprintf ppf "mc: schedule %d (crashes: %s; churn: %s)@." !schedules
             (match events with
             | [] -> "none"
             | evs ->
@@ -159,18 +209,31 @@ let run ?(recorder = R.off) ?progress ?out config =
                    (fun (ev : G.Crash.event) ->
                      Printf.sprintf "p%d@r%d" ev.pid ev.round)
                    evs))
+            (match churn_events with
+            | [] -> "none"
+            | evs ->
+              String.concat ","
+                (List.map
+                   (fun (ev : G.Churn.event) ->
+                     Printf.sprintf "p%d@r%d%s" ev.pid ev.leave
+                       (match ev.rejoin with
+                       | Some r -> Printf.sprintf "-r%d" r
+                       | None -> ""))
+                   evs))
         | None -> ());
         let crash = G.Crash.of_events ~n:config.n events in
-        let r = explore (system config ~inputs ~crash) in
+        let churn = G.Churn.of_events ~n:config.n churn_events in
+        let r = explore (system config ~inputs ~crash ~churn) in
         stats := Explore.add_stats !stats r.Explore.stats;
         (match r.Explore.violation with
-        | Some w -> violation := Some (events, w)
+        | Some w -> violation := Some (events, churn_events, w)
         | None -> ());
         match r.Explore.non_deciding with
-        | Some b when !non_deciding = None -> non_deciding := Some (events, b)
+        | Some b when !non_deciding = None ->
+          non_deciding := Some (events, churn_events, b)
         | Some _ | None -> ()
       end)
-    (crash_schedules ~n:config.n ~budget:config.crashes ~rounds:config.rounds);
+    combined_schedules;
   let scen_algo =
     match config.algo with
     | Es -> Some Anon_chaos.Scenario.Es
@@ -179,20 +242,21 @@ let run ?(recorder = R.off) ?progress ?out config =
     | Es_unguarded -> None
   in
   let witness =
-    let build ~crashes ~plans ~mc_violations =
+    let build ~crashes ~churn ~plans ~mc_violations =
       Option.map
         (fun algo ->
           Witness.build ~recorder ~algo ~env:config.env ~n:config.n
             ~seed:config.seed ~ops_per_client:config.ops_per_client ~crashes
-            ~plans ~mc_violations ())
+            ~churn ~plans ~mc_violations ())
         scen_algo
     in
     match (!violation, !non_deciding) with
-    | Some (events, w), _ ->
-      build ~crashes:events ~plans:w.Explore.w_plans
+    | Some (events, churn_events, w), _ ->
+      build ~crashes:events ~churn:churn_events ~plans:w.Explore.w_plans
         ~mc_violations:w.Explore.w_violations
-    | None, Some (events, b) ->
-      build ~crashes:events ~plans:b.Explore.b_plans ~mc_violations:[]
+    | None, Some (events, churn_events, b) ->
+      build ~crashes:events ~churn:churn_events ~plans:b.Explore.b_plans
+        ~mc_violations:[]
     | None, None -> None
   in
   (match (out, witness) with
@@ -232,11 +296,24 @@ let pp_events ppf events =
       (fun ppf (ev : G.Crash.event) -> Format.fprintf ppf "p%d@r%d" ev.pid ev.round)
       ppf evs
 
+let pp_churn_events ppf events =
+  match events with
+  | [] -> Format.fprintf ppf "none"
+  | evs ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf (ev : G.Churn.event) ->
+        Format.fprintf ppf "p%d@r%d%s" ev.pid ev.leave
+          (match ev.rejoin with
+          | Some r -> Printf.sprintf "-r%d" r
+          | None -> ""))
+      ppf evs
+
 let pp_report ppf r =
   let s = r.stats in
-  Format.fprintf ppf "@[<v>mc %s: n=%d env=%a rounds<=%d crashes<=%d %s%s@,"
+  Format.fprintf ppf "@[<v>mc %s: n=%d env=%a rounds<=%d crashes<=%d churn<=%d %s%s@,"
     (algo_name r.config.algo) r.config.n G.Env.pp r.config.env r.config.rounds
-    r.config.crashes
+    r.config.crashes r.config.churn
     (match r.config.search with Bfs -> "bfs" | Dfs -> "dfs")
     (if r.config.armed then " (armed)" else "");
   Format.fprintf ppf
@@ -248,18 +325,20 @@ let pp_report ppf r =
     s.Explore.terminal_branches s.Explore.bound_branches s.Explore.pending_at_bound
     s.Explore.expanded s.Explore.frontier_peak;
   (match r.violation with
-  | Some (events, w) ->
-    Format.fprintf ppf "violation at depth %d (crashes: %a):@,"
-      (List.length w.Explore.w_plans) pp_events events;
+  | Some (events, churn_events, w) ->
+    Format.fprintf ppf "violation at depth %d (crashes: %a; churn: %a):@,"
+      (List.length w.Explore.w_plans) pp_events events pp_churn_events
+      churn_events;
     List.iter
       (fun v -> Format.fprintf ppf "  %a@," G.Checker.pp_violation v)
       w.Explore.w_violations
   | None -> ());
   (match r.non_deciding with
-  | Some (events, b) when r.violation = None ->
+  | Some (events, churn_events, b) when r.violation = None ->
     Format.fprintf ppf
-      "non-deciding witness at depth %d (crashes: %a; blocked: %s)@,"
-      (List.length b.Explore.b_plans) pp_events events
+      "non-deciding witness at depth %d (crashes: %a; churn: %a; blocked: %s)@,"
+      (List.length b.Explore.b_plans) pp_events events pp_churn_events
+      churn_events
       (String.concat "," (List.map string_of_int b.Explore.b_blocked))
   | Some _ | None -> ());
   (match r.witness with
@@ -278,6 +357,7 @@ let report_json r =
       ("env", Json.String (G.Env.to_string r.config.env));
       ("rounds", Json.Int r.config.rounds);
       ("crashes", Json.Int r.config.crashes);
+      ("churn", Json.Int r.config.churn);
       ("max_delay", Json.Int r.config.max_delay);
       ( "search",
         Json.String (match r.config.search with Bfs -> "bfs" | Dfs -> "dfs") );
@@ -298,7 +378,7 @@ let report_json r =
         Json.List
           (match r.violation with
           | None -> []
-          | Some (_, w) ->
+          | Some (_, _, w) ->
             List.map
               (fun v -> Json.String (Format.asprintf "%a" G.Checker.pp_violation v))
               w.Explore.w_violations) );

@@ -31,6 +31,11 @@ type config = {
   env : Anon_giraf.Env.t;
   rounds : int;  (** Depth bound (adversary plan choices per branch). *)
   crashes : int;  (** Max number of crashing processes. *)
+  churn : int;
+      (** Max number of churning (join/leave) processes; schedules are
+          enumerated like crashes (leave round in [1..rounds], rejoin in
+          [(leave, rounds]] or never) and crossed with the crash schedules
+          under pid-disjointness. Rejected for {!Ms_weakset}. *)
   max_delay : int;
   search : search;
   armed : bool;  (** Include one inadmissible plan per demanding round. *)
@@ -53,10 +58,14 @@ val verdict_name : verdict -> string
 
 type report = {
   config : config;
-  schedules : int;  (** Crash schedules explored. *)
+  schedules : int;  (** Crash x churn schedules explored. *)
   stats : Explore.stats;  (** Summed over schedules. *)
-  violation : (Anon_giraf.Crash.event list * Explore.witness) option;
-  non_deciding : (Anon_giraf.Crash.event list * Explore.bounded) option;
+  violation :
+    (Anon_giraf.Crash.event list * Anon_giraf.Churn.event list * Explore.witness)
+    option;
+  non_deciding :
+    (Anon_giraf.Crash.event list * Anon_giraf.Churn.event list * Explore.bounded)
+    option;
   witness : Witness.t option;
       (** Replay-validated packaging of [violation] (or, failing that, of
           [non_deciding]); [None] for {!Es_unguarded}. *)

@@ -8,8 +8,8 @@ type t = {
   replay_violations : G.Checker.violation list;
 }
 
-let build ?recorder ~algo ~env ~n ~seed ~ops_per_client ~crashes ~plans
-    ~mc_violations () =
+let build ?recorder ~algo ~env ~n ~seed ~ops_per_client ~crashes ?(churn = [])
+    ~plans ~mc_violations () =
   let case =
     {
       Scenario.algo;
@@ -20,6 +20,10 @@ let build ?recorder ~algo ~env ~n ~seed ~ops_per_client ~crashes ~plans
       horizon = List.length plans + 1;
       seed;
       crashes;
+      churn;
+      (* The explicit schedule replaces the adversary wholesale; its
+         [sched_env] already carries the (possibly dynamic) environment. *)
+      env = None;
       ops_per_client;
       faults = Anon_chaos.Fault.none;
       schedule = Some { Scenario.sched_env = env; plans };

@@ -29,6 +29,7 @@ val build :
   seed:int ->
   ops_per_client:int ->
   crashes:Anon_giraf.Crash.event list ->
+  ?churn:Anon_giraf.Churn.event list ->
   plans:Anon_giraf.Adversary.plan list ->
   mc_violations:Anon_giraf.Checker.violation list ->
   unit ->

@@ -7,6 +7,7 @@ type t =
   | Deliver of { sender : int; receiver : int; round : int; arrival : int }
   | Decide of { pid : int; round : int; value : int }
   | Crash of { pid : int; round : int }
+  | Churn of { pid : int; round : int; rejoin : bool }
   | Leader of { pid : int; round : int; leader : bool }
   | Ws_add of { pid : int; round : int; value : int }
   | Ws_add_done of { pid : int; round : int; value : int }
@@ -37,6 +38,8 @@ let to_json ev =
   | Decide { pid; round; value } ->
     obj "decide" [ int "pid" pid; int "round" round; int "value" value ]
   | Crash { pid; round } -> obj "crash" [ int "pid" pid; int "round" round ]
+  | Churn { pid; round; rejoin } ->
+    obj "churn" [ int "pid" pid; int "round" round; ("rejoin", Json.Bool rejoin) ]
   | Leader { pid; round; leader } ->
     obj "leader" [ int "pid" pid; int "round" round; ("leader", Json.Bool leader) ]
   | Ws_add { pid; round; value } ->
@@ -102,6 +105,11 @@ let of_json j =
       let* pid = int "pid" in
       let* round = int "round" in
       Ok (Crash { pid; round })
+    | "churn" ->
+      let* pid = int "pid" in
+      let* round = int "round" in
+      let* rejoin = bool "rejoin" in
+      Ok (Churn { pid; round; rejoin })
     | "leader" ->
       let* pid = int "pid" in
       let* round = int "round" in

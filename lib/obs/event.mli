@@ -9,7 +9,7 @@
     - lifecycle: [run_start], [run_end]
     - rounds: [round_start], [round_end]
     - messaging: [broadcast], [deliver]
-    - protocol: [decide], [crash], [leader]
+    - protocol: [decide], [crash], [churn], [leader]
     - weak-set service: [ws_add], [ws_add_done], [ws_get]
     - shared-memory scheduler: [shm_step], [shm_done]
     - chaos layer: [fault] *)
@@ -24,6 +24,9 @@ type t =
       (** [round] is the sender round; timely iff [arrival = round]. *)
   | Decide of { pid : int; round : int; value : int }
   | Crash of { pid : int; round : int }
+  | Churn of { pid : int; round : int; rejoin : bool }
+      (** A process leaves ([rejoin = false]) or rejoins with empty state
+          ([rejoin = true]) at [round]. *)
   | Leader of { pid : int; round : int; leader : bool }
       (** Pseudo-leader flag {e transition} (Alg. 3 line 15): emitted only
           when a process's self-leader estimate changes. *)

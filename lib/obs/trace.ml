@@ -20,6 +20,7 @@
      +120  leader instant          +950  crash instant
      +150  message send (flow)
      +160  fault instant (on the sender's track)
+     +960  churn leave/rejoin instant
      +200/+800/+250 weak-set add / add-done / get instants *)
 
 type t = { mutable rev_events : Event.t list }
@@ -94,6 +95,7 @@ let to_json t =
       | Round_start { round } | Round_end { round; _ } -> see_round round
       | Broadcast { pid; round; _ }
       | Decide { pid; round; _ }
+      | Churn { pid; round; _ }
       | Leader { pid; round; _ }
       | Ws_add { pid; round; _ }
       | Ws_add_done { pid; round; _ }
@@ -188,6 +190,11 @@ let to_json t =
         push
           (instant ~name:"crash" ~cat:"fault" ~tid:(pid + 1) ~ts:(tick round 950)
              ())
+      | Churn { pid; round; rejoin } ->
+        push
+          (instant
+             ~name:(if rejoin then "churn:rejoin" else "churn:leave")
+             ~cat:"churn" ~tid:(pid + 1) ~ts:(tick round 960) ())
       | Leader { pid; round; leader } ->
         push
           (instant ~name:"leader" ~cat:"consensus" ~tid:(pid + 1)

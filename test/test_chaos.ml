@@ -63,6 +63,8 @@ let base_case algo : Ch.Scenario.t =
       | Ch.Scenario.Register -> 460);
     seed = 5;
     crashes = [];
+    churn = [];
+    env = None;
     ops_per_client = 4;
     faults = heavy_faults;
     schedule = None;

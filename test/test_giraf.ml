@@ -323,7 +323,14 @@ let test_runner_config_validation () =
 let test_service_runner_config_validation () =
   let module W = G.Service_runner.Make (Anon_consensus.Weak_set_ms) in
   let config n crash horizon =
-    { G.Service_runner.n; crash; adversary = G.Adversary.ms (); horizon; seed = 1 }
+    {
+      G.Service_runner.n;
+      crash;
+      churn = G.Churn.none ~n;
+      adversary = G.Adversary.ms ();
+      horizon;
+      seed = 1;
+    }
   in
   Alcotest.check_raises "n < 1" (invalid "Service_runner.run" "n must be >= 1")
     (fun () -> ignore (W.run (config 0 (G.Crash.none ~n:0) 10) ~workload:[]));
@@ -361,8 +368,14 @@ let test_trace_accessors () =
   pids "timely_to" [ 1 ] (G.Trace.timely_to info 0);
   pids "timely_to absent" [] (G.Trace.timely_to info 1);
   let t =
-    { G.Trace.n = 2; inputs = [| 9; 9 |]; crash = G.Crash.none ~n:2; env = G.Env.Ms;
-      rounds = [ info ] }
+    {
+      G.Trace.n = 2;
+      inputs = [| 9; 9 |];
+      crash = G.Crash.none ~n:2;
+      churn = G.Churn.none ~n:2;
+      env = G.Env.Ms;
+      rounds = [ info ];
+    }
   in
   Alcotest.(check (list (triple int int int))) "decisions" [ (1, 2, 9) ]
     (G.Trace.decisions t);
@@ -442,7 +455,14 @@ let base_round ~round ~senders ~obligated ~timely =
   }
 
 let mk_trace ?(env = G.Env.Ms) ?(crash = G.Crash.none ~n:3) ~rounds () =
-  { G.Trace.n = 3; inputs = [| 1; 2; 3 |]; crash; env; rounds }
+  {
+    G.Trace.n = 3;
+    inputs = [| 1; 2; 3 |];
+    crash;
+    churn = G.Churn.none ~n:3;
+    env;
+    rounds;
+  }
 
 let test_checker_ms_ok () =
   let r1 =
@@ -680,8 +700,14 @@ let test_adversaries_satisfy_own_env () =
             })
       in
       let trace =
-        { G.Trace.n; inputs = Array.make n 1; crash; env = G.Adversary.env adv;
-          rounds }
+        {
+          G.Trace.n;
+          inputs = Array.make n 1;
+          crash;
+          churn = G.Churn.none ~n;
+          env = G.Adversary.env adv;
+          rounds;
+        }
       in
       match G.Checker.check_env trace with
       | [] -> ()

@@ -12,13 +12,15 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let config ?(algo = Mc.Es) ?(n = 2) ?(env = G.Env.Es { gst = 2 }) ?(rounds = 6)
-    ?(crashes = 0) ?(armed = false) ?(jobs = None) ?(search = Mc.Bfs) () =
+    ?(crashes = 0) ?(churn = 0) ?(armed = false) ?(jobs = None)
+    ?(search = Mc.Bfs) () =
   {
     Mc.algo;
     n;
     env;
     rounds;
     crashes;
+    churn;
     max_delay = 1;
     search;
     armed;
@@ -88,7 +90,7 @@ let test_ws_bounded_witness_blocked_add () =
   check_bool "bounded" true (r.Mc.verdict = Mc.Bounded);
   check_bool "blocked clients recorded" true
     (match r.Mc.non_deciding with
-    | Some (_, b) -> b.Explore.b_blocked <> []
+    | Some (_, _, b) -> b.Explore.b_blocked <> []
     | None -> false);
   match r.Mc.witness with
   | None -> Alcotest.fail "expected a bounded witness"

@@ -61,7 +61,9 @@ let run_workload ?(n = 5) ?(failures = 0) ?(seed = 3) ?(horizon = 150) ?adversar
   let rng = Rng.make (seed + 77) in
   let crash = G.Crash.random ~n ~failures ~max_round:(horizon / 2) rng in
   let adversary = Option.value ~default:(G.Adversary.ms ()) adversary in
-  let config = { G.Service_runner.n; crash; adversary; horizon; seed } in
+  let config =
+    { G.Service_runner.n; crash; churn = G.Churn.none ~n; adversary; horizon; seed }
+  in
   (Runner.run config ~workload, crash)
 
 let test_adds_complete () =
