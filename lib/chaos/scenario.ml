@@ -164,7 +164,9 @@ let adversary ?recorder t =
         | Ess -> Adv.ess ~gst:t.gst ~rotation:t.rotation ~noise:t.noise ()
         | Weak_set | Register -> Adv.ms ~rotation:t.rotation ~noise:t.noise ()))
   in
-  Fault.wrap ?recorder t.faults base
+  (* Through the canonical composition point, so a future topology field
+     cannot pick its own fault/sever order. *)
+  Fault.compose ?recorder t.faults base
 
 let crash t = Crash.of_events ~n:t.n t.crashes
 let churn t = Churn.of_events ~n:t.n t.churn

@@ -58,8 +58,9 @@ let noisy_round ~source ~noise ~max_delay ctx rng =
   let deliveries =
     List.map
       (fun p ->
+        let is_source = match source with Some s -> s = p | None -> false in
         let plan_receiver q =
-          let must_be_timely = Some p = source && List.mem q ctx.obligated in
+          let must_be_timely = is_source && List.mem q ctx.obligated in
           let arrival =
             if must_be_timely || Rng.chance rng noise then ctx.round
             else late_arrival ctx rng max_delay
@@ -118,9 +119,10 @@ let blocking_round ctx =
   let deliveries =
     List.map
       (fun p ->
+        let is_source = match source with Some s -> s = p | None -> false in
         let plan q =
           let arrival =
-            if Some p = source && List.mem q ctx.obligated then ctx.round
+            if is_source && List.mem q ctx.obligated then ctx.round
             else ctx.round + 1
           in
           { receiver = q; arrival }

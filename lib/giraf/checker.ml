@@ -64,11 +64,18 @@ let pp_violation ppf = function
 
 (* --- Environment checking ----------------------------------------------- *)
 
-(* [covers info s] iff sender [s]'s timely receivers, plus itself, include
-   every obligated process. Returns the missing receivers. *)
+(* The obligated processes that sender [s]'s timely receivers, plus
+   itself, fail to include — the diagnostic payload when [covers] says
+   no. *)
 let missing_receivers (info : Trace.round_info) s =
   let reached = s :: Trace.timely_to info s in
   List.filter (fun q -> not (List.mem q reached)) info.obligated
+
+(* [covers info s] without materializing the missing list — the common
+   "is there a source?" probe in the per-round checks. *)
+let covers (info : Trace.round_info) s =
+  let reached = Trace.timely_to info s in
+  List.for_all (fun q -> q = s || List.mem q reached) info.obligated
 
 let correct_senders (t : Trace.t) (info : Trace.round_info) =
   List.filter (Crash.is_correct t.crash) info.senders
@@ -85,15 +92,16 @@ let demanding_rounds (t : Trace.t) =
    end-of-round to occur in this round and its message to reach every
    obligated process timely. *)
 let check_ms_round _t (info : Trace.round_info) =
-  let has_source = List.exists (fun s -> missing_receivers info s = []) info.senders in
+  let has_source = List.exists (covers info) info.senders in
   if has_source then [] else [ No_source { round = info.round } ]
 
 let check_all_timely t (info : Trace.round_info) =
   List.concat_map
     (fun s ->
-      match missing_receivers info s with
-      | [] -> []
-      | missing -> [ Source_not_timely { round = info.round; sender = s; missing } ])
+      if covers info s then []
+      else
+        [ Source_not_timely
+            { round = info.round; sender = s; missing = missing_receivers info s } ])
     (correct_senders t info)
 
 (* From [gst] on the same process must be a source every round — except
@@ -103,9 +111,7 @@ let check_all_timely t (info : Trace.round_info) =
    every remaining candidate stopped sending (halted). *)
 let check_stable_source t ~gst rounds =
   let late = List.filter (fun (i : Trace.round_info) -> i.round >= gst) rounds in
-  let candidates_of info =
-    List.filter (fun s -> missing_receivers info s = []) (correct_senders t info)
-  in
+  let candidates_of info = List.filter (covers info) (correct_senders t info) in
   let rec walk candidates = function
     | [] -> []
     | (info : Trace.round_info) :: rest ->
@@ -129,7 +135,7 @@ let check_stable_source t ~gst rounds =
    carries every sender's missing receivers — the offending links. *)
 let check_root t ~stability (info : Trace.round_info) =
   let window = ((info.round - 1) / stability) + 1 in
-  let has_root = List.exists (fun s -> missing_receivers info s = []) info.senders in
+  let has_root = List.exists (covers info) info.senders in
   if has_root then []
   else
     [

@@ -13,6 +13,10 @@ let dispatch ~round ~outgoing ~crashing_events ~eligible ~receivers ~plan ~crash
   let timely = ref [] in
   let delivered = ref 0 in
   let timely_count = ref 0 in
+  (* Each sender's deliveries are contiguous (one outbound per sender), so
+     its timely receivers accumulate in [cur] and join [timely] as a
+     single entry once the sender is done. *)
+  let cur = ref [] in
   let deliver ~sender ~msg (d : Adversary.delivery) =
     if d.receiver <> sender && eligible d.receiver then begin
       let arrival = max d.arrival round in
@@ -21,9 +25,14 @@ let dispatch ~round ~outgoing ~crashing_events ~eligible ~receivers ~plan ~crash
       incr delivered;
       if arrival = round then begin
         incr timely_count;
-        let cur = Option.value ~default:[] (List.assoc_opt sender !timely) in
-        timely := (sender, d.receiver :: cur) :: List.remove_assoc sender !timely
+        cur := d.receiver :: !cur
       end
+    end
+  in
+  let flush_timely sender =
+    if !cur <> [] then begin
+      timely := (sender, !cur) :: !timely;
+      cur := []
     end
   in
   let crashing pid =
@@ -32,7 +41,7 @@ let dispatch ~round ~outgoing ~crashing_events ~eligible ~receivers ~plan ~crash
   List.iter
     (fun { sender; msg } ->
       schedule ~receiver:sender ~arrival:round ~sent:round msg;
-      match crashing sender with
+      (match crashing sender with
       | Some ev -> (
         let scripted =
           match ev.broadcast with
@@ -48,22 +57,29 @@ let dispatch ~round ~outgoing ~crashing_events ~eligible ~receivers ~plan ~crash
           List.iter (fun d -> deliver ~sender ~msg d) ds
         | None ->
           let others = List.filter (fun q -> q <> sender) receivers in
-          let targets =
-            match ev.broadcast with
-            | Crash.Silent -> []
-            | Crash.Broadcast_all -> others
-            | Crash.Broadcast_subset -> Rng.subset crash_rng ~p:0.5 others
-          in
-          List.iter
-            (fun q ->
-              let arrival =
-                if Rng.bool crash_rng then round else round + Rng.int_in crash_rng 1 3
-              in
-              deliver ~sender ~msg { Adversary.receiver = q; arrival })
-            targets)
+          (match ev.broadcast with
+          | Crash.Silent -> ()
+          | Crash.Broadcast_all ->
+            (* Clean stop: the final broadcast reaches everyone timely
+               (crash.mli). Drawing arrivals from [crash_rng] here used to
+               let the last message slip past its own round, diverging from
+               the model checker's reading. *)
+            List.iter
+              (fun q -> deliver ~sender ~msg { Adversary.receiver = q; arrival = round })
+              others
+          | Crash.Broadcast_subset ->
+            List.iter
+              (fun q ->
+                let arrival =
+                  if Rng.bool crash_rng then round
+                  else round + Rng.int_in crash_rng 1 3
+                in
+                deliver ~sender ~msg { Adversary.receiver = q; arrival })
+              (Rng.subset crash_rng ~p:0.5 others)))
       | None -> (
         match List.assoc_opt sender plan.Adversary.deliveries with
         | None -> ()
-        | Some ds -> List.iter (fun d -> deliver ~sender ~msg d) ds))
+        | Some ds -> List.iter (fun d -> deliver ~sender ~msg d) ds));
+      flush_timely sender)
     outgoing;
   { timely = !timely; delivered = !delivered; timely_count = !timely_count }

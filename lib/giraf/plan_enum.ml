@@ -195,3 +195,41 @@ let enumerate spec (ctx : Adversary.ctx) =
       plans
   in
   dedup true admissible @ dedup false armed
+
+type memo = (string, choice list) Hashtbl.t
+
+let memo () : memo = Hashtbl.create 128
+
+(* Everything [enumerate] reads besides the constant parts of the spec:
+   the round, the ESS stable source, the crashers, and the ctx process
+   lists ([correct] is fixed by the crash schedule the memo's exploration
+   runs under). *)
+let memo_key spec (ctx : Adversary.ctx) =
+  let buf = Buffer.create 64 in
+  let ints label xs =
+    Buffer.add_char buf label;
+    List.iter
+      (fun x ->
+        Buffer.add_string buf (string_of_int x);
+        Buffer.add_char buf ',')
+      xs
+  in
+  Buffer.add_string buf (string_of_int ctx.round);
+  Buffer.add_char buf '|';
+  (match spec.stable with
+  | None -> ()
+  | Some s -> Buffer.add_string buf (string_of_int s));
+  ints '|' spec.crashing;
+  ints 's' ctx.senders;
+  ints 'o' ctx.obligated;
+  ints 'a' ctx.alive;
+  Buffer.contents buf
+
+let enumerate_memo memo spec ctx =
+  let key = memo_key spec ctx in
+  match Hashtbl.find_opt memo key with
+  | Some choices -> choices
+  | None ->
+    let choices = enumerate spec ctx in
+    Hashtbl.add memo key choices;
+    choices

@@ -53,3 +53,18 @@ val enumerate : spec -> Adversary.ctx -> choice list
 val plan_key : Adversary.plan -> string
 (** Canonical rendering of a plan's delivery pattern (sender and receiver
     order normalised, declared source ignored) — the deduplication key. *)
+
+type memo
+(** A cache over [enumerate] results. Many states of one exploration share
+    their (round, stable, crashing, process-set) signature and therefore
+    their exact choice list; memoizing skips the combinatorial rebuild.
+    The cache assumes a fixed [spec] apart from its [stable]/[crashing]
+    fields and a fixed [ctx.correct] — one exploration's worth. Not
+    domain-safe: create it where it is used (the model checker creates one
+    per [init], so at [jobs > 1] each task replays with its own). *)
+
+val memo : unit -> memo
+
+val enumerate_memo : memo -> spec -> Adversary.ctx -> choice list
+(** [enumerate] through the cache; the returned list is shared, treat it
+    as immutable. *)

@@ -65,13 +65,7 @@ let decision_round outcome =
     | r :: rs -> Some (List.fold_left max r rs)
 
 module Make (A : Intf.ALGORITHM) = struct
-  type proc = {
-    mutable st : A.state option;  (* None before initialize / while away *)
-    mutable halted : bool;  (* decided *)
-    mutable crashed : bool;
-    mutable was_leader : bool;  (* last sampled A.leader, for transitions *)
-    mutable mailbox : A.msg Mailbox.t;  (* replaced wholesale on rejoin *)
-  }
+  module Core = Step_core.Consensus (A)
 
   let run ?observe ?(recorder = Anon_obs.Recorder.off) config =
     let module R = Anon_obs.Recorder in
@@ -96,178 +90,80 @@ module Make (A : Intf.ALGORITHM) = struct
     let n = Array.length config.inputs in
     let rng = Rng.make config.seed in
     let crash_rng = Rng.split rng in
-    let procs =
-      Array.init n (fun _ ->
-          {
-            st = None;
-            halted = false;
-            crashed = false;
-            was_leader = false;
-            mailbox = Mailbox.create ~compare:A.msg_compare ();
-          })
+    let core =
+      Core.create ~inputs:config.inputs ~crash:config.crash ~churn:config.churn
+        ~env:(Adversary.env config.adversary)
     in
     R.emit recorder (fun () -> E.Run_start { algo = A.name; n; seed = config.seed });
-    let correct = Crash.correct config.crash in
-    let correct_stayers = List.filter (Churn.is_stayer config.churn) correct in
+    let was_leader = Array.make n false in
     let decisions = ref [] in
     let rounds = ref [] in
     let messages_sent = ref 0 in
     let deliveries = ref 0 in
     let timely_deliveries = ref 0 in
-    (* Liveness is owed to correct stayers only; a churner may rejoin after
-       everyone halted and run alone forever. *)
-    let undecided_correct () =
-      List.filter (fun p -> not procs.(p).halted) correct_stayers
+    let decided_now = ref [] in
+    let on_leave ~pid:_ = M.incr m_leaves in
+    let on_rejoin ~pid:_ = M.incr m_rejoins in
+    let on_decide ~pid ~round ~value =
+      decided_now := (pid, value) :: !decided_now;
+      decisions := (pid, round, value) :: !decisions
+    in
+    let observe_hook ~pid ~round st =
+      (match observe with Some f -> f ~pid ~round st | None -> ());
+      if obs_on then
+        match A.leader st with
+        | Some l when l <> was_leader.(pid) ->
+          was_leader.(pid) <- l;
+          M.incr m_leader_changes;
+          R.emit recorder (fun () -> E.Leader { pid; round; leader = l })
+        | Some _ | None -> ()
     in
     let round = ref 1 in
     let continue = ref true in
     while !continue && !round <= config.horizon do
       let k = !round in
       R.emit recorder (fun () -> E.Round_start { round = k });
-      (* Churn transitions. Halted processes ignore their churn event —
-         decisions are irrevocable, there is nothing left to leave. A
-         rejoiner restarts from scratch: anonymity leaves no identifier
-         under which state or mail could have been parked. *)
-      let away p = (not procs.(p).halted) && Churn.away config.churn ~pid:p ~round:k in
-      List.iter
-        (fun (ev : Churn.event) ->
-          if (not procs.(ev.pid).halted) && not procs.(ev.pid).crashed then begin
-            M.incr m_leaves;
-            R.emit recorder (fun () ->
-                E.Churn { pid = ev.pid; round = k; rejoin = false })
-          end)
-        (Churn.leaving_at config.churn ~round:k);
-      List.iter
-        (fun (ev : Churn.event) ->
-          let proc = procs.(ev.pid) in
-          if (not proc.halted) && not proc.crashed then begin
-            proc.st <- None;
-            proc.mailbox <- Mailbox.create ~compare:A.msg_compare ();
-            M.incr m_rejoins;
-            R.emit recorder (fun () ->
-                E.Churn { pid = ev.pid; round = k; rejoin = true })
-          end)
-        (Churn.rejoining_at config.churn ~round:k);
-      let crashing_events =
-        List.filter
-          (fun (ev : Crash.event) ->
-            (not procs.(ev.pid).crashed) && not procs.(ev.pid).halted)
-          (Crash.crashing_at config.crash ~round:k)
-      in
-      let crashing_pids = List.map (fun (ev : Crash.event) -> ev.pid) crashing_events in
-      let participants =
-        List.filter
-          (fun p -> (not procs.(p).crashed) && (not procs.(p).halted) && not (away p))
-          (List.init n Fun.id)
-      in
-      (* Phase 1: each participant's k-th end-of-round — compute round k-1
-         (or initialize) and produce the round-k message. Deciders halt and
-         send nothing. *)
-      let decided_now = ref [] in
+      if obs_on then begin
+        Core.begin_round core
+          ~on_leave:(fun ~pid ->
+            on_leave ~pid;
+            R.emit recorder (fun () -> E.Churn { pid; round = k; rejoin = false }))
+          ~on_rejoin:(fun ~pid ->
+            on_rejoin ~pid;
+            R.emit recorder (fun () -> E.Churn { pid; round = k; rejoin = true }))
+      end
+      else Core.begin_round core;
+      decided_now := [];
       let outgoing =
-        M.time t_compute (fun () ->
-            List.filter_map
-              (fun p ->
-                let proc = procs.(p) in
-                let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
-                let result =
-                  (* [st = None] at round 1 and just after a rejoin: both
-                     start the algorithm fresh from the original input. *)
-                  if proc.st = None then begin
-                    let st, m = A.initialize config.inputs.(p) in
-                    proc.st <- Some st;
-                    Some m
-                  end
-                  else begin
-                    let current = Mailbox.current proc.mailbox ~round:(k - 1) in
-                    let st =
-                      match proc.st with Some st -> st | None -> assert false
-                    in
-                    let st', m, dec =
-                      A.compute st ~round:(k - 1) ~inbox:{ Intf.current; fresh }
-                    in
-                    proc.st <- Some st';
-                    match dec with
-                    | None -> Some m
-                    | Some v ->
-                      proc.halted <- true;
-                      decided_now := (p, v) :: !decided_now;
-                      decisions := (p, k - 1, v) :: !decisions;
-                      None
-                  end
-                in
-                (match observe, proc.st with
-                | Some f, Some st -> f ~pid:p ~round:(k - 1) st
-                | None, _ | _, None -> ());
-                (if obs_on then
-                   match proc.st with
-                   | None -> ()
-                   | Some st -> (
-                     match A.leader st with
-                     | Some l when l <> proc.was_leader ->
-                       proc.was_leader <- l;
-                       M.incr m_leader_changes;
-                       R.emit recorder (fun () ->
-                           E.Leader { pid = p; round = k - 1; leader = l })
-                     | Some _ | None -> ()));
-                Option.map (fun m -> { Dispatch.sender = p; msg = m }) result)
-              participants)
+        if obs_on || Option.is_some observe then
+          M.time t_compute (fun () ->
+              Core.compute core ~observe:observe_hook ~on_decide)
+        else Core.compute core ~on_decide
       in
       List.iter
         (fun (p, v) ->
           M.incr m_decisions;
           R.emit recorder (fun () -> E.Decide { pid = p; round = k - 1; value = v }))
         (List.rev !decided_now);
-      (* Phase 2: adversarial deliveries. A source must reach every process
-         that will compute this round — not only the correct ones. The
-         paper's §2.3 literally quantifies timely links over correct
-         processes, but the Lemma 1 proof ("every other process pj that
-         enters round k also has received the message of this source")
-         needs the stronger obligation; see DESIGN.md §5 and experiment A2
-         for what breaks under the literal reading. *)
-      let obligated =
-        List.filter
-          (fun p -> (not procs.(p).halted) && not (List.mem p crashing_pids))
-          participants
-      in
-      let normal_senders =
-        List.filter_map
-          (fun { Dispatch.sender; _ } ->
-            if List.mem sender crashing_pids then None else Some sender)
-          outgoing
-      in
-      let alive_receivers =
-        List.filter
-          (fun p ->
-            (not procs.(p).crashed)
-            && (not procs.(p).halted)
-            && (not (away p))
-            && not (List.mem p crashing_pids))
-          (List.init n Fun.id)
-      in
-      let ctx =
-        {
-          Adversary.round = k;
-          senders = normal_senders;
-          obligated;
-          correct;
-          alive = alive_receivers;
-        }
-      in
+      (* Adversarial deliveries. A source must reach every process that
+         will compute this round — not only the correct ones; see
+         DESIGN.md §5 and experiment A2 for what breaks under the paper's
+         literal §2.3 reading. *)
+      let ctx = Core.ctx core in
       let plan = Adversary.plan config.adversary ctx rng in
       let stats =
-        M.time t_deliver (fun () ->
-            Dispatch.dispatch ~round:k ~outgoing ~crashing_events
-              ~eligible:(fun q ->
-                q < n && (not procs.(q).crashed) && (not procs.(q).halted)
-                && not (away q))
-              ~receivers:alive_receivers ~plan ~crash_rng
-              ~on_deliver:(fun ~sender ~receiver ~arrival ->
-                R.emit recorder (fun () ->
-                    E.Deliver { sender; receiver; round = k; arrival }))
-              ~schedule:(fun ~receiver ~arrival ~sent msg ->
-                Mailbox.schedule procs.(receiver).mailbox ~arrival ~sent msg)
-              ())
+        (* The hooks only feed observability; skipping them when the
+           recorder is off saves a per-delivery closure invocation. *)
+        if obs_on then
+          M.time t_deliver (fun () ->
+              Core.deliver core ~plan ~crash_rng
+                ~on_deliver:(fun ~sender ~receiver ~arrival ->
+                  R.emit recorder (fun () ->
+                      E.Deliver { sender; receiver; round = k; arrival }))
+                ~on_crash:(fun ~pid ->
+                  M.incr m_crashes;
+                  R.emit recorder (fun () -> E.Crash { pid; round = k })))
+        else Core.deliver core ~plan ~crash_rng
       in
       messages_sent := !messages_sent + List.length outgoing;
       deliveries := !deliveries + stats.delivered;
@@ -277,20 +173,14 @@ module Make (A : Intf.ALGORITHM) = struct
         M.incr ~by:stats.delivered m_deliveries;
         M.incr ~by:stats.timely_count m_timely
       end;
-      List.iter
-        (fun p ->
-          procs.(p).crashed <- true;
-          M.incr m_crashes;
-          R.emit recorder (fun () -> E.Crash { pid = p; round = k }))
-        crashing_pids;
       let info =
         {
           Trace.round = k;
           senders = List.map (fun { Dispatch.sender; _ } -> sender) outgoing;
-          crashing = crashing_pids;
+          crashing = Core.crashing_pids core;
           source = plan.source;
           timely = stats.timely;
-          obligated;
+          obligated = ctx.obligated;
           decided = List.rev !decided_now;
           msg_sizes =
             List.map
@@ -306,11 +196,10 @@ module Make (A : Intf.ALGORITHM) = struct
             R.emit recorder (fun () ->
                 E.Broadcast { pid = sender; round = k; size }))
           (List.combine outgoing info.msg_sizes);
-        Array.iter
-          (fun proc ->
-            if not proc.crashed then
-              M.observe m_mailbox (float_of_int (Mailbox.pending proc.mailbox)))
-          procs;
+        for p = 0 to n - 1 do
+          if Core.fate core p <> Step_core.Crashed then
+            M.observe m_mailbox (float_of_int (Core.mailbox_pending core p))
+        done;
         R.emit recorder (fun () ->
             E.Round_end
               {
@@ -320,7 +209,8 @@ module Make (A : Intf.ALGORITHM) = struct
                 timely = stats.timely_count;
               })
       end;
-      if config.stop_on_decision && undecided_correct () = [] then continue := false;
+      if config.stop_on_decision && Core.undecided_correct_stayers core = [] then
+        continue := false;
       incr round
     done;
     let trace =
@@ -333,7 +223,7 @@ module Make (A : Intf.ALGORITHM) = struct
         rounds = List.rev !rounds;
       }
     in
-    let all_correct_decided = undecided_correct () = [] in
+    let all_correct_decided = Core.undecided_correct_stayers core = [] in
     let rounds_executed = min (!round - 1) config.horizon in
     if obs_on then begin
       M.set_gauge m_rounds (float_of_int rounds_executed);
@@ -353,4 +243,4 @@ module Make (A : Intf.ALGORITHM) = struct
       deliveries = !deliveries;
       timely_deliveries = !timely_deliveries;
     }
-end
+  end

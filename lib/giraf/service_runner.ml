@@ -1,6 +1,9 @@
 open Anon_kernel
 
-type op_spec = Do_add of Value.t | Do_get | Do_add_with of (Value.Set.t -> Value.t)
+type op_spec = Step_core.op_spec =
+  | Do_add of Value.t
+  | Do_get
+  | Do_add_with of (Value.Set.t -> Value.t)
 
 type workload = (int * (int * op_spec) list) list
 
@@ -53,17 +56,9 @@ type outcome = {
 }
 
 module Make (S : Intf.SERVICE) = struct
-  type pending_add = { value : Value.t; invoked : int; invoked_round : int }
+  module Core = Step_core.Service (S)
 
-  type proc = {
-    mutable st : S.state option;
-    mutable crashed : bool;
-    mutable mailbox : S.msg Mailbox.t;  (* replaced wholesale on rejoin *)
-    mutable script : (int * op_spec) list;
-    mutable pending : pending_add option;
-  }
-
-  let run ?(recorder = Anon_obs.Recorder.off) config ~workload =
+  let run ?observe ?(recorder = Anon_obs.Recorder.off) config ~workload =
     let module R = Anon_obs.Recorder in
     let module M = Anon_obs.Metrics in
     let module E = Anon_obs.Event in
@@ -101,237 +96,114 @@ module Make (S : Intf.SERVICE) = struct
     R.emit recorder (fun () -> E.Run_start { algo = S.name; n; seed = config.seed });
     let rng = Rng.make config.seed in
     let crash_rng = Rng.split rng in
-    let procs =
-      Array.init n (fun pid ->
-          {
-            st = None;
-            crashed = false;
-            mailbox = Mailbox.create ~compare:S.msg_compare ();
-            script = Option.value ~default:[] (List.assoc_opt pid workload);
-            pending = None;
-          })
+    let core =
+      Core.create ~n ~crash:config.crash ~churn:config.churn
+        ~env:(Adversary.env config.adversary) ~workload
     in
-    let correct = Crash.correct config.crash in
     let ops = ref [] in
     let adds = ref [] in
     let rounds = ref [] in
     let messages_sent = ref 0 in
+    let record_incomplete ~client ~value ~invoked_round =
+      ops :=
+        Checker.Ws_add
+          {
+            add_client = client;
+            add_value = value;
+            add_invoked = (2 * invoked_round) + 1;
+            add_completed = None;
+          }
+        :: !ops;
+      adds := { client; value; invoked_round; completed_round = None } :: !adds
+    in
     for k = 1 to config.horizon do
       let compute_time = 2 * k in
       let op_time = (2 * k) + 1 in
-      (* Churn transitions. A leaver's pending add is recorded incomplete —
-         the value may or may not have propagated; the weak-set axioms only
-         bind completed adds. A rejoiner restarts with a fresh replica and
-         an empty mailbox, its remaining client script intact. *)
-      let away p = Churn.away config.churn ~pid:p ~round:k in
-      List.iter
-        (fun (ev : Churn.event) ->
-          let proc = procs.(ev.pid) in
-          if not proc.crashed then begin
-            (match proc.pending with
-            | Some pa ->
-              proc.pending <- None;
-              ops :=
-                Checker.Ws_add
-                  {
-                    add_client = ev.pid;
-                    add_value = pa.value;
-                    add_invoked = pa.invoked;
-                    add_completed = None;
-                  }
-                :: !ops;
-              adds :=
-                {
-                  client = ev.pid;
-                  value = pa.value;
-                  invoked_round = pa.invoked_round;
-                  completed_round = None;
-                }
-                :: !adds
-            | None -> ());
-            M.incr m_leaves;
-            R.emit recorder (fun () ->
-                E.Churn { pid = ev.pid; round = k; rejoin = false })
-          end)
-        (Churn.leaving_at config.churn ~round:k);
-      List.iter
-        (fun (ev : Churn.event) ->
-          let proc = procs.(ev.pid) in
-          if not proc.crashed then begin
-            proc.st <- None;
-            proc.mailbox <- Mailbox.create ~compare:S.msg_compare ();
-            M.incr m_rejoins;
-            R.emit recorder (fun () ->
-                E.Churn { pid = ev.pid; round = k; rejoin = true })
-          end)
-        (Churn.rejoining_at config.churn ~round:k);
-      let crashing_events =
-        List.filter
-          (fun (ev : Crash.event) -> not procs.(ev.pid).crashed)
-          (Crash.crashing_at config.crash ~round:k)
-      in
-      let crashing_pids = List.map (fun (ev : Crash.event) -> ev.pid) crashing_events in
-      let participants =
-        List.filter
-          (fun p -> (not procs.(p).crashed) && not (away p))
-          (List.init n Fun.id)
-      in
-      (* Phase 1: end-of-round — compute round k-1 (or initialize), send
-         round-k message. Pending adds complete when BLOCK clears. *)
+      Core.begin_round core
+        ~on_leave:(fun ~pid ~pending ->
+          (* A leaver's pending add is recorded incomplete — the value may
+             or may not have propagated; the weak-set axioms only bind
+             completed adds. *)
+          (match pending with
+          | Some (value, invoked_round) ->
+            record_incomplete ~client:pid ~value ~invoked_round
+          | None -> ());
+          M.incr m_leaves;
+          R.emit recorder (fun () -> E.Churn { pid; round = k; rejoin = false }))
+        ~on_rejoin:(fun ~pid ->
+          M.incr m_rejoins;
+          R.emit recorder (fun () -> E.Churn { pid; round = k; rejoin = true }));
       let outgoing =
         M.time t_compute (fun () ->
-            List.map
-              (fun p ->
-                let proc = procs.(p) in
-                let fresh = Mailbox.drain proc.mailbox ~upto:(k - 1) in
-                let m =
-                  (* [st = None] at round 1 and just after a rejoin. *)
-                  if proc.st = None then begin
-                    let st, m = S.initialize () in
-                    proc.st <- Some st;
-                    m
-                  end
-                  else begin
-                    let current = Mailbox.current proc.mailbox ~round:(k - 1) in
-                    let st =
-                      match proc.st with Some st -> st | None -> assert false
-                    in
-                    let st', m =
-                      S.compute st ~round:(k - 1) ~inbox:{ Intf.current; fresh }
-                    in
-                    proc.st <- Some st';
-                    (match proc.pending with
-                    | Some pa when not (S.add_pending st') ->
-                      proc.pending <- None;
-                      M.observe m_add_latency
-                        (float_of_int (k - 1 - pa.invoked_round));
-                      R.emit recorder (fun () ->
-                          E.Ws_add_done
-                            { pid = p; round = k - 1; value = pa.value });
-                      ops :=
-                        Checker.Ws_add
-                          {
-                            add_client = p;
-                            add_value = pa.value;
-                            add_invoked = pa.invoked;
-                            add_completed = Some compute_time;
-                          }
-                        :: !ops;
-                      adds :=
-                        {
-                          client = p;
-                          value = pa.value;
-                          invoked_round = pa.invoked_round;
-                          completed_round = Some (k - 1);
-                        }
-                        :: !adds
-                    | Some _ | None -> ());
-                    m
-                  end
-                in
-                { Dispatch.sender = p; msg = m })
-              participants)
+            Core.compute core ?observe
+              ~on_add_complete:(fun ~pid ~value ~invoked_round ->
+                M.observe m_add_latency (float_of_int (k - 1 - invoked_round));
+                R.emit recorder (fun () ->
+                    E.Ws_add_done { pid; round = k - 1; value });
+                ops :=
+                  Checker.Ws_add
+                    {
+                      add_client = pid;
+                      add_value = value;
+                      add_invoked = (2 * invoked_round) + 1;
+                      add_completed = Some compute_time;
+                    }
+                  :: !ops;
+                adds :=
+                  {
+                    client = pid;
+                    value;
+                    invoked_round;
+                    completed_round = Some (k - 1);
+                  }
+                  :: !adds))
       in
-      (* Phase 2: deliveries. As in Runner, sources must reach every
-         process that computes the round (not only correct ones). *)
-      let obligated =
-        List.filter (fun p -> not (List.mem p crashing_pids)) participants
-      in
-      let alive_receivers =
-        List.filter
-          (fun p ->
-            (not procs.(p).crashed) && (not (away p)) && not (List.mem p crashing_pids))
-          (List.init n Fun.id)
-      in
-      let normal_senders =
-        List.filter (fun p -> not (List.mem p crashing_pids)) participants
-      in
-      let ctx =
-        {
-          Adversary.round = k;
-          senders = normal_senders;
-          obligated;
-          correct;
-          alive = alive_receivers;
-        }
-      in
+      (* Deliveries. As in Runner, sources must reach every process that
+         computes the round (not only correct ones). *)
+      let ctx = Core.ctx core in
       let plan = Adversary.plan config.adversary ctx rng in
       let stats =
         M.time t_deliver (fun () ->
-            Dispatch.dispatch ~round:k ~outgoing ~crashing_events
-              ~eligible:(fun q -> q < n && (not procs.(q).crashed) && not (away q))
-              ~receivers:alive_receivers ~plan ~crash_rng
+            Core.deliver core ~plan ~crash_rng
               ~on_deliver:(fun ~sender ~receiver ~arrival ->
                 R.emit recorder (fun () ->
                     E.Deliver { sender; receiver; round = k; arrival }))
-              ~schedule:(fun ~receiver ~arrival ~sent msg ->
-                Mailbox.schedule procs.(receiver).mailbox ~arrival ~sent msg)
-              ())
+              ~on_crash:(fun ~pid ->
+                M.incr m_crashes;
+                R.emit recorder (fun () -> E.Crash { pid; round = k })))
       in
       messages_sent := !messages_sent + List.length outgoing;
       if obs_on then begin
         M.incr ~by:(List.length outgoing) m_broadcasts;
         M.incr ~by:stats.delivered m_deliveries
       end;
-      List.iter
-        (fun p ->
-          procs.(p).crashed <- true;
-          M.incr m_crashes;
-          R.emit recorder (fun () -> E.Crash { pid = p; round = k }))
-        crashing_pids;
-      (* Phase 3: client operations while in round k. One operation at a
-         time per client; adds block until their value is written. *)
-      List.iter
-        (fun p ->
-          let proc = procs.(p) in
-          if (not proc.crashed) && proc.pending = None then
-            match proc.script with
-            | (start, op) :: rest when start <= k -> (
-              match proc.st with
-              | None -> ()
-              | Some st -> (
-                match op with
-                | Do_get ->
-                  let result = S.get st in
-                  proc.script <- rest;
-                  M.incr m_gets;
-                  R.emit recorder (fun () ->
-                      E.Ws_get
-                        { pid = p; round = k; size = Value.Set.cardinal result });
-                  ops :=
-                    Checker.Ws_get
-                      {
-                        get_client = p;
-                        get_result = result;
-                        get_invoked = op_time;
-                        get_completed = op_time;
-                      }
-                    :: !ops
-                | Do_add v ->
-                  proc.st <- Some (S.add st v);
-                  proc.script <- rest;
-                  M.incr m_adds;
-                  R.emit recorder (fun () ->
-                      E.Ws_add { pid = p; round = k; value = v });
-                  proc.pending <- Some { value = v; invoked = op_time; invoked_round = k }
-                | Do_add_with f ->
-                  let v = f (S.get st) in
-                  proc.st <- Some (S.add st v);
-                  proc.script <- rest;
-                  M.incr m_adds;
-                  R.emit recorder (fun () ->
-                      E.Ws_add { pid = p; round = k; value = v });
-                  proc.pending <- Some { value = v; invoked = op_time; invoked_round = k }))
-            | _ -> ())
-        participants;
+      (* Client operations while in round k. One operation at a time per
+         client; adds block until their value is written. *)
+      Core.ops core
+        ~on_get:(fun ~pid ~result ->
+          M.incr m_gets;
+          R.emit recorder (fun () ->
+              E.Ws_get { pid; round = k; size = Value.Set.cardinal result });
+          ops :=
+            Checker.Ws_get
+              {
+                get_client = pid;
+                get_result = result;
+                get_invoked = op_time;
+                get_completed = op_time;
+              }
+            :: !ops)
+        ~on_add:(fun ~pid ~value ->
+          M.incr m_adds;
+          R.emit recorder (fun () -> E.Ws_add { pid; round = k; value }));
       let info =
         {
           Trace.round = k;
-          senders = participants;
-          crashing = crashing_pids;
+          senders = List.map (fun { Dispatch.sender; _ } -> sender) outgoing;
+          crashing = Core.crashing_pids core;
           source = plan.source;
           timely = stats.timely;
-          obligated;
+          obligated = ctx.obligated;
           decided = [];
           msg_sizes =
             List.map (fun { Dispatch.sender; msg } -> (sender, S.msg_size msg)) outgoing;
@@ -341,29 +213,11 @@ module Make (S : Intf.SERVICE) = struct
     done;
     (* Adds still pending at the end of the run are recorded as
        incomplete. *)
-    Array.iteri
-      (fun p proc ->
-        match proc.pending with
-        | None -> ()
-        | Some pa ->
-          ops :=
-            Checker.Ws_add
-              {
-                add_client = p;
-                add_value = pa.value;
-                add_invoked = pa.invoked;
-                add_completed = None;
-              }
-            :: !ops;
-          adds :=
-            {
-              client = p;
-              value = pa.value;
-              invoked_round = pa.invoked_round;
-              completed_round = None;
-            }
-            :: !adds)
-      procs;
+    for p = 0 to n - 1 do
+      match Core.blocked core p with
+      | None -> ()
+      | Some (value, invoked_round) -> record_incomplete ~client:p ~value ~invoked_round
+    done;
     let trace =
       {
         Trace.n;

@@ -10,7 +10,7 @@
     - operations invoked while a process is in round [k] happen at time
       [2k + 1]. *)
 
-type op_spec =
+type op_spec = Step_core.op_spec =
   | Do_add of Anon_kernel.Value.t
   | Do_get
   | Do_add_with of (Anon_kernel.Value.Set.t -> Anon_kernel.Value.t)
@@ -18,7 +18,7 @@ type op_spec =
           invocation time (used by layered objects such as the register of
           Prop. 1, whose writes read the set first). *)
 
-type workload = (int * (int * op_spec) list) list
+type workload = Step_core.workload
 (** Per pid: [(earliest_round, op)] scripts. Operations run in list order,
     each starting no earlier than its round and only after the previous
     operation of the same client completed. *)
@@ -62,8 +62,16 @@ type outcome = {
 }
 
 module Make (S : Intf.SERVICE) : sig
-  val run : ?recorder:Anon_obs.Recorder.t -> config -> workload:workload -> outcome
-  (** [recorder] (default {!Anon_obs.Recorder.off}) receives weak-set
+  val run :
+    ?observe:(pid:int -> round:int -> S.state -> unit) ->
+    ?recorder:Anon_obs.Recorder.t ->
+    config -> workload:workload -> outcome
+  (** [observe] is called after every [compute] (and after [initialize])
+      with the post-state, once any pending [add] completion has been
+      detected — the same instant the model checker's node states are
+      defined at. It must not mutate the state.
+
+      [recorder] (default {!Anon_obs.Recorder.off}) receives weak-set
       operation events ([Ws_add]/[Ws_add_done]/[Ws_get]) alongside the
       generic delivery/crash stream, plus [service.*] and [phase.*]
       metrics; see DESIGN.md §7.

@@ -22,3 +22,18 @@ let int h n =
 let hash_string s = string init s
 
 let to_hex h = Printf.sprintf "%016Lx" h
+
+module Fast = struct
+  type h = int
+
+  let init = 0x1cf29ce484222325
+  let prime = 0x100000001b3
+  let byte h c = (h lxor Char.code c) * prime
+
+  let string h s =
+    let acc = ref h in
+    for i = 0 to String.length s - 1 do
+      acc := (!acc lxor Char.code (String.unsafe_get s i)) * prime
+    done;
+    !acc
+end

@@ -24,3 +24,24 @@ val hash_string : string -> t
 
 val to_hex : t -> string
 (** 16-digit lowercase hex rendering. *)
+
+(** FNV-style hashing over native [int] state — the same fold shape
+    truncated to OCaml's 63-bit integers, for hot paths where the boxed
+    [int64] accumulator of {!string} costs an allocation per byte (the
+    model checker hashes every process view of every generated state).
+    Not interchangeable with the [int64] stream: use it only where the
+    hash never leaves the process (in-memory keys), never for values that
+    appear in reports or golden files. *)
+module Fast : sig
+  type h = int
+
+  val init : h
+  (** Offset basis (63-bit). *)
+
+  val prime : h
+
+  val byte : h -> char -> h
+  (** [(h lxor byte) * prime], wrapping mod 2{^63}. *)
+
+  val string : h -> string -> h
+end

@@ -25,3 +25,59 @@ val hash_hex : string -> string
 (** 64-bit FNV-1a of a key, in hex — the compact fingerprint used in
     reports. Keys themselves are the visited-set members (no collision
     risk); hashes are for display. *)
+
+(** Incremental multiset digests — the fast path behind {!key}.
+
+    Each process view is hashed under two independent FNV-1a streams and
+    the per-view hashes are combined by wrapping 64-bit addition; the pair
+    of sums is a commutative function of the view multiset, i.e. exactly
+    as permutation-invariant as sorting the views. A per-slot cache keyed
+    on {!Anon_giraf.Step_core} version counters means only the processes
+    whose views changed since the parent state are re-rendered and
+    re-hashed.
+
+    The digest key is 128 bits, not injective like the string {!key}; two
+    salted streams push accidental collisions far below the state counts
+    any exploration reaches (test_step_core checks digests against full
+    recomputation on every sampled node). *)
+module Digest : sig
+  type t
+
+  val create : n:int -> t
+  (** All slots empty (version [-1]); refresh every slot before reading
+      {!key}. *)
+
+  val copy : t -> t
+  (** Independent snapshot — branch the digest alongside the system. *)
+
+  val refresh : t -> slot:int -> version:int -> (unit -> string) -> unit
+  (** [refresh t ~slot ~version render] replaces [slot]'s contribution
+      with the hash of [render ()] — skipped entirely when the cached
+      version already matches, so [render] must be a pure function of the
+      versioned view. *)
+
+  (** A dual-stream hash accumulator fed piecewise, so hot callers can
+      hash a view without building the intermediate string. Feeding a
+      view's pieces must reproduce the rendered string byte for byte
+      ([feed_int] matches [string_of_int]); test_step_core pins
+      [key = full_key] to keep the two paths honest. *)
+  type stream
+
+  val stream : unit -> stream
+  val feed_char : stream -> char -> unit
+  val feed_string : stream -> string -> unit
+  val feed_int : stream -> int -> unit
+
+  val refresh_stream : t -> slot:int -> version:int -> (stream -> unit) -> unit
+  (** [refresh] with a piecewise-fed view: replaces [slot]'s contribution
+      with the sums accumulated by [fill] on a fresh stream. *)
+
+  val key : t -> round:int -> global:string -> string
+  (** The digest key over the current slot contributions. *)
+
+  val full_key : round:int -> global:string -> views:string list -> string
+  (** Reference implementation: the same key computed from scratch over
+      explicit views. [key] after refreshing every slot must equal
+      [full_key] on the slots' rendered views — the property
+      test_step_core pins. *)
+end

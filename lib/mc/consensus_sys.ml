@@ -23,6 +23,8 @@ module Make
       val spec : spec
     end) =
 struct
+  module Core = G.Step_core.Consensus (A)
+
   let spec = Cfg.spec
   let n = G.Crash.n spec.crash
 
@@ -39,224 +41,96 @@ struct
       (G.Churn.events spec.churn)
 
   let inputs = Array.of_list spec.inputs
-  let correct = G.Crash.correct spec.crash
-  let correct_stayers = List.filter (G.Churn.is_stayer spec.churn) correct
 
-  type live = { st : A.state; out : A.msg; inflight : (int * int * A.msg) list }
-  (** [inflight]: [(arrival, sent, msg)] not yet drained. At a node for
-      iteration [k], every arrival is [>= k] — buckets [M_i\[j\]] for
-      [j < k] are never re-read by any algorithm, so the in-flight list is
-      the whole mailbox. *)
+  (* The scheduled crash and churn windows are part of a process's view
+     key, so symmetry reduction never merges processes whose futures
+     differ. Both are fixed per exploration — render once. *)
+  let fate_str =
+    Array.init n (fun p ->
+        match G.Crash.crash_round spec.crash p with
+        | None -> ""
+        | Some r ->
+          let kind =
+            match
+              List.find_opt
+                (fun (e : G.Crash.event) -> e.pid = p)
+                (G.Crash.events spec.crash)
+            with
+            | Some { broadcast = G.Crash.Silent; _ } -> 's'
+            | Some { broadcast = G.Crash.Broadcast_all; _ } -> 'a'
+            | Some { broadcast = G.Crash.Broadcast_subset; _ } | None -> 'b'
+          in
+          Printf.sprintf "c%d%c" r kind)
 
-  type proc =
-    | Crashed
-    | Halted
-    | Away  (** Churned out; state and mail discarded (see Runner). *)
-    | Live of live
+  let churn_fate_str =
+    Array.init n (fun p ->
+        match G.Churn.event spec.churn p with
+        | None -> ""
+        | Some { leave; rejoin; _ } ->
+          Printf.sprintf "l%d%s" leave
+            (match rejoin with Some r -> Printf.sprintf "j%d" r | None -> ""))
 
   type sys = {
-    round : int;  (** Node = system after the compute phase of iteration [round]. *)
-    procs : proc array;
-    crashing_now : G.Crash.event list;
-        (** Round-[round] crash events, filtered against the crashed/halted
-            flags exactly when Runner's loop iteration would filter them. *)
+    core : Core.t;  (** Node = core after the compute phase of iteration [round]. *)
     inv : Inv.Consensus.t;
-    stable : int option;  (** ESS: the current segment's stable source. *)
+    digest : Canon.Digest.t;
+    memo : G.Plan_enum.memo;
+        (** Plan-enumeration cache. Shared along the whole search at
+            [jobs = 1] (states of one exploration repeat their enumeration
+            signature constantly); per-replay at [jobs > 1], where tasks
+            must not share tables across domains. *)
   }
 
-  let crash_events_at ~round procs =
-    List.filter
-      (fun (ev : G.Crash.event) ->
-        match procs.(ev.pid) with
-        | Live _ -> true
-        | Crashed | Halted | Away -> false)
-      (G.Crash.crashing_at spec.crash ~round)
-
   let init () =
-    let procs =
-      Array.init n (fun p ->
-          if G.Churn.away spec.churn ~pid:p ~round:1 then Away
-          else
-            let st, m = A.initialize inputs.(p) in
-            Live { st; out = m; inflight = [] })
+    let core =
+      Core.create ~inputs ~crash:spec.crash ~churn:spec.churn ~env:spec.env
     in
+    Core.begin_round core;
+    (* Iteration 1 is [initialize] everywhere — no process can decide. *)
+    ignore (Core.compute core : A.msg G.Dispatch.outbound list);
     {
-      round = 1;
-      procs;
-      crashing_now = crash_events_at ~round:1 procs;
+      core;
       inv =
         Inv.Consensus.create
           ~agreement_exempt:
             (List.map (fun (ev : G.Churn.event) -> ev.pid)
                (G.Churn.events spec.churn))
           ~inputs:spec.inputs ();
-      stable = None;
+      digest = Canon.Digest.create ~n;
+      memo = G.Plan_enum.memo ();
     }
 
-  let crashing_pids s = List.map (fun (ev : G.Crash.event) -> ev.pid) s.crashing_now
-
-  (* In Runner every live non-halted process broadcasts, so the normal
-     senders, the obligated receivers and the alive receivers all coincide:
-     the live processes not crashing this round. *)
-  let ctx s =
-    let crashing = crashing_pids s in
-    let alive =
-      List.filter
-        (fun p ->
-          (match s.procs.(p) with
-          | Live _ -> true
-          | Crashed | Halted | Away -> false)
-          && not (List.mem p crashing))
-        (List.init n Fun.id)
-    in
-    { G.Adversary.round = s.round; senders = alive; obligated = alive; correct; alive }
-
-  (* One transition, mirroring one Runner loop iteration phase-shifted:
-     deliver the round-[k] messages per [plan] (Dispatch semantics: arrivals
-     clamped to [>= k], receivers must be live, a plan entry pins a
-     [Broadcast_subset] crasher's partial broadcast), mark the crashers
-     crashed, latch the round-[k+1] crash events against the flags as they
-     stand before the next compute, then run iteration [k+1]'s compute on
-     every survivor in pid order, feeding decisions to the invariants. *)
+  (* One transition, phase-shifted against the runner's loop: deliver the
+     round-[k] messages per [plan] and mark the crashers (Dispatch
+     semantics, shared with Runner through Step_core), advance to round
+     [k+1] (churn transitions, crash latch), then run iteration [k+1]'s
+     compute, feeding decisions to the invariants. The crash RNG is never
+     consumed: Plan_enum scripts every crasher's deliveries. *)
   let step s (plan : G.Adversary.plan) =
-    let k = s.round in
-    let additions = Array.make n [] in
-    let eligible q =
-      q >= 0 && q < n
-      &&
-      match s.procs.(q) with Live _ -> true | Crashed | Halted | Away -> false
-    in
-    let deliver ~sender ~msg (d : G.Adversary.delivery) =
-      if d.receiver <> sender && eligible d.receiver then begin
-        let arrival = max d.arrival k in
-        additions.(d.receiver) <- (arrival, k, msg) :: additions.(d.receiver)
-      end
-    in
-    let non_crashing_alive =
-      List.filter (fun q -> not (List.mem q (crashing_pids s))) (List.init n Fun.id)
-    in
-    Array.iteri
-      (fun p proc ->
-        match proc with
-        | Crashed | Halted | Away -> ()
-        | Live { out; _ } -> (
-          additions.(p) <- (k, k, out) :: additions.(p);
-          let ev =
-            List.find_opt (fun (e : G.Crash.event) -> e.pid = p) s.crashing_now
-          in
-          let scripted = List.assoc_opt p plan.G.Adversary.deliveries in
-          match (ev, scripted) with
-          | None, None -> ()
-          | None, Some ds | Some { broadcast = G.Crash.Broadcast_subset; _ }, Some ds
-            ->
-            List.iter (fun d -> deliver ~sender:p ~msg:out d) ds
-          | Some { broadcast = G.Crash.Silent; _ }, _ -> ()
-          | Some { broadcast = G.Crash.Broadcast_all; _ }, _ ->
-            List.iter
-              (fun q ->
-                if eligible q then
-                  deliver ~sender:p ~msg:out { G.Adversary.receiver = q; arrival = k })
-              non_crashing_alive
-          | Some { broadcast = G.Crash.Broadcast_subset; _ }, None ->
-            (* An unscripted partial broadcast would need the runner's RNG;
-               Plan_enum always emits an entry for a crasher (possibly
-               empty), so this branch is unreachable from [expand]. *)
-            ()))
-      s.procs;
-    let crashing = crashing_pids s in
-    let procs' =
-      Array.mapi
-        (fun p proc -> if List.mem p crashing then Crashed else proc)
-        s.procs
-    in
-    let crashing_next = crash_events_at ~round:(k + 1) procs' in
-    (* Churn transitions of Runner round [k+1] happen before its compute
-       phase: a leaver skips the round-[k] compute entirely (its state and
-       mail are gone — anonymity parks nothing under which to resume), a
-       rejoiner re-initializes from its original input with an empty
-       mailbox and broadcasts a fresh round-[k+1] message. Halted processes
-       ignore churn; crashers never churn (disjoint by validation). *)
-    List.iter
-      (fun (ev : G.Churn.event) ->
-        match procs'.(ev.pid) with
-        | Live _ -> procs'.(ev.pid) <- Away
-        | Crashed | Halted | Away -> ())
-      (G.Churn.leaving_at spec.churn ~round:(k + 1));
-    let rejoining =
-      List.filter_map
-        (fun (ev : G.Churn.event) ->
-          match procs'.(ev.pid) with
-          | Away -> Some ev.pid
-          | Crashed | Halted | Live _ -> None)
-        (G.Churn.rejoining_at spec.churn ~round:(k + 1))
-    in
-    let decided_now = ref [] in
-    for p = 0 to n - 1 do
-      match procs'.(p) with
-      | Crashed | Halted -> ()
-      | Away ->
-        if List.mem p rejoining then begin
-          let st, m = A.initialize inputs.(p) in
-          procs'.(p) <- Live { st; out = m; inflight = [] }
-        end
-      | Live { st; inflight; _ } ->
-        let all = inflight @ List.rev additions.(p) in
-        let ready, rest = List.partition (fun (a, _, _) -> a <= k) all in
-        let ready =
-          List.sort
-            (fun (a1, s1, m1) (a2, s2, m2) ->
-              match Int.compare a1 a2 with
-              | 0 -> (
-                match Int.compare s1 s2 with 0 -> A.msg_compare m1 m2 | c -> c)
-              | c -> c)
-            ready
-        in
-        let current =
-          List.sort_uniq A.msg_compare
-            (List.filter_map
-               (fun (_, sent, m) -> if sent = k then Some m else None)
-               ready)
-        in
-        let fresh = List.map (fun (_, sent, m) -> (sent, m)) ready in
-        let st', m, dec = A.compute st ~round:k ~inbox:{ G.Intf.current; fresh } in
-        (match dec with
-        | Some v ->
-          decided_now := (p, v) :: !decided_now;
-          procs'.(p) <- Halted
-        | None -> procs'.(p) <- Live { st = st'; out = m; inflight = rest })
-    done;
+    let core = Core.copy s.core in
+    ignore (Core.deliver core ~plan ~crash_rng:(Rng.make 0) : G.Dispatch.stats);
+    Core.begin_round core;
     let inv = ref s.inv in
     let viols = ref [] in
-    List.iter
-      (fun (p, v) ->
-        let inv', vs = Inv.Consensus.observe !inv ~pid:p ~value:v in
-        inv := inv';
-        viols := !viols @ vs)
-      (List.rev !decided_now);
-    let stable =
-      match spec.env with
-      | G.Env.Ess { gst } when k >= gst -> (
-        match plan.G.Adversary.source with Some _ as src -> src | None -> s.stable)
-      | _ -> s.stable
-    in
-    ( {
-        round = k + 1;
-        procs = procs';
-        crashing_now = crashing_next;
-        inv = !inv;
-        stable;
-      },
+    ignore
+      (Core.compute core ~on_decide:(fun ~pid ~round:_ ~value ->
+           let inv', vs = Inv.Consensus.observe !inv ~pid ~value in
+           inv := inv';
+           viols := !viols @ vs)
+        : A.msg G.Dispatch.outbound list);
+    ( { core; inv = !inv; digest = Canon.Digest.copy s.digest; memo = s.memo },
       !viols )
 
   let apply s plan = fst (step s plan)
+  let ctx s = Core.ctx s.core
 
   let expand s =
     let pspec =
       {
         G.Plan_enum.env = spec.env;
-        stable = s.stable;
+        stable = Core.stable s.core;
         max_delay = spec.max_delay;
-        crashing = crashing_pids s;
+        crashing = Core.crashing_pids s.core;
         include_inadmissible = spec.armed;
       }
     in
@@ -303,84 +177,143 @@ struct
         let s', vs = step s c.plan in
         let vs = if c.admissible then vs else armed_violations c0 @ vs in
         (c.plan, s', vs))
-      (G.Plan_enum.enumerate pspec c0)
+      (G.Plan_enum.enumerate_memo s.memo pspec c0)
 
-  let fate p =
-    match G.Crash.crash_round spec.crash p with
-    | None -> ""
-    | Some r ->
-      let kind =
-        match
-          List.find_opt
-            (fun (e : G.Crash.event) -> e.pid = p)
-            (G.Crash.events spec.crash)
-        with
-        | Some { broadcast = G.Crash.Silent; _ } -> 's'
-        | Some { broadcast = G.Crash.Broadcast_all; _ } -> 'a'
-        | Some { broadcast = G.Crash.Broadcast_subset; _ } | None -> 'b'
+  let render_view core p =
+    match Core.fate core p with
+    | G.Step_core.Crashed -> "X"
+    | G.Step_core.Halted -> "H"
+    | G.Step_core.Away -> "A|" ^ churn_fate_str.(p)
+    | G.Step_core.Live ->
+      let fl =
+        List.sort
+          (fun (a1, s1, (k1 : string)) (a2, s2, k2) ->
+            match Int.compare a1 a2 with
+            | 0 -> (
+              match Int.compare s1 s2 with 0 -> String.compare k1 k2 | c -> c)
+            | c -> c)
+          (List.map
+             (fun (a, sent, m) -> (a, sent, A.msg_key m))
+             (Core.inflight core p))
       in
-      Printf.sprintf "c%d%c" r kind
+      let b = Buffer.create 64 in
+      (match Core.state core p with
+      | Some st -> Buffer.add_string b (A.state_key st)
+      | None -> ());
+      Buffer.add_string b "|m:";
+      (match Core.out core p with
+      | Some out -> Buffer.add_string b (A.msg_key out)
+      | None -> ());
+      Buffer.add_char b '|';
+      Buffer.add_string b fate_str.(p);
+      Buffer.add_string b churn_fate_str.(p);
+      if Core.stable core = Some p then Buffer.add_string b "|S";
+      List.iter
+        (fun (a, sent, mk) ->
+          Buffer.add_string b "|i:";
+          Buffer.add_string b (string_of_int sent);
+          Buffer.add_char b '@';
+          Buffer.add_string b (string_of_int a);
+          Buffer.add_char b '=';
+          Buffer.add_string b mk)
+        fl;
+      Buffer.contents b
 
-  (* Like [fate]: the scheduled churn window is part of a process's view
-     key, so symmetry reduction never merges processes whose futures
-     differ. *)
-  let churn_fate p =
-    match G.Churn.event spec.churn p with
-    | None -> ""
-    | Some { leave; rejoin; _ } ->
-      Printf.sprintf "l%d%s" leave
-        (match rejoin with Some r -> Printf.sprintf "j%d" r | None -> "")
+  (* [render_view] fed straight into the digest streams, piece by piece —
+     the hot path behind [key] skips the intermediate view string. Must
+     mirror [render_view] byte for byte; [key = key_full] along sampled
+     walks (test_step_core) pins the two. *)
+  let fill_view core p st =
+    match Core.fate core p with
+    | G.Step_core.Crashed -> Canon.Digest.feed_char st 'X'
+    | G.Step_core.Halted -> Canon.Digest.feed_char st 'H'
+    | G.Step_core.Away ->
+      Canon.Digest.feed_string st "A|";
+      Canon.Digest.feed_string st churn_fate_str.(p)
+    | G.Step_core.Live ->
+      let fl =
+        List.sort
+          (fun (a1, s1, (k1 : string)) (a2, s2, k2) ->
+            match Int.compare a1 a2 with
+            | 0 -> (
+              match Int.compare s1 s2 with 0 -> String.compare k1 k2 | c -> c)
+            | c -> c)
+          (List.map
+             (fun (a, sent, m) -> (a, sent, A.msg_key m))
+             (Core.inflight core p))
+      in
+      (match Core.state core p with
+      | Some stv -> Canon.Digest.feed_string st (A.state_key stv)
+      | None -> ());
+      Canon.Digest.feed_string st "|m:";
+      (match Core.out core p with
+      | Some out -> Canon.Digest.feed_string st (A.msg_key out)
+      | None -> ());
+      Canon.Digest.feed_char st '|';
+      Canon.Digest.feed_string st fate_str.(p);
+      Canon.Digest.feed_string st churn_fate_str.(p);
+      if Core.stable core = Some p then Canon.Digest.feed_string st "|S";
+      List.iter
+        (fun (a, sent, mk) ->
+          Canon.Digest.feed_string st "|i:";
+          Canon.Digest.feed_int st sent;
+          Canon.Digest.feed_char st '@';
+          Canon.Digest.feed_int st a;
+          Canon.Digest.feed_char st '=';
+          Canon.Digest.feed_string st mk)
+        fl
 
-  let key s =
-    let views =
-      List.init n (fun p ->
-          match s.procs.(p) with
-          | Crashed -> "X"
-          | Halted -> "H"
-          | Away -> "A|" ^ churn_fate p
-          | Live { st; out; inflight } ->
-            let fl =
-              List.sort compare
-                (List.map (fun (a, sent, m) -> (a, sent, A.msg_key m)) inflight)
-            in
-            let b = Buffer.create 64 in
-            Buffer.add_string b (A.state_key st);
-            Buffer.add_string b "|m:";
-            Buffer.add_string b (A.msg_key out);
-            Buffer.add_char b '|';
-            Buffer.add_string b (fate p);
-            Buffer.add_string b (churn_fate p);
-            if s.stable = Some p then Buffer.add_string b "|S";
-            List.iter
-              (fun (a, sent, mk) ->
-                Buffer.add_string b (Printf.sprintf "|i:%d@%d=%s" sent a mk))
-              fl;
-            Buffer.contents b)
-    in
+  let global s =
     let decided =
       List.sort_uniq Value.compare (List.map snd (Inv.Consensus.decided s.inv))
     in
-    Canon.key ~round:s.round
-      ~global:(String.concat "," (List.map Value.to_string decided))
-      ~views
+    String.concat "," (List.map Value.to_string decided)
+
+  let key s =
+    for p = 0 to n - 1 do
+      Canon.Digest.refresh_stream s.digest ~slot:p
+        ~version:(Core.version s.core p) (fill_view s.core p)
+    done;
+    Canon.Digest.key s.digest ~round:(Core.round s.core) ~global:(global s)
+
+  (* Reference key, bypassing the per-slot version cache — the
+     differential test pins [key = key_full] along sampled walks. *)
+  let key_full s =
+    Canon.Digest.full_key ~round:(Core.round s.core) ~global:(global s)
+      ~views:(List.init n (render_view s.core))
 
   (* Liveness is owed to correct stayers only (cf. Runner/Checker): a
      churner may rejoin after everyone halted and run alone forever. *)
-  let terminal s =
-    List.for_all
-      (fun p ->
-        match s.procs.(p) with
-        | Halted -> true
-        | Crashed | Away | Live _ -> false)
-      correct_stayers
+  let terminal s = Core.undecided_correct_stayers s.core = []
+  let pending s = Core.undecided_correct_stayers s.core
 
-  let pending s =
-    List.filter
-      (fun p ->
-        match s.procs.(p) with
-        | Halted -> false
-        | Crashed | Away | Live _ -> true)
-      correct_stayers
+  (* Pid-indexed rendering for the differential test: fate and state key
+     per process, then the decisions recorded so far. *)
+  let snapshot s =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "r%d\n" (Core.round s.core));
+    for p = 0 to n - 1 do
+      Buffer.add_string b
+        (match Core.fate s.core p with
+        | G.Step_core.Crashed -> Printf.sprintf "p%d X\n" p
+        | G.Step_core.Halted -> Printf.sprintf "p%d H\n" p
+        | G.Step_core.Away -> Printf.sprintf "p%d A\n" p
+        | G.Step_core.Live -> (
+          match Core.state s.core p with
+          | Some st -> Printf.sprintf "p%d L %s\n" p (A.state_key st)
+          | None -> Printf.sprintf "p%d L ?\n" p))
+    done;
+    let decided =
+      List.sort compare
+        (List.map
+           (fun (p, v) -> (p, Value.to_string v))
+           (Inv.Consensus.decided s.inv))
+    in
+    Buffer.add_string b
+      ("decided "
+      ^ String.concat ";"
+          (List.map (fun (p, v) -> Printf.sprintf "p%d=%s" p v) decided));
+    Buffer.contents b
 end
 
 let make (module A : MODEL) spec =
@@ -389,3 +322,10 @@ let make (module A : MODEL) spec =
             (struct
               let spec = spec
             end) : Explore.SYSTEM)
+
+let make_probe (module A : MODEL) spec =
+  (module Make
+            (A)
+            (struct
+              let spec = spec
+            end) : Explore.SYSTEM_DEBUG)

@@ -41,3 +41,7 @@ type spec = {
 val make : (module MODEL) -> spec -> (module Explore.SYSTEM)
 (** @raise Invalid_argument when [inputs] size disagrees with [crash] or
     [churn], or when a pid both crashes and churns. *)
+
+val make_probe : (module MODEL) -> spec -> (module Explore.SYSTEM_DEBUG)
+(** Same system with the pid-indexed {!Explore.SYSTEM_DEBUG.snapshot}
+    rendering, for the runner-vs-checker differential test. *)

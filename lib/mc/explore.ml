@@ -12,6 +12,13 @@ module type SYSTEM = sig
   val pending : sys -> int list
 end
 
+module type SYSTEM_DEBUG = sig
+  include SYSTEM
+
+  val snapshot : sys -> string
+  val key_full : sys -> string
+end
+
 type stats = {
   raw_states : int;
   canonical_states : int;
@@ -211,8 +218,68 @@ let seed_root acc ~depth ~key ~terminal ~pending =
   end
   else true
 
+(* Sequential BFS holding the frontier states. Replaying each prefix from
+   [init] is what makes the parallel path safe (workers exchange only
+   plain data), but at [jobs = 1] it is pure overhead — O(depth) [apply]
+   calls per expansion. Holding [(prefix, sys)] pairs removes the replay
+   entirely and lets a system's caches (plan-enumeration memo, key
+   digests) persist across the whole search. Admission order — and
+   therefore every stat, the winning witness and the first non-deciding
+   branch — is byte-identical to the parallel path's submission-order
+   merge. *)
+let bfs_held ~recorder ?progress ~depth (module S : SYSTEM) =
+  let t0 = Anon_obs.Clock.now_ns () in
+  let r =
+    Anon_exec.Pool.isolate
+      (fun () ->
+        let acc = make_acc () in
+        let root = S.init () in
+        let expand_root =
+          seed_root acc ~depth ~key:(S.key root) ~terminal:(S.terminal root)
+            ~pending:(S.pending root)
+        in
+        let frontier = ref (if expand_root then [ ([], root) ] else []) in
+        let level = ref 0 in
+        while !frontier <> [] && acc.viol = None do
+          let len = List.length !frontier in
+          acc.peak <- max acc.peak len;
+          (match progress with
+          | Some ppf ->
+            report_progress ppf ~t0 ~label:"level" ~depth:!level ~frontier:len acc
+          | None -> ());
+          let next = ref [] in
+          List.iter
+            (fun (prefix, sys) ->
+              acc.n_expanded <- acc.n_expanded + 1;
+              List.iter
+                (fun (plan, s', viols) ->
+                  let sc =
+                    {
+                      s_plan = plan;
+                      s_key = S.key s';
+                      s_violations = viols;
+                      s_terminal = S.terminal s';
+                      s_pending = S.pending s';
+                    }
+                  in
+                  match admit acc ~prefix ~level:!level ~depth sc with
+                  | None -> ()
+                  | Some prefix' -> next := (prefix', s') :: !next)
+                (S.expand sys))
+            !frontier;
+          frontier := List.rev !next;
+          incr level
+        done;
+        finish acc)
+      ()
+  in
+  emit_metrics recorder r;
+  r
+
 let bfs ?jobs ?(recorder = R.off) ?progress ~depth (module S : SYSTEM) =
   let jobs = Anon_exec.Pool.resolve ?jobs () in
+  if jobs = 1 then bfs_held ~recorder ?progress ~depth (module S)
+  else
   let t0 = Anon_obs.Clock.now_ns () in
   let acc = make_acc () in
   let successors sys =

@@ -46,6 +46,21 @@ module type SYSTEM = sig
       branch. *)
 end
 
+(** A {!SYSTEM} that can also render a pid-indexed, human-diffable view of
+    a node — per-process fate and state key plus the global facts — for the
+    runner-vs-checker differential test. Unlike {!SYSTEM.key} this is not
+    permutation-canonicalized: pid [i]'s line describes pid [i]. *)
+module type SYSTEM_DEBUG = sig
+  include SYSTEM
+
+  val snapshot : sys -> string
+
+  val key_full : sys -> string
+  (** {!SYSTEM.key} recomputed from scratch, bypassing the incremental
+      per-process digest cache ({!Canon.Digest}). Must equal [key] on
+      every reachable node — the property the differential test pins. *)
+end
+
 type stats = {
   raw_states : int;  (** Nodes generated, before canonicalization. *)
   canonical_states : int;  (** Distinct canonical keys (including the root). *)
@@ -89,7 +104,9 @@ val bfs :
   result
 (** Explore every admissible schedule of up to [depth] rounds.
     [jobs] as in {!Anon_exec.Pool.resolve}. Reports (verdict, stats,
-    witnesses) are byte-identical for every [jobs] value. [progress]
+    witnesses) are byte-identical for every [jobs] value; at [jobs = 1]
+    the frontier holds live states (no prefix re-simulation, and a
+    system's internal caches persist across the search). [progress]
     (e.g. [Format.err_formatter]) receives one live status line per BFS
     level — frontier size, canonical states, states/sec, dedup hit-rate;
     wall clock feeds only these lines, never the result. *)

@@ -16,6 +16,8 @@ module Make (Cfg : sig
   val spec : spec
 end) =
 struct
+  module Core = G.Step_core.Service (S)
+
   let spec = Cfg.spec
   let n = spec.n
 
@@ -23,145 +25,63 @@ struct
     if G.Crash.n spec.crash <> n then
       invalid_arg "Ws_sys.make: n/crash size mismatch"
 
-  let correct = G.Crash.correct spec.crash
-
   let workload =
     Anon_chaos.Scenario.mc_workload ~n ~ops_per_client:spec.ops_per_client
 
-  type live = {
-    st : S.state;
-    out : S.msg;
-    inflight : (int * int * S.msg) list;  (* (arrival, sent, msg), arrival >= round *)
-    script : (int * G.Service_runner.op_spec) list;
-    blocked : Value.t option;  (* value of the pending (blocking) add *)
-  }
-
-  type proc = Crashed | Live of live
+  let fate_str =
+    Array.init n (fun p ->
+        match G.Crash.crash_round spec.crash p with
+        | None -> ""
+        | Some r ->
+          let kind =
+            match
+              List.find_opt
+                (fun (e : G.Crash.event) -> e.pid = p)
+                (G.Crash.events spec.crash)
+            with
+            | Some { broadcast = G.Crash.Silent; _ } -> 's'
+            | Some { broadcast = G.Crash.Broadcast_all; _ } -> 'a'
+            | Some { broadcast = G.Crash.Broadcast_subset; _ } | None -> 'b'
+          in
+          Printf.sprintf "c%d%c" r kind)
 
   type sys = {
-    round : int;  (** Node = system after the compute phase of iteration [round]. *)
-    procs : proc array;
-    crashing_now : G.Crash.event list;
+    core : Core.t;  (** Node = core after the compute phase of iteration [round]. *)
     inv : Inv.Weak_set.t;
+    digest : Canon.Digest.t;
+    memo : G.Plan_enum.memo;  (** See {!Consensus_sys}. *)
   }
 
-  (* The service runner filters crash events only on the crashed flag
-     (services never halt). *)
-  let crash_events_at ~round procs =
-    List.filter
-      (fun (ev : G.Crash.event) ->
-        match procs.(ev.pid) with Live _ -> true | Crashed -> false)
-      (G.Crash.crashing_at spec.crash ~round)
-
   let init () =
-    let procs =
-      Array.init n (fun p ->
-          let st, m = S.initialize () in
-          Live
-            {
-              st;
-              out = m;
-              inflight = [];
-              script = Option.value ~default:[] (List.assoc_opt p workload);
-              blocked = None;
-            })
+    let core =
+      Core.create ~n ~crash:spec.crash ~churn:(G.Churn.none ~n) ~env:spec.env
+        ~workload
     in
+    Core.begin_round core;
+    ignore (Core.compute core : S.msg G.Dispatch.outbound list);
     {
-      round = 1;
-      procs;
-      crashing_now = crash_events_at ~round:1 procs;
+      core;
       inv = Inv.Weak_set.create ();
+      digest = Canon.Digest.create ~n;
+      memo = G.Plan_enum.memo ();
     }
 
-  let crashing_pids s = List.map (fun (ev : G.Crash.event) -> ev.pid) s.crashing_now
-
-  let ctx s =
-    let crashing = crashing_pids s in
-    let alive =
-      List.filter
-        (fun p ->
-          (match s.procs.(p) with Live _ -> true | Crashed -> false)
-          && not (List.mem p crashing))
-        (List.init n Fun.id)
-    in
-    { G.Adversary.round = s.round; senders = alive; obligated = alive; correct; alive }
-
-  (* One transition: round-[k] deliveries per plan, crashers die, the
-     round-[k] operation phase runs (one op per unblocked live client, in
-     pid order, reading the post-compute state — adds invoked first, gets
-     judged after every invocation of the phase is recorded), then every
-     survivor computes iteration [k+1], completing adds whose BLOCK flag
-     cleared. *)
+  (* One transition: round-[k] deliveries per plan and crasher marking
+     (shared Step_core/Dispatch semantics), the round-[k] operation phase
+     (op_time = 2k + 1; adds invoked as the phase runs, gets judged after
+     every invocation of the phase is recorded), then round [k+1]'s
+     compute, completing adds whose BLOCK flag cleared at
+     compute_time = 2(k+1). *)
   let step s (plan : G.Adversary.plan) =
-    let k = s.round in
-    let additions = Array.make n [] in
-    let eligible q =
-      q >= 0 && q < n && match s.procs.(q) with Live _ -> true | Crashed -> false
-    in
-    let deliver ~sender ~msg (d : G.Adversary.delivery) =
-      if d.receiver <> sender && eligible d.receiver then begin
-        let arrival = max d.arrival k in
-        additions.(d.receiver) <- (arrival, k, msg) :: additions.(d.receiver)
-      end
-    in
-    let crashing = crashing_pids s in
-    let non_crashing_alive =
-      List.filter (fun q -> not (List.mem q crashing)) (List.init n Fun.id)
-    in
-    Array.iteri
-      (fun p proc ->
-        match proc with
-        | Crashed -> ()
-        | Live { out; _ } -> (
-          additions.(p) <- (k, k, out) :: additions.(p);
-          let ev =
-            List.find_opt (fun (e : G.Crash.event) -> e.pid = p) s.crashing_now
-          in
-          let scripted = List.assoc_opt p plan.G.Adversary.deliveries in
-          match (ev, scripted) with
-          | None, None -> ()
-          | None, Some ds | Some { broadcast = G.Crash.Broadcast_subset; _ }, Some ds
-            ->
-            List.iter (fun d -> deliver ~sender:p ~msg:out d) ds
-          | Some { broadcast = G.Crash.Silent; _ }, _ -> ()
-          | Some { broadcast = G.Crash.Broadcast_all; _ }, _ ->
-            List.iter
-              (fun q ->
-                if eligible q then
-                  deliver ~sender:p ~msg:out { G.Adversary.receiver = q; arrival = k })
-              non_crashing_alive
-          | Some { broadcast = G.Crash.Broadcast_subset; _ }, None -> ()))
-      s.procs;
-    let procs' =
-      Array.mapi
-        (fun p proc -> if List.mem p crashing then Crashed else proc)
-        s.procs
-    in
-    (* Operation phase of round [k] (op_time = 2k + 1). *)
+    let core = Core.copy s.core in
+    ignore (Core.deliver core ~plan ~crash_rng:(Rng.make 0) : G.Dispatch.stats);
+    let k = Core.round core in
     let inv = ref s.inv in
     let gets = ref [] in
+    Core.ops core
+      ~on_get:(fun ~pid ~result -> gets := (pid, result) :: !gets)
+      ~on_add:(fun ~pid:_ ~value -> inv := Inv.Weak_set.invoke_add !inv value);
     let op_time = (2 * k) + 1 in
-    for p = 0 to n - 1 do
-      match procs'.(p) with
-      | Crashed -> ()
-      | Live ({ st; script; blocked = None; _ } as l) -> (
-        match script with
-        | (start, op) :: rest when start <= k -> (
-          match op with
-          | G.Service_runner.Do_get ->
-            gets := (p, S.get st) :: !gets;
-            procs'.(p) <- Live { l with script = rest }
-          | G.Service_runner.Do_add v ->
-            inv := Inv.Weak_set.invoke_add !inv v;
-            procs'.(p) <- Live { l with st = S.add st v; script = rest; blocked = Some v }
-          | G.Service_runner.Do_add_with f ->
-            let v = f (S.get st) in
-            inv := Inv.Weak_set.invoke_add !inv v;
-            procs'.(p) <- Live { l with st = S.add st v; script = rest; blocked = Some v }
-          )
-        | _ -> ())
-      | Live _ -> ()
-    done;
     let viols =
       List.concat_map
         (fun (p, result) ->
@@ -170,144 +90,163 @@ struct
             ~invoked_at:op_time ~result)
         (List.rev !gets)
     in
-    let crashing_next = crash_events_at ~round:(k + 1) procs' in
-    (* Compute phase of iteration [k+1] (compute_time = 2(k+1)). *)
-    for p = 0 to n - 1 do
-      match procs'.(p) with
-      | Crashed -> ()
-      | Live ({ st; inflight; blocked; _ } as l) ->
-        let all = inflight @ List.rev additions.(p) in
-        let ready, rest = List.partition (fun (a, _, _) -> a <= k) all in
-        let ready =
-          List.sort
-            (fun (a1, s1, m1) (a2, s2, m2) ->
-              match Int.compare a1 a2 with
-              | 0 -> (
-                match Int.compare s1 s2 with 0 -> S.msg_compare m1 m2 | c -> c)
-              | c -> c)
-            ready
-        in
-        let current =
-          List.sort_uniq S.msg_compare
-            (List.filter_map
-               (fun (_, sent, m) -> if sent = k then Some m else None)
-               ready)
-        in
-        let fresh = List.map (fun (_, sent, m) -> (sent, m)) ready in
-        let st', m = S.compute st ~round:k ~inbox:{ G.Intf.current; fresh } in
-        let blocked' =
-          match blocked with
-          | Some v when not (S.add_pending st') ->
-            inv := Inv.Weak_set.complete_add !inv v ~time:(2 * (k + 1));
-            None
-          | other -> other
-        in
-        procs'.(p) <- Live { l with st = st'; out = m; inflight = rest; blocked = blocked' }
-    done;
-    ( { round = k + 1; procs = procs'; crashing_now = crashing_next; inv = !inv },
+    Core.begin_round core;
+    ignore
+      (Core.compute core ~on_add_complete:(fun ~pid:_ ~value ~invoked_round:_ ->
+           inv := Inv.Weak_set.complete_add !inv value ~time:(2 * (k + 1)))
+        : S.msg G.Dispatch.outbound list);
+    ( { core; inv = !inv; digest = Canon.Digest.copy s.digest; memo = s.memo },
       viols )
 
   let apply s plan = fst (step s plan)
+  let ctx s = Core.ctx s.core
 
   let expand s =
     let pspec =
       {
         G.Plan_enum.env = spec.env;
+        (* The weak-set explorations never latch an ESS stable source (the
+           service scenarios run the simpler environments); keep the
+           enumeration unconstrained as before the Step_core refactor. *)
         stable = None;
         max_delay = spec.max_delay;
-        crashing = crashing_pids s;
+        crashing = Core.crashing_pids s.core;
         include_inadmissible = spec.armed;
       }
     in
+    let round = Core.round s.core in
     List.map
       (fun (c : G.Plan_enum.choice) ->
         let s', vs = step s c.plan in
         let vs =
-          if c.admissible then vs else G.Checker.No_source { round = s.round } :: vs
+          if c.admissible then vs else G.Checker.No_source { round } :: vs
         in
         (c.plan, s', vs))
-      (G.Plan_enum.enumerate pspec (ctx s))
-
-  let fate p =
-    match G.Crash.crash_round spec.crash p with
-    | None -> ""
-    | Some r ->
-      let kind =
-        match
-          List.find_opt
-            (fun (e : G.Crash.event) -> e.pid = p)
-            (G.Crash.events spec.crash)
-        with
-        | Some { broadcast = G.Crash.Silent; _ } -> 's'
-        | Some { broadcast = G.Crash.Broadcast_all; _ } -> 'a'
-        | Some { broadcast = G.Crash.Broadcast_subset; _ } | None -> 'b'
-      in
-      Printf.sprintf "c%d%c" r kind
+      (G.Plan_enum.enumerate_memo s.memo pspec (ctx s))
 
   let pp_op buf (start, op) =
     Buffer.add_string buf
       (match op with
-      | G.Service_runner.Do_get -> Printf.sprintf "%dG" start
-      | G.Service_runner.Do_add v -> Printf.sprintf "%dA%s" start (Value.to_string v)
-      | G.Service_runner.Do_add_with _ -> Printf.sprintf "%dF" start)
+      | G.Step_core.Do_get -> Printf.sprintf "%dG" start
+      | G.Step_core.Do_add v -> Printf.sprintf "%dA%s" start (Value.to_string v)
+      | G.Step_core.Do_add_with _ -> Printf.sprintf "%dF" start)
+
+  let render_view core p =
+    match Core.fate core p with
+    | G.Step_core.Crashed -> "X"
+    | G.Step_core.Halted | G.Step_core.Away -> "?"  (* unreachable: no churn, no halting *)
+    | G.Step_core.Live ->
+      let fl =
+        List.sort
+          (fun (a1, s1, (k1 : string)) (a2, s2, k2) ->
+            match Int.compare a1 a2 with
+            | 0 -> (
+              match Int.compare s1 s2 with 0 -> String.compare k1 k2 | c -> c)
+            | c -> c)
+          (List.map
+             (fun (a, sent, m) -> (a, sent, S.msg_key m))
+             (Core.inflight core p))
+      in
+      let b = Buffer.create 64 in
+      (match Core.state core p with
+      | Some st -> Buffer.add_string b (S.state_key st)
+      | None -> ());
+      Buffer.add_string b "|m:";
+      (match Core.out core p with
+      | Some out -> Buffer.add_string b (S.msg_key out)
+      | None -> ());
+      Buffer.add_char b '|';
+      Buffer.add_string b fate_str.(p);
+      (match Core.blocked core p with
+      | Some (v, _) ->
+        Buffer.add_string b "|b:";
+        Buffer.add_string b (Value.to_string v)
+      | None -> ());
+      Buffer.add_string b "|w:";
+      List.iter (fun o -> pp_op b o) (Core.script core p);
+      List.iter
+        (fun (a, sent, mk) ->
+          Buffer.add_string b "|i:";
+          Buffer.add_string b (string_of_int sent);
+          Buffer.add_char b '@';
+          Buffer.add_string b (string_of_int a);
+          Buffer.add_char b '=';
+          Buffer.add_string b mk)
+        fl;
+      Buffer.contents b
+
+  let set_str set =
+    String.concat "," (List.map Value.to_string (Value.Set.elements set))
+
+  let global s =
+    Printf.sprintf "inv:%s/comp:%s"
+      (set_str (Inv.Weak_set.invoked s.inv))
+      (set_str (Inv.Weak_set.completed_values s.inv))
 
   let key s =
-    let views =
-      List.init n (fun p ->
-          match s.procs.(p) with
-          | Crashed -> "X"
-          | Live { st; out; inflight; script; blocked } ->
-            let fl =
-              List.sort compare
-                (List.map (fun (a, sent, m) -> (a, sent, S.msg_key m)) inflight)
-            in
-            let b = Buffer.create 64 in
-            Buffer.add_string b (S.state_key st);
-            Buffer.add_string b "|m:";
-            Buffer.add_string b (S.msg_key out);
-            Buffer.add_char b '|';
-            Buffer.add_string b (fate p);
-            (match blocked with
-            | Some v ->
-              Buffer.add_string b "|b:";
-              Buffer.add_string b (Value.to_string v)
-            | None -> ());
-            Buffer.add_string b "|w:";
-            List.iter (fun o -> pp_op b o) script;
-            List.iter
-              (fun (a, sent, mk) ->
-                Buffer.add_string b (Printf.sprintf "|i:%d@%d=%s" sent a mk))
-              fl;
-            Buffer.contents b)
-    in
-    let set_str set =
-      String.concat "," (List.map Value.to_string (Value.Set.elements set))
-    in
-    let global =
-      Printf.sprintf "inv:%s/comp:%s"
-        (set_str (Inv.Weak_set.invoked s.inv))
-        (set_str (Inv.Weak_set.completed_values s.inv))
-    in
-    Canon.key ~round:s.round ~global ~views
+    for p = 0 to n - 1 do
+      Canon.Digest.refresh s.digest ~slot:p ~version:(Core.version s.core p)
+        (fun () -> render_view s.core p)
+    done;
+    Canon.Digest.key s.digest ~round:(Core.round s.core) ~global:(global s)
+
+  let key_full s =
+    Canon.Digest.full_key ~round:(Core.round s.core) ~global:(global s)
+      ~views:(List.init n (render_view s.core))
 
   (* The explored workload is finite: once every live client's script is
      drained and no add is blocked, no transition can complete another
      operation, so no future get exists to judge — the branch is closed. *)
   let terminal s =
-    Array.for_all
-      (function Crashed -> true | Live { script; blocked; _ } -> script = [] && blocked = None)
-      s.procs
+    let closed = ref true in
+    for p = 0 to n - 1 do
+      if
+        Core.fate s.core p = G.Step_core.Live
+        && (Core.script s.core p <> [] || Core.blocked s.core p <> None)
+      then closed := false
+    done;
+    !closed
 
   let pending s =
     List.filter
       (fun p ->
-        match s.procs.(p) with
-        | Crashed -> false
-        | Live { blocked; _ } -> blocked <> None)
+        Core.fate s.core p = G.Step_core.Live && Core.blocked s.core p <> None)
       (List.init n Fun.id)
+
+  (* Pid-indexed rendering for the differential test: fate, state key,
+     blocked add and remaining script per process, then the invoked /
+     completed add sets. *)
+  let snapshot s =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "r%d\n" (Core.round s.core));
+    for p = 0 to n - 1 do
+      match Core.fate s.core p with
+      | G.Step_core.Crashed -> Buffer.add_string b (Printf.sprintf "p%d X\n" p)
+      | G.Step_core.Halted | G.Step_core.Away ->
+        Buffer.add_string b (Printf.sprintf "p%d ?\n" p)
+      | G.Step_core.Live ->
+        let sk =
+          match Core.state s.core p with Some st -> S.state_key st | None -> "?"
+        in
+        Buffer.add_string b (Printf.sprintf "p%d L %s b:" p sk);
+        Buffer.add_string b
+          (match Core.blocked s.core p with
+          | Some (v, _) -> Value.to_string v
+          | None -> "-");
+        Buffer.add_string b " w:";
+        List.iter (fun o -> pp_op b o) (Core.script s.core p);
+        Buffer.add_char b '\n'
+    done;
+    Buffer.add_string b (global s);
+    Buffer.contents b
 end
 
 let make spec =
   (module Make (struct
     let spec = spec
   end) : Explore.SYSTEM)
+
+let make_probe spec =
+  (module Make (struct
+    let spec = spec
+  end) : Explore.SYSTEM_DEBUG)

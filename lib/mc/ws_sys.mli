@@ -27,3 +27,7 @@ type spec = {
 
 val make : spec -> (module Explore.SYSTEM)
 (** @raise Invalid_argument when [n] disagrees with [crash]. *)
+
+val make_probe : spec -> (module Explore.SYSTEM_DEBUG)
+(** Same system with the pid-indexed {!Explore.SYSTEM_DEBUG.snapshot}
+    rendering, for the runner-vs-checker differential test. *)

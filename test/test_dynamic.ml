@@ -178,6 +178,107 @@ let test_sever_admissible_stays_clean () =
         true outcome.G.Runner.all_correct_decided)
     G.Topology.builtins
 
+(* --- pinned fault/topology composition order ---------------------------------- *)
+
+let test_sever_fault_order_pinned () =
+  (* [Fault.compose] stacks the fault layers inside and severing outermost,
+     so a link the topology cuts arrives exactly one round late no matter
+     what the delay layer drew: severed-then-delayed equals
+     delayed-then-severed. With the orders flipped, the delay layer (firing
+     with probability 1 here) would see the demoted arrival and push the
+     severed link two or more rounds out. *)
+  let n = 3 in
+  let all = List.init n Fun.id in
+  (* Fixed schedule: senders 0 and 1 timely to everyone, sender 2 one
+     round late to everyone; the declared source is 0. *)
+  let fixed_plan k =
+    {
+      G.Adversary.source = Some 0;
+      deliveries =
+        List.map
+          (fun s ->
+            ( s,
+              List.filter_map
+                (fun r ->
+                  if r = s then None
+                  else
+                    Some
+                      {
+                        G.Adversary.receiver = r;
+                        arrival = (if s = 2 then k + 1 else k);
+                      })
+                all ))
+          all;
+    }
+  in
+  let base () =
+    G.Adversary.of_schedule ~name:"fixed" ~env:G.Env.Ms
+      (List.init 8 (fun i -> fixed_plan (i + 1)))
+  in
+  (* Cut every link into 2 except self-delivery: 1->2 is severable, while
+     0->2 is an obligated source link the severing must protect. *)
+  let top =
+    G.Topology.make ~name:"cut2" (fun ~n:_ ~round:_ ~src ~dst ->
+        not (dst = 2 && src <> 2))
+  in
+  let spec = { Ch.Fault.none with extra_delay = 1.0; max_extra = 2 } in
+  let composed = Ch.Fault.compose ~topology:top spec (base ()) in
+  check_str "name pins the stack order" "fixed+faults+cut2"
+    (G.Adversary.name composed);
+  let manual = G.Topology.sever top (Ch.Fault.wrap spec (base ())) in
+  let ctx k =
+    { G.Adversary.round = k; senders = all; obligated = all; correct = all; alive = all }
+  in
+  let arrival_of (plan : G.Adversary.plan) ~src ~dst =
+    let ds = List.assoc src plan.G.Adversary.deliveries in
+    (List.find (fun (d : G.Adversary.delivery) -> d.receiver = dst) ds)
+      .G.Adversary.arrival
+  in
+  for k = 1 to 8 do
+    let p = G.Adversary.plan composed (ctx k) (Rng.make (100 + k)) in
+    let p' = G.Adversary.plan manual (ctx k) (Rng.make (100 + k)) in
+    check_bool "compose = sever outside wrap" true (p = p');
+    (* Timely in the base plan, cut by the graph: late by exactly one
+       round, not compounded by the always-firing delay layer. *)
+    check_int "severed link one round late" (k + 1) (arrival_of p ~src:1 ~dst:2);
+    (* Already late in the base plan: the delay layer does push it
+       further — fault lateness and severing lateness stay distinct. *)
+    check_bool "base-late link delayed further" true
+      (arrival_of p ~src:2 ~dst:0 >= k + 2);
+    (* The source's obligated link crosses a cut edge but is protected. *)
+    check_int "source stays timely" k (arrival_of p ~src:0 ~dst:2)
+  done
+
+let test_compose_full_stack_admissible () =
+  (* The whole pinned stack — base adversary, admissible fault layers,
+     topology severing — keeps every environment obligation: the checker
+     stays clean and ES still decides, over every built-in graph. *)
+  let spec =
+    { Ch.Fault.none with duplicate = 0.3; extra_delay = 0.5; max_extra = 2; reorder = 0.3 }
+  in
+  List.iter
+    (fun top ->
+      let adv =
+        Ch.Fault.compose ~topology:top spec (G.Adversary.es ~gst:4 ~noise:0.3 ())
+      in
+      let inputs = [ 2; 4; 1; 3 ] in
+      let config =
+        G.Runner.default_config ~horizon:60 ~seed:7 ~inputs
+          ~crash:(G.Crash.none ~n:4) ~churn:(G.Churn.none ~n:4) adv
+      in
+      let module R = G.Runner.Make (C.Es_consensus) in
+      let outcome = R.run config in
+      (match G.Checker.check_env outcome.G.Runner.trace with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "%s: %s" (G.Topology.name top)
+          (String.concat "; "
+             (List.map (Format.asprintf "%a" G.Checker.pp_violation) vs)));
+      check_bool
+        (G.Topology.name top ^ " decides under the full stack")
+        true outcome.G.Runner.all_correct_decided)
+    G.Topology.builtins
+
 (* --- pinned checker diagnostics ------------------------------------------------ *)
 
 let test_no_root_diagnostic_format () =
@@ -592,6 +693,78 @@ let replay_committed name pred what =
     check_bool (name ^ " reproduces " ^ what) true
       (List.exists pred r.Ch.Fuzz.actual)
 
+let test_churn_rejoin_split_through_core () =
+  (* The committed rejoin-split counterexample, byte-identically through
+     the unified core. First the full replay path (runner shell over
+     [Step_core]): the rendered violations must equal the stored ones
+     exactly. Then the same case driven against the core directly, pinning
+     the PR's rejoiner audit: at the rejoin round the stale state and
+     mailbox are gone, and what the rejoiner computes and broadcasts is
+     exactly [A.initialize] on its input — a fresh process, not a stale
+     scratch buffer. *)
+  match Ch.Fuzz.replay ~path:(repro_path "churn-rejoin-split.json") with
+  | Error e -> Alcotest.failf "replay failed: %s" e
+  | Ok r ->
+    check_bool "violations byte-identical" true r.Ch.Fuzz.matches;
+    let case = r.Ch.Fuzz.case in
+    let module A = C.Es_consensus in
+    let module Core = G.Step_core.Consensus (A) in
+    let inputs = Array.of_list (Ch.Scenario.inputs case) in
+    let adv = Ch.Scenario.adversary case in
+    let core =
+      Core.create ~inputs ~crash:(Ch.Scenario.crash case)
+        ~churn:(Ch.Scenario.churn case) ~env:(G.Adversary.env adv)
+    in
+    let rejoiner, rejoin_round =
+      match case.Ch.Scenario.churn with
+      | [ { G.Churn.pid; rejoin = Some r; _ } ] -> (pid, r)
+      | _ -> Alcotest.fail "expected a single rejoining churner"
+    in
+    let rng = Rng.make case.Ch.Scenario.seed in
+    let crash_rng = Rng.split rng in
+    let decisions = ref [] in
+    for k = 1 to case.Ch.Scenario.horizon do
+      Core.begin_round core;
+      if k = rejoin_round then begin
+        check_bool "rejoiner live again" true
+          (Core.fate core rejoiner = G.Step_core.Live);
+        check_bool "stale state discarded" true (Core.state core rejoiner = None);
+        check_int "rejoiner mailbox empty" 0 (Core.mailbox_pending core rejoiner);
+        check_bool "no stale inflight" true (Core.inflight core rejoiner = [])
+      end;
+      let _outgoing =
+        Core.compute core ~on_decide:(fun ~pid ~round:_ ~value ->
+            decisions := (pid, value) :: !decisions)
+      in
+      if k = rejoin_round then begin
+        let fresh_state, fresh_msg = A.initialize inputs.(rejoiner) in
+        (match Core.state core rejoiner with
+        | Some st ->
+          check_str "rejoiner state is a fresh initialize" (A.state_key fresh_state)
+            (A.state_key st)
+        | None -> Alcotest.fail "rejoiner has no state after compute");
+        match Core.out core rejoiner with
+        | Some m ->
+          check_str "rejoiner broadcast is the round-1 message" (A.msg_key fresh_msg)
+            (A.msg_key m)
+        | None -> Alcotest.fail "rejoiner sent nothing at its rejoin round"
+      end;
+      let plan = G.Adversary.plan adv (Core.ctx core) rng in
+      let (_ : G.Dispatch.stats) = Core.deliver core ~plan ~crash_rng in
+      ()
+    done;
+    (* The direct-core run lands on the recorded agreement split. *)
+    let decided p =
+      List.filter_map (fun (pid, v) -> if pid = p then Some v else None) !decisions
+    in
+    List.iter
+      (function
+        | G.Checker.Agreement_violation { p1; v1; p2; v2 } ->
+          check_bool "core reproduces the recorded split" true
+            (decided p1 = [ v1 ] && decided p2 = [ v2 ])
+        | _ -> ())
+      r.Ch.Fuzz.actual
+
 let test_finding_committed_repros_replay () =
   replay_committed "churn-rejoin-split.json"
     (function G.Checker.Agreement_violation _ -> true | _ -> false)
@@ -619,6 +792,10 @@ let () =
         [
           Alcotest.test_case "rotating root" `Quick test_topology_rotating_root;
           Alcotest.test_case "t-interval static" `Quick test_topology_t_interval_static;
+          Alcotest.test_case "fault/sever order pinned" `Quick
+            test_sever_fault_order_pinned;
+          Alcotest.test_case "full stack admissible" `Quick
+            test_compose_full_stack_admissible;
           Alcotest.test_case "sever complete = identity" `Quick
             test_sever_complete_is_identity;
           Alcotest.test_case "sever admissible stays clean" `Quick
@@ -653,6 +830,8 @@ let () =
             test_finding_mc_rediscovers_split;
           Alcotest.test_case "committed repros replay" `Quick
             test_finding_committed_repros_replay;
+          Alcotest.test_case "rejoin split through the core" `Quick
+            test_churn_rejoin_split_through_core;
         ] );
       ( "armed",
         [

@@ -44,7 +44,24 @@ let test_es_n3_verified_with_reduction () =
   let r = Mc.run (config ~n:3 ()) in
   check_bool "verified" true (r.Mc.verdict = Mc.Verified);
   check_bool "symmetry actually reduces" true (Mc.reduction_factor r > 1.0);
-  check_bool "dedup hits counted" true (r.Mc.stats.Explore.dedup_hits > 0)
+  check_bool "dedup hits counted" true (r.Mc.stats.Explore.dedup_hits > 0);
+  (* Pinned from the PR 4 string-key canonicalizer: the digest-based keys
+     must merge exactly the same orbits, no more (soundness), no fewer
+     (the reduction claim). *)
+  check_int "raw states" 62 r.Mc.stats.Explore.raw_states;
+  check_int "canonical states" 26 r.Mc.stats.Explore.canonical_states
+
+(* The PR 4 baseline reduction factor for the weak set at n=3 is 31.3x
+   (33116 raw / 1058 canonical); the incremental digest keys must
+   reproduce it exactly. *)
+let test_ws_n3_reduction_pinned () =
+  let r = Mc.run (config ~algo:Mc.Ms_weakset ~env:G.Env.Ms ~n:3 ~rounds:4 ()) in
+  check_bool "verified or bounded" true (r.Mc.verdict <> Mc.Violation);
+  check_int "raw states" 33116 r.Mc.stats.Explore.raw_states;
+  check_int "canonical states" 1058 r.Mc.stats.Explore.canonical_states;
+  check_bool "factor stays 31x" true
+    (let f = Mc.reduction_factor r in
+     f > 31.0 && f < 32.0)
 
 let test_es_crash_budget_verified () =
   (* Crash schedules are enumerated outside the exploration: budget 1 at
@@ -63,6 +80,44 @@ let test_ws_verified () =
   let r = Mc.run (config ~algo:Mc.Ms_weakset ~env:G.Env.Ms ~n:2 ~rounds:4 ()) in
   check_bool "verified" true (r.Mc.verdict = Mc.Verified);
   check_bool "weak-set reduction" true (Mc.reduction_factor r > 1.0)
+
+(* --- the incremental canonical digest ----------------------------------------- *)
+
+(* Property: after an arbitrary sequence of per-slot edits — refreshed
+   through either the string path or the piecewise stream path, with
+   branches taken via [copy] along the way — the maintained digest equals
+   the from-scratch [full_key] over the current views. *)
+let test_digest_incremental_matches_full () =
+  let module Canon = Anon_mc.Canon in
+  let module Rng = Anon_kernel.Rng in
+  let rng = Rng.make 99 in
+  let n = 5 in
+  let views = Array.init n (fun p -> Printf.sprintf "view-%d" p) in
+  let versions = Array.make n 0 in
+  let refresh_all d =
+    for p = 0 to n - 1 do
+      if Rng.bool rng then
+        Canon.Digest.refresh d ~slot:p ~version:versions.(p) (fun () -> views.(p))
+      else
+        Canon.Digest.refresh_stream d ~slot:p ~version:versions.(p) (fun st ->
+            Canon.Digest.feed_string st views.(p))
+    done
+  in
+  let d = ref (Canon.Digest.create ~n) in
+  for step = 1 to 300 do
+    let p = Rng.int rng n in
+    views.(p) <-
+      Printf.sprintf "v%d|%d|%s" p step
+        (String.make (Rng.int rng 8) (Char.chr (97 + Rng.int rng 26)));
+    versions.(p) <- versions.(p) + 1;
+    if Rng.bool rng then d := Canon.Digest.copy !d;
+    refresh_all !d;
+    let round = step mod 7 and global = if step mod 3 = 0 then "g" else "" in
+    Alcotest.(check string)
+      (Printf.sprintf "digest = full rehash at step %d" step)
+      (Canon.Digest.full_key ~round ~global ~views:(Array.to_list views))
+      (Canon.Digest.key !d ~round ~global)
+  done
 
 (* --- bounded verdicts and their witnesses ------------------------------------- *)
 
@@ -159,6 +214,10 @@ let () =
             test_es_crash_budget_verified;
           Alcotest.test_case "ESS n=2 verified" `Quick test_ess_verified;
           Alcotest.test_case "weak-set n=2 verified" `Quick test_ws_verified;
+          Alcotest.test_case "weak-set n=3 reduction pinned at 31x" `Quick
+            test_ws_n3_reduction_pinned;
+          Alcotest.test_case "digest: incremental = full rehash" `Quick
+            test_digest_incremental_matches_full;
         ] );
       ( "witnesses",
         [

@@ -1,0 +1,377 @@
+(* Differential test: the runner path and the model-checker stepper are two
+   views of ONE lockstep semantics. We sample admissible plan paths from the
+   MC stepper (all four algorithms, static and dynamic environments, crash
+   and churn schedules, fixed seeds), replay the identical plans through the
+   runner via [Adversary.of_schedule], and assert byte-identical per-round
+   states and decisions.
+
+   The MC side renders each node with [Explore.SYSTEM_DEBUG.snapshot]
+   (pid-indexed fate + state key + global facts); the runner side
+   reconstructs the same rendering from its [observe] stream and outcome
+   records. A node at round [r] is the system after the compute phase of
+   iteration [r], i.e. after the runner computed round [r - 1]. *)
+
+module G = Anon_giraf
+module K = Anon_kernel
+module C = Anon_consensus
+module Mc_cs = Anon_mc.Consensus_sys
+module Mc_ws = Anon_mc.Ws_sys
+module Ch = Anon_chaos
+
+let check_string = Alcotest.(check string)
+
+module Es_unguarded_model = struct
+  include C.Es_consensus.No_written_old_guard
+
+  let state_key = C.Es_consensus.state_key
+  let msg_key = C.Es_consensus.msg_key
+end
+
+(* Sample one plan path through a system: at every node pick a uniformly
+   random successor until [depth] steps or a terminal node. Returns the
+   plans and the snapshots of every node along the path (root included). *)
+let sample_path (module Sys : Anon_mc.Explore.SYSTEM_DEBUG) ~rng ~depth =
+  (* Every node doubles as a digest property check: the incrementally
+     maintained canonical key (per-slot version cache, piecewise-fed hash
+     streams) must equal the from-scratch rehash of the rendered views. *)
+  let check_digest s =
+    check_string "incremental key = full rehash" (Sys.key_full s) (Sys.key s)
+  in
+  let rec go s plans snaps steps =
+    if steps = 0 || Sys.terminal s then (List.rev plans, List.rev snaps)
+    else
+      match Sys.expand s with
+      | [] -> (List.rev plans, List.rev snaps)
+      | succs ->
+        let plan, s', _ = List.nth succs (K.Rng.int rng (List.length succs)) in
+        check_digest s';
+        go s' (plan :: plans) (Sys.snapshot s' :: snaps) (steps - 1)
+  in
+  let s0 = Sys.init () in
+  check_digest s0;
+  let plans, snaps = go s0 [] [] depth in
+  (plans, Sys.snapshot s0 :: snaps)
+
+(* --- consensus ---------------------------------------------------------- *)
+
+let consensus_diff (module A : Mc_cs.MODEL) ~label ~env ~inputs ~crash ~churn
+    ~max_delay ~depth ~seed () =
+  let module Sys =
+    (val Mc_cs.make_probe
+           (module A)
+           { Mc_cs.inputs; crash; churn; env; max_delay; armed = false })
+  in
+  let rng = K.Rng.make seed in
+  let plans, mc_snaps = sample_path (module Sys) ~rng ~depth in
+  let m = List.length plans in
+  let module Run = G.Runner.Make (A) in
+  let states = Hashtbl.create 64 in
+  let observe ~pid ~round st =
+    Hashtbl.replace states (round, pid) (A.state_key st)
+  in
+  let config =
+    {
+      G.Runner.inputs = Array.of_list inputs;
+      crash;
+      churn;
+      adversary = G.Adversary.of_schedule ~env plans;
+      horizon = m + 1;
+      seed;
+      stop_on_decision = false;
+    }
+  in
+  let outcome = Run.run ~observe config in
+  let n = List.length inputs in
+  let dec_round p =
+    List.find_map
+      (fun (q, d, _) -> if q = p then Some d else None)
+      outcome.G.Runner.decisions
+  in
+  (* Reconstruct the MC snapshot of node [r] from runner observations.
+     Fate precedence mirrors the stepper: a crasher that was still live at
+     its latch is Crashed from the next node on (even if it decided during
+     its final compute); a process that halted before the latch keeps H. *)
+  let expected r =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "r%d\n" r);
+    for p = 0 to n - 1 do
+      let halted = match dec_round p with Some d -> d <= r - 1 | None -> false in
+      let crashed =
+        match G.Crash.crash_round crash p with
+        | Some c when c < r -> (
+          match dec_round p with Some d -> d > c - 2 | None -> true)
+        | Some _ | None -> false
+      in
+      Buffer.add_string b
+        (if crashed then Printf.sprintf "p%d X\n" p
+         else if halted then Printf.sprintf "p%d H\n" p
+         else if G.Churn.away churn ~pid:p ~round:r then Printf.sprintf "p%d A\n" p
+         else
+           match Hashtbl.find_opt states (r - 1, p) with
+           | Some key -> Printf.sprintf "p%d L %s\n" p key
+           | None -> Printf.sprintf "p%d ?missing-observation\n" p)
+    done;
+    let decided =
+      List.sort compare
+        (List.filter_map
+           (fun (p, d, v) ->
+             if d <= r - 1 then Some (p, K.Value.to_string v) else None)
+           outcome.G.Runner.decisions)
+    in
+    Buffer.add_string b
+      ("decided "
+      ^ String.concat ";"
+          (List.map (fun (p, v) -> Printf.sprintf "p%d=%s" p v) decided));
+    Buffer.contents b
+  in
+  List.iteri
+    (fun i mc_snap ->
+      check_string
+        (Printf.sprintf "%s seed=%d node %d" label seed (i + 1))
+        mc_snap (expected (i + 1)))
+    mc_snaps
+
+(* --- weak set ------------------------------------------------------------ *)
+
+let pp_op buf (start, op) =
+  Buffer.add_string buf
+    (match op with
+    | G.Service_runner.Do_get -> Printf.sprintf "%dG" start
+    | G.Service_runner.Do_add v -> Printf.sprintf "%dA%s" start (K.Value.to_string v)
+    | G.Service_runner.Do_add_with _ -> Printf.sprintf "%dF" start)
+
+let ws_diff ~label ~env ~n ~crash ~max_delay ~ops_per_client ~depth ~seed () =
+  let module Sys =
+    (val Mc_ws.make_probe
+           { Mc_ws.n; crash; env; max_delay; armed = false; ops_per_client })
+  in
+  let rng = K.Rng.make seed in
+  let plans, mc_snaps = sample_path (module Sys) ~rng ~depth in
+  let m = List.length plans in
+  let workload = Ch.Scenario.mc_workload ~n ~ops_per_client in
+  let module Run = G.Service_runner.Make (C.Weak_set_ms) in
+  let states = Hashtbl.create 64 in
+  let observe ~pid ~round st =
+    Hashtbl.replace states (round, pid) (C.Weak_set_ms.state_key st)
+  in
+  let config =
+    {
+      G.Service_runner.n;
+      crash;
+      churn = G.Churn.none ~n;
+      adversary = G.Adversary.of_schedule ~env plans;
+      horizon = m + 1;
+      seed;
+    }
+  in
+  let outcome = Run.run ~observe config ~workload in
+  let adds = outcome.G.Service_runner.adds in
+  (* Number of operations client [p] has started during the op phases of
+     rounds [<= r] (op_time = 2k + 1). *)
+  let ops_started p r =
+    List.length
+      (List.filter
+         (function
+           | G.Checker.Ws_add { add_client; add_invoked; _ } ->
+             add_client = p && add_invoked <= (2 * r) + 1
+           | G.Checker.Ws_get { get_client; get_invoked; _ } ->
+             get_client = p && get_invoked <= (2 * r) + 1)
+         outcome.G.Service_runner.ops)
+  in
+  let expected r =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (Printf.sprintf "r%d\n" r);
+    for p = 0 to n - 1 do
+      let crashed =
+        match G.Crash.crash_round crash p with Some c -> c < r | None -> false
+      in
+      if crashed then Buffer.add_string b (Printf.sprintf "p%d X\n" p)
+      else begin
+        (match Hashtbl.find_opt states (r - 1, p) with
+        | Some key -> Buffer.add_string b (Printf.sprintf "p%d L %s b:" p key)
+        | None -> Buffer.add_string b (Printf.sprintf "p%d ?missing b:" p));
+        let blocked =
+          List.find_map
+            (fun (a : G.Service_runner.add_record) ->
+              if
+                a.client = p
+                && a.invoked_round <= r - 1
+                && (match a.completed_round with None -> true | Some c -> c >= r)
+              then Some a.value
+              else None)
+            adds
+        in
+        Buffer.add_string b
+          (match blocked with Some v -> K.Value.to_string v | None -> "-");
+        Buffer.add_string b " w:";
+        let script = Option.value ~default:[] (List.assoc_opt p workload) in
+        let remaining =
+          let consumed = ops_started p (r - 1) in
+          List.filteri (fun i _ -> i >= consumed) script
+        in
+        List.iter (fun o -> pp_op b o) remaining;
+        Buffer.add_char b '\n'
+      end
+    done;
+    let invoked =
+      List.fold_left
+        (fun acc (a : G.Service_runner.add_record) ->
+          if a.invoked_round <= r - 1 then K.Value.Set.add a.value acc else acc)
+        K.Value.Set.empty adds
+    in
+    let completed =
+      List.fold_left
+        (fun acc (a : G.Service_runner.add_record) ->
+          match a.completed_round with
+          | Some c when c <= r - 1 -> K.Value.Set.add a.value acc
+          | Some _ | None -> acc)
+        K.Value.Set.empty adds
+    in
+    let set_str set =
+      String.concat "," (List.map K.Value.to_string (K.Value.Set.elements set))
+    in
+    Buffer.add_string b
+      (Printf.sprintf "inv:%s/comp:%s" (set_str invoked) (set_str completed));
+    Buffer.contents b
+  in
+  List.iteri
+    (fun i mc_snap ->
+      check_string
+        (Printf.sprintf "%s seed=%d node %d" label seed (i + 1))
+        mc_snap (expected (i + 1)))
+    mc_snaps
+
+(* --- the matrix ---------------------------------------------------------- *)
+
+let inputs3 = [ 3; 1; 2 ]
+let crash_none = G.Crash.none ~n:3
+let churn_none = G.Churn.none ~n:3
+
+let crash1 kind round =
+  G.Crash.of_events ~n:3 [ { G.Crash.pid = 1; round; broadcast = kind } ]
+
+let churn1 pid leave rejoin = G.Churn.of_events ~n:3 [ { G.Churn.pid; leave; rejoin } ]
+
+let es = (module C.Es_consensus : Mc_cs.MODEL)
+let ess = (module C.Ess_consensus : Mc_cs.MODEL)
+let esu = (module Es_unguarded_model : Mc_cs.MODEL)
+
+let consensus_cases =
+  [
+    ("es static", es, G.Env.Es { gst = 2 }, crash_none, churn_none, 6, [ 1; 2; 3 ]);
+    ( "es crash-subset",
+      es,
+      G.Env.Es { gst = 2 },
+      crash1 G.Crash.Broadcast_subset 2,
+      churn_none,
+      6,
+      [ 4; 5 ] );
+    ( "es crash-silent",
+      es,
+      G.Env.Es { gst = 2 },
+      crash1 G.Crash.Silent 1,
+      churn_none,
+      5,
+      [ 6 ] );
+    ( "es crash-bcast-all",
+      es,
+      G.Env.Es { gst = 2 },
+      crash1 G.Crash.Broadcast_all 2,
+      churn_none,
+      5,
+      [ 7; 27; 28; 29 ] );
+    ( "es crash-bcast-all late",
+      es,
+      G.Env.Es { gst = 2 },
+      crash1 G.Crash.Broadcast_all 3,
+      churn_none,
+      5,
+      [ 7; 30 ] );
+    ( "es churn-rejoin",
+      es,
+      G.Env.Es { gst = 2 },
+      crash_none,
+      churn1 1 2 (Some 4),
+      6,
+      [ 8; 9 ] );
+    ( "es churn-leave",
+      es,
+      G.Env.Es { gst = 3 },
+      crash_none,
+      churn1 0 1 None,
+      5,
+      [ 10 ] );
+    ("es ms", es, G.Env.Ms, crash_none, churn_none, 5, [ 11 ]);
+    ("ess static", ess, G.Env.Ess { gst = 2 }, crash_none, churn_none, 6, [ 12; 13 ]);
+    ( "ess crash+churn",
+      ess,
+      G.Env.Ess { gst = 2 },
+      G.Crash.of_events ~n:3
+        [ { G.Crash.pid = 0; round = 2; broadcast = G.Crash.Broadcast_subset } ],
+      churn1 2 1 (Some 3),
+      6,
+      [ 14 ] );
+    ( "es dynamic churn",
+      es,
+      G.Env.Dynamic { stability = 2; rooted = true },
+      crash_none,
+      churn1 1 2 (Some 4),
+      6,
+      [ 15 ] );
+    ( "es-unguarded crash",
+      esu,
+      G.Env.Es { gst = 2 },
+      crash1 G.Crash.Broadcast_subset 2,
+      churn_none,
+      6,
+      [ 16 ] );
+    ( "ess dynamic",
+      ess,
+      G.Env.Dynamic { stability = 3; rooted = true },
+      crash_none,
+      churn_none,
+      6,
+      [ 17 ] );
+  ]
+
+let ws_cases =
+  [
+    ("ws ms", G.Env.Ms, 2, G.Crash.none ~n:2, 1, 1, 5, [ 21; 22 ]);
+    ("ws sync", G.Env.Sync, 2, G.Crash.none ~n:2, 1, 1, 5, [ 23 ]);
+    ( "ws ms crash",
+      G.Env.Ms,
+      3,
+      G.Crash.of_events ~n:3
+        [ { G.Crash.pid = 2; round = 2; broadcast = G.Crash.Broadcast_subset } ],
+      1,
+      1,
+      5,
+      [ 24 ] );
+    ("ws ms delay2", G.Env.Ms, 2, G.Crash.none ~n:2, 2, 1, 4, [ 25 ]);
+  ]
+
+let consensus_tests =
+  List.map
+    (fun (label, model, env, crash, churn, depth, seeds) ->
+      Alcotest.test_case label `Quick (fun () ->
+          List.iter
+            (fun seed ->
+              consensus_diff model ~label ~env ~inputs:inputs3 ~crash ~churn
+                ~max_delay:1 ~depth ~seed ())
+            seeds))
+    consensus_cases
+
+let ws_tests =
+  List.map
+    (fun (label, env, n, crash, max_delay, ops_per_client, depth, seeds) ->
+      Alcotest.test_case label `Quick (fun () ->
+          List.iter
+            (fun seed ->
+              ws_diff ~label ~env ~n ~crash ~max_delay ~ops_per_client ~depth
+                ~seed ())
+            seeds))
+    ws_cases
+
+let () =
+  Alcotest.run "step_core"
+    [ ("consensus", consensus_tests); ("weak-set", ws_tests) ]
