@@ -18,10 +18,15 @@
    and whole-run macro-benchmarks (one per experiment family), reporting
    nanoseconds per run. Pass [--no-bechamel] to skip it.
 
+   Part 4 runs the multi-shot saturation sweep (the T16 configuration
+   at a fixed rate series) and persists one anon-bench/3 [load] row per
+   rate: achieved throughput and decide-latency percentiles, both in
+   rounds — deterministic, so they diff cleanly across machines.
+
    Everything measured is persisted as machine-readable JSON
-   ([--out FILE], default BENCH_PR4.json; schema anon-bench/2 with the
-   git revision and --jobs recorded) so bench runs leave a comparable
-   baseline behind. *)
+   ([--out FILE], default BENCH_PR9.json; schema anon-bench/3 with the
+   git revision, [--label] and --jobs recorded) so bench runs leave a
+   comparable baseline behind. *)
 
 open Bechamel
 open Toolkit
@@ -434,48 +439,28 @@ let run_bechamel () =
     report "metrics + events" "memory sink");
   List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
 
-(* --- the persisted baseline ------------------------------------------------- *)
+(* --- part 4: the multi-shot saturation sweep -------------------------------- *)
 
-(* The current commit, read straight from .git (no subprocess): HEAD is
-   either a detached hash or a "ref: ..." pointer into refs/ or
-   packed-refs. *)
-let git_revision () =
-  let read_file path =
-    try
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> Some (String.trim (input_line ic)))
-    with Sys_error _ | End_of_file -> None
+(* The T16 configuration at a fixed rate series. The rows are
+   deterministic (rounds-based throughput and latency, no wall clock), so
+   unlike the timing rows they diff cleanly across machines. *)
+let run_load_bench () =
+  Format.printf "@.=== Multi-shot saturation sweep (T16 configuration) ===@.";
+  let reports =
+    H.Exp_load.saturation_reports ~rates:[ 1.; 2.; 4.; 8.; 16.; 32. ] ()
   in
-  let resolve_ref r =
-    match read_file (Filename.concat ".git" r) with
-    | Some hash -> Some hash
-    | None -> (
-      (* packed-refs lines: "<hash> <ref>" *)
-      try
-        let ic = open_in (Filename.concat ".git" "packed-refs") in
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () ->
-            let rec scan () =
-              let line = input_line ic in
-              match String.index_opt line ' ' with
-              | Some i when String.sub line (i + 1) (String.length line - i - 1) = r
-                -> Some (String.sub line 0 i)
-              | _ -> scan ()
-            in
-            try scan () with End_of_file -> None)
-      with Sys_error _ -> None)
-  in
-  match read_file (Filename.concat ".git" "HEAD") with
-  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " ->
-    Option.value ~default:"unknown"
-      (resolve_ref (String.sub head 5 (String.length head - 5)))
-  | Some hash -> hash
-  | None -> "unknown"
+  List.iter
+    (fun (rate, (r : Anon_rsm.Load.report)) ->
+      Format.printf
+        "  rate %5.1f: throughput %.3f prop/round, p50 %.1f p99 %.1f p99.9 %.1f \
+         rounds%s@."
+        rate r.throughput r.p50_rounds r.p99_rounds r.p999_rounds
+        (if r.agreement_ok && r.validity_ok then "" else "  UNSAFE"))
+    reports;
+  List.map (fun (_, r) -> Anon_rsm.Load.row_json r) reports
 
-let baseline_json ~jobs ~exp_timings ~pool_timings ~mc_timing ~micro =
+let baseline_json ~label ~jobs ~exp_timings ~pool_timings ~mc_timing ~micro
+    ~load_rows =
   let open O.Json in
   let experiment_row (t : exp_timing) =
     Obj
@@ -500,9 +485,9 @@ let baseline_json ~jobs ~exp_timings ~pool_timings ~mc_timing ~micro =
   in
   Obj
     [
-      ("schema", String "anon-bench/2");
-      ("label", String "PR4");
-      ("git_revision", String (git_revision ()));
+      ("schema", String "anon-bench/3");
+      ("label", String label);
+      ("git_revision", String (H.Bench_diff.git_revision ()));
       ("cores", Int (Domain.recommended_domain_count ()));
       ("jobs", Int jobs);
       ("experiments", List (List.map experiment_row exp_timings));
@@ -520,6 +505,7 @@ let baseline_json ~jobs ~exp_timings ~pool_timings ~mc_timing ~micro =
              (fun (name, ns) ->
                Obj [ ("name", String name); ("ns", Float ns) ])
              micro) );
+      ("load", List load_rows);
     ]
 
 let write_baseline ~path json =
@@ -534,19 +520,22 @@ let write_baseline ~path json =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse args acc =
-    let ids, jobs, out, bechamel, compare_ids = acc in
+    let ids, jobs, out, label, bechamel, compare_ids = acc in
     match args with
-    | [] -> (List.rev ids, jobs, out, bechamel, List.rev compare_ids)
-    | "--no-bechamel" :: rest -> parse rest (ids, jobs, out, false, compare_ids)
+    | [] -> (List.rev ids, jobs, out, label, bechamel, List.rev compare_ids)
+    | "--no-bechamel" :: rest ->
+      parse rest (ids, jobs, out, label, false, compare_ids)
     | "--jobs" :: n :: rest ->
-      parse rest (ids, int_of_string n, out, bechamel, compare_ids)
-    | "--out" :: f :: rest -> parse rest (ids, jobs, f, bechamel, compare_ids)
+      parse rest (ids, int_of_string n, out, label, bechamel, compare_ids)
+    | "--out" :: f :: rest -> parse rest (ids, jobs, f, label, bechamel, compare_ids)
+    | "--label" :: l :: rest ->
+      parse rest (ids, jobs, out, l, bechamel, compare_ids)
     | "--compare" :: id :: rest ->
-      parse rest (ids, jobs, out, bechamel, id :: compare_ids)
-    | a :: rest -> parse rest (a :: ids, jobs, out, bechamel, compare_ids)
+      parse rest (ids, jobs, out, label, bechamel, id :: compare_ids)
+    | a :: rest -> parse rest (a :: ids, jobs, out, label, bechamel, compare_ids)
   in
-  let ids, jobs, out, bechamel, compare_ids =
-    parse args ([], 0, "BENCH_PR4.json", true, [])
+  let ids, jobs, out, label, bechamel, compare_ids =
+    parse args ([], 0, "BENCH_PR9.json", "PR9", true, [])
   in
   let jobs = X.Pool.resolve ~jobs () in
   let compare_ids = match compare_ids with [] -> [ "T1" ] | ids -> ids in
@@ -556,6 +545,8 @@ let () =
   let mc_timing = run_mc_bench () in
   show_exec_metrics ~jobs:(max 2 jobs);
   let micro = if bechamel then run_bechamel () else [] in
+  let load_rows = run_load_bench () in
   write_baseline ~path:out
-    (baseline_json ~jobs ~exp_timings ~pool_timings ~mc_timing ~micro);
+    (baseline_json ~label ~jobs ~exp_timings ~pool_timings ~mc_timing ~micro
+       ~load_rows);
   Format.printf "@.done.@."

@@ -8,6 +8,7 @@
      metrics    run a seed batch with instrumentation on; print the merged snapshot
      fuzz       random-config fuzzing with shrinking + JSON repro/replay
      mc         bounded exhaustive model checking (symmetry-reduced)
+     load       open-loop multi-shot load generator over the RSM layer
      experiment run one experiment table (or all) from the registry
      list       list experiment ids *)
 
@@ -689,6 +690,198 @@ let mc_cmd =
       $ ops_arg $ out_arg $ progress_arg $ trace_arg $ metrics_arg
       $ json_trace_arg)
 
+(* --- load ------------------------------------------------------------------ *)
+
+let load_cmd =
+  let write_json ~what path json =
+    match
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (O.Json.to_string json);
+          output_char oc '\n')
+    with
+    | () -> Format.fprintf ppf "%s written to %s@." what path
+    | exception Sys_error msg ->
+      Format.eprintf "anonc load: cannot write %s: %s@." path msg;
+      exit 1
+  in
+  let run algo n gst env_override rate sweep proposals window batch shards skew
+      value_range hot_value horizon seed failures churn_spec label out bench_out
+      metrics json_trace jobs =
+    set_jobs jobs;
+    let rates = match sweep with [] -> [ rate ] | rs -> rs in
+    let make_adversary =
+      match env_override with
+      | None -> (
+        fun ~shard:_ ~instance:_ ->
+          match algo with
+          | Es -> G.Adversary.es ~gst ()
+          | Ess -> G.Adversary.ess ~gst ())
+      | Some spec -> (
+        match G.Env.of_string spec with
+        | Ok (G.Env.Dynamic { stability; rooted }) ->
+          fun ~shard:_ ~instance:_ -> G.Adversary.dynamic ~stability ~rooted ()
+        | Ok env ->
+          Format.eprintf
+            "anonc load: --env %s not supported here (only dynamic:...; use \
+             --algo/--gst for the static environments)@."
+            (G.Env.to_string env);
+          exit 2
+        | Error e ->
+          Format.eprintf "anonc load: %s@." e;
+          exit 2)
+    in
+    let env_label =
+      match env_override with
+      | Some spec -> spec
+      | None ->
+        Printf.sprintf "%s:%d" (match algo with Es -> "es" | Ess -> "ess") gst
+    in
+    let churn ~shard:_ = churn_of_spec ~n churn_spec in
+    (* Crash schedules are a pure function of (seed, shard), so the report
+       stays byte-identical at any --jobs. *)
+    let crash ~shard =
+      if failures = 0 then G.Crash.none ~n
+      else
+        let rng = Anon_kernel.Rng.make (seed + (7919 * (shard + 1))) in
+        G.Crash.random ~n ~failures
+          ~max_round:(max 1 (min horizon (gst + 10)))
+          rng
+    in
+    let reports =
+      with_recorder ~metrics ~json_trace (fun recorder ->
+          List.map
+            (fun rate ->
+              let workload =
+                Anon_rsm.Workload.make ~where:"anonc load" ~skew ~value_range
+                  ~hot_value ~shards ~proposals ~rate ~seed ()
+              in
+              let report =
+                match algo with
+                | Es ->
+                  let module L = Anon_rsm.Load.Make (C.Es_consensus) in
+                  L.run ~jobs ~metrics ~recorder ~env:env_label ~crash ~churn
+                    ~n ~window ~batch ~horizon ~adversary:make_adversary
+                    workload
+                | Ess ->
+                  let module L = Anon_rsm.Load.Make (C.Ess_consensus) in
+                  L.run ~jobs ~metrics ~recorder ~env:env_label ~crash ~churn
+                    ~n ~window ~batch ~horizon ~adversary:make_adversary
+                    workload
+              in
+              Anon_rsm.Load.render ppf report;
+              (match report.Anon_rsm.Load.metrics with
+              | Some snap -> O.Metrics.render ppf snap
+              | None -> ());
+              report)
+            rates)
+    in
+    (match out with
+    | None -> ()
+    | Some path ->
+      let doc =
+        match reports with
+        | [ r ] -> Anon_rsm.Load.to_json r
+        | rs -> O.Json.List (List.map Anon_rsm.Load.to_json rs)
+      in
+      write_json ~what:"load report" path doc);
+    (match bench_out with
+    | None -> ()
+    | Some path ->
+      let doc =
+        O.Json.Obj
+          [
+            ("schema", O.Json.String "anon-bench/3");
+            ("label", O.Json.String label);
+            ("git_revision", O.Json.String (H.Bench_diff.git_revision ()));
+            ("cores", O.Json.Int (Domain.recommended_domain_count ()));
+            ("jobs", O.Json.Int (Anon_exec.Pool.resolve ~jobs ()));
+            ("load", O.Json.List (List.map Anon_rsm.Load.row_json reports));
+          ]
+      in
+      write_json ~what:"anon-bench/3 baseline" path doc);
+    if
+      List.exists
+        (fun (r : Anon_rsm.Load.report) ->
+          not (r.agreement_ok && r.validity_ok))
+        reports
+    then begin
+      Format.eprintf "anonc load: safety violation in a committed log@.";
+      exit 1
+    end
+  in
+  let rate_arg =
+    Arg.(value & opt float 4.0
+         & info [ "rate" ] ~docv:"R" ~doc:"Offered load, proposals per round.")
+  in
+  let sweep_arg =
+    Arg.(value & opt (list float) []
+         & info [ "sweep" ] ~docv:"R1,R2,..."
+             ~doc:"Run one report per rate instead of --rate (the saturation \
+                   series --bench-out persists).")
+  in
+  let proposals_arg =
+    Arg.(value & opt int 1_000
+         & info [ "proposals" ] ~docv:"K" ~doc:"Total proposals per run.")
+  in
+  let window_arg =
+    Arg.(value & opt int 4
+         & info [ "window" ] ~docv:"W" ~doc:"In-flight consensus instances.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"B"
+             ~doc:"Max proposals folded into one instance (must be <= window).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Independent log partitions (a workload parameter — the \
+                   report is identical at any --jobs).")
+  in
+  let skew_arg =
+    Arg.(value & opt float 0.
+         & info [ "skew" ] ~docv:"P"
+             ~doc:"Probability a proposal carries the hot value, in [0,1].")
+  in
+  let value_range_arg =
+    Arg.(value & opt int 16
+         & info [ "value-range" ] ~docv:"V" ~doc:"Cold values are uniform in [0,V).")
+  in
+  let hot_value_arg =
+    Arg.(value & opt int 0 & info [ "hot-value" ] ~docv:"V" ~doc:"The skewed value.")
+  in
+  let label_arg =
+    Arg.(value & opt string "PR9"
+         & info [ "label" ] ~docv:"LABEL" ~doc:"Baseline label for --bench-out.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the deterministic anon-load/1 report JSON to $(docv) \
+                   (byte-identical at any --jobs; a list when --sweep).")
+  in
+  let bench_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bench-out" ] ~docv:"FILE"
+             ~doc:"Write the runs as an anon-bench/3 baseline (one load row \
+                   per rate) for $(b,anonc bench diff).")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive the multi-shot consensus service with an open-loop \
+             workload; exits 1 on a safety violation, 2 on invalid \
+             parameters.")
+    Term.(
+      const run $ algo_arg $ n_arg $ gst_arg $ env_override_arg $ rate_arg
+      $ sweep_arg $ proposals_arg $ window_arg $ batch_arg $ shards_arg
+      $ skew_arg $ value_range_arg $ hot_value_arg
+      $ horizon_arg ~default:200_000 () $ seed_arg $ failures_arg
+      $ churn_spec_arg $ label_arg $ out_arg $ bench_out_arg $ metrics_arg
+      $ json_trace_arg $ jobs_arg)
+
 (* --- bench ----------------------------------------------------------------- *)
 
 let bench_cmd =
@@ -715,7 +908,8 @@ let bench_cmd =
   in
   let old_arg =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"OLD" ~doc:"Baseline JSON (anon-bench/2) to compare against.")
+         & info [] ~docv:"OLD"
+             ~doc:"Baseline JSON (anon-bench/2 or /3) to compare against.")
   in
   let new_arg =
     Arg.(required & pos 1 (some string) None
@@ -800,7 +994,7 @@ let () =
   let group =
     Cmd.group info
       [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; metrics_cmd;
-        fuzz_cmd; mc_cmd; bench_cmd; experiment_cmd; list_cmd ]
+        fuzz_cmd; mc_cmd; load_cmd; bench_cmd; experiment_cmd; list_cmd ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code

@@ -1,0 +1,51 @@
+module Make (A : Intf.ALGORITHM) = struct
+  type bundle = (int * A.msg) list
+
+  let rec compare a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (ia, ma) :: ra, (ib, mb) :: rb ->
+      let c = Int.compare ia ib in
+      if c <> 0 then c
+      else
+        let c = A.msg_compare ma mb in
+        if c <> 0 then c else compare ra rb
+
+  let size bundle =
+    List.fold_left (fun acc (_, msg) -> acc + 1 + A.msg_size msg) 0 bundle
+
+  let of_rounds per_instance =
+    (* One pass per instance, accumulating reversed bundles per sender;
+       instances arrive in ascending id order so each per-sender list comes
+       out ascending after the final reverse. *)
+    let by_sender : (int, (int * A.msg) list ref) Hashtbl.t = Hashtbl.create 16 in
+    let senders = ref [] in
+    List.iter
+      (fun (instance, outgoing) ->
+        List.iter
+          (fun { Dispatch.sender; msg } ->
+            match Hashtbl.find_opt by_sender sender with
+            | Some cell -> cell := (instance, msg) :: !cell
+            | None ->
+              Hashtbl.add by_sender sender (ref [ (instance, msg) ]);
+              senders := sender :: !senders)
+          outgoing)
+      per_instance;
+    List.sort Stdlib.compare !senders
+    |> List.map (fun sender ->
+           let cell = Hashtbl.find by_sender sender in
+           { Dispatch.sender; msg = List.rev !cell })
+
+  let split ~instance bundle = List.assoc_opt instance bundle
+
+  let pp ppf bundle =
+    Format.fprintf ppf "@[<hov 1>[";
+    List.iteri
+      (fun i (instance, msg) ->
+        if i > 0 then Format.fprintf ppf ";@ ";
+        Format.fprintf ppf "#%d:%a" instance A.pp_msg msg)
+      bundle;
+    Format.fprintf ppf "]@]"
+end

@@ -1,0 +1,46 @@
+(** Instance-tagged message bundles — the multiplexing seam for multi-shot
+    consensus.
+
+    A replicated-state-machine layer (see [Anon_rsm]) runs a window of
+    concurrent consensus instances over one algorithm. Each instance is a
+    complete one-shot execution with its own rounds, but physically every
+    process broadcasts {e once} per global round: a {e bundle} of
+    [(instance, msg)] pairs, one entry per in-flight instance the process
+    is still participating in. The receiver demultiplexes by instance id
+    and feeds each entry to that instance's automaton.
+
+    The bundle never reaches the anonymous algorithms — instance ids are
+    service-level sequence numbers shared by agreement itself (the log
+    position), not process identities, so anonymity is preserved: two
+    processes sending equal bundles remain indistinguishable, exactly as
+    for single messages ({!Intf.ALGORITHM.msg_compare} lifted entrywise).
+
+    Today the lockstep multiplexer uses bundles only for physical-broadcast
+    accounting (how many wire messages a window of W instances costs); a
+    future async backend serializes exactly this type on the transport. *)
+
+module Make (A : Intf.ALGORITHM) : sig
+  type bundle = (int * A.msg) list
+  (** Per-sender payload of one global round: strictly ascending instance
+      ids, each with the message that instance's automaton broadcast. *)
+
+  val compare : bundle -> bundle -> int
+  (** Lexicographic over [(instance, msg)] entries with
+      {!Intf.ALGORITHM.msg_compare} on payloads — bundles equal under
+      [compare] are the same wire message (anonymity lifts). *)
+
+  val size : bundle -> int
+  (** Abstract wire size: [Σ (1 + A.msg_size msg)] — one unit of framing
+      (the instance tag) per entry plus the payload sizes. *)
+
+  val of_rounds : (int * A.msg Dispatch.outbound list) list -> bundle Dispatch.outbound list
+  (** [of_rounds per_instance] merges the per-instance broadcast lists of
+      one global round — [(instance, outbound list)] pairs in ascending
+      instance order — into one bundle per distinct sender, ascending by
+      sender pid. A sender appearing in no instance sends nothing. *)
+
+  val split : instance:int -> bundle -> A.msg option
+  (** The entry for [instance], if the bundle carries one. *)
+
+  val pp : Format.formatter -> bundle -> unit
+end

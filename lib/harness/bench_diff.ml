@@ -59,6 +59,22 @@ let rows_of_json j =
   | Some mc ->
     add "mc.states_per_sec" (to_float (Json.member "states_per_sec" mc)) Higher_better
   | None -> ());
+  (match Json.member "load" j with
+  | Some (Json.List loads) ->
+    List.iter
+      (fun l ->
+        match to_float (Json.member "rate" l) with
+        | Some rate ->
+          let key metric = Printf.sprintf "load/rate=%g.%s" rate metric in
+          add (key "throughput")
+            (to_float (Json.member "throughput" l))
+            Higher_better;
+          add (key "p99_rounds")
+            (to_float (Json.member "p99_rounds" l))
+            Lower_better
+        | None -> ())
+      loads
+  | Some _ | None -> ());
   (match Json.member "micro" j with
   | Some (Json.List micros) ->
     List.iter
@@ -76,7 +92,9 @@ let rows_of_json j =
 
 let of_json ~path j =
   match to_str (Json.member "schema" j) with
-  | Some "anon-bench/2" ->
+  (* anon-bench/3 = /2 plus the [load] saturation rows; older baselines
+     simply have no such section, so one loader covers both. *)
+  | Some ("anon-bench/2" | "anon-bench/3") ->
     Ok
       {
         path;
@@ -87,7 +105,10 @@ let of_json ~path j =
         jobs = Option.value ~default:0 (to_int (Json.member "jobs" j));
         rows = rows_of_json j;
       }
-  | Some s -> Error (Printf.sprintf "%s: unsupported schema %S (want anon-bench/2)" path s)
+  | Some s ->
+    Error
+      (Printf.sprintf "%s: unsupported schema %S (want anon-bench/2 or anon-bench/3)"
+         path s)
   | None -> Error (Printf.sprintf "%s: missing \"schema\" field" path)
 
 let load ~path =
@@ -102,6 +123,47 @@ let load ~path =
     match Json.of_string (String.trim contents) with
     | Error e -> Error (Printf.sprintf "%s: %s" path e)
     | Ok j -> of_json ~path j)
+
+(* --- baseline provenance ----------------------------------------------------- *)
+
+(* The current commit, read straight from .git (no subprocess): HEAD is
+   either a detached hash or a "ref: ..." pointer into refs/ or
+   packed-refs. Shared by every baseline writer (bench/main, anonc load). *)
+let git_revision () =
+  let read_file path =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (String.trim (input_line ic)))
+    with Sys_error _ | End_of_file -> None
+  in
+  let resolve_ref r =
+    match read_file (Filename.concat ".git" r) with
+    | Some hash -> Some hash
+    | None -> (
+      (* packed-refs lines: "<hash> <ref>" *)
+      try
+        let ic = open_in (Filename.concat ".git" "packed-refs") in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let rec scan () =
+              let line = input_line ic in
+              match String.index_opt line ' ' with
+              | Some i when String.sub line (i + 1) (String.length line - i - 1) = r
+                -> Some (String.sub line 0 i)
+              | _ -> scan ()
+            in
+            try scan () with End_of_file -> None)
+      with Sys_error _ -> None)
+  in
+  match read_file (Filename.concat ".git" "HEAD") with
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " ->
+    Option.value ~default:"unknown"
+      (resolve_ref (String.sub head 5 (String.length head - 5)))
+  | Some hash -> hash
+  | None -> "unknown"
 
 (* --- diffing ---------------------------------------------------------------- *)
 

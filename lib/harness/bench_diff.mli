@@ -1,5 +1,7 @@
 (** The bench-regression gate: row-by-row comparison of persisted
-    [anon-bench/2] baselines (BENCH_PR*.json, written by [bench/main.ml]).
+    [anon-bench/2] / [anon-bench/3] baselines (BENCH_PR*.json written by
+    [bench/main.ml], saturation baselines written by [anonc load
+    --bench-out]).
 
     A baseline is flattened into named metric rows with a
     better-direction each:
@@ -7,6 +9,8 @@
     - [pool/jobs=<j>.ns_per_run] — lower is better
     - [mc.states_per_sec] — higher is better
     - [micro/<name>.ns] — lower is better
+    - [load/rate=<r>.throughput] — higher is better (anon-bench/3)
+    - [load/rate=<r>.p99_rounds] — lower is better (anon-bench/3)
 
     Rows with missing/null/non-finite values are skipped; rows present in
     only one baseline are reported but never count as regressions. A row
@@ -31,7 +35,13 @@ type baseline = {
 
 val load : path:string -> (baseline, string) result
 (** Parse a baseline file. Errors on unreadable files, invalid JSON, or a
-    schema other than [anon-bench/2]. *)
+    schema other than [anon-bench/2] / [anon-bench/3]. Older schemas load
+    as before — /3 only adds the [load] rows. *)
+
+val git_revision : unit -> string
+(** The commit hash of [./.git]'s HEAD, read without a subprocess
+    (detached head, loose ref, or packed-refs); ["unknown"] when
+    unreadable. Every baseline writer stamps its output with this. *)
 
 val of_json : path:string -> Anon_obs.Json.t -> (baseline, string) result
 (** [load] minus the file read ([path] only labels messages). *)

@@ -36,6 +36,8 @@ let all =
       build = Exp_mc.t14 };
     { id = "T15"; title = "Dynamic graphs and churn: verdict vs stability window";
       build = Exp_mc.t15 };
+    { id = "T16"; title = "Multi-shot service saturation: throughput vs offered load";
+      build = Exp_load.t16 };
     { id = "F1"; title = "Decision-round distribution";
       build = Exp_consensus.f1 };
     { id = "F2"; title = "ESS message growth per round";

@@ -6,6 +6,7 @@ type t =
   | Broadcast of { pid : int; round : int; size : int }
   | Deliver of { sender : int; receiver : int; round : int; arrival : int }
   | Decide of { pid : int; round : int; value : int }
+  | Commit of { instance : int; round : int; value : int }
   | Crash of { pid : int; round : int }
   | Churn of { pid : int; round : int; rejoin : bool }
   | Leader of { pid : int; round : int; leader : bool }
@@ -37,6 +38,8 @@ let to_json ev =
         int "arrival" arrival ]
   | Decide { pid; round; value } ->
     obj "decide" [ int "pid" pid; int "round" round; int "value" value ]
+  | Commit { instance; round; value } ->
+    obj "commit" [ int "instance" instance; int "round" round; int "value" value ]
   | Crash { pid; round } -> obj "crash" [ int "pid" pid; int "round" round ]
   | Churn { pid; round; rejoin } ->
     obj "churn" [ int "pid" pid; int "round" round; ("rejoin", Json.Bool rejoin) ]
@@ -101,6 +104,11 @@ let of_json j =
       let* round = int "round" in
       let* value = int "value" in
       Ok (Decide { pid; round; value })
+    | "commit" ->
+      let* instance = int "instance" in
+      let* round = int "round" in
+      let* value = int "value" in
+      Ok (Commit { instance; round; value })
     | "crash" ->
       let* pid = int "pid" in
       let* round = int "round" in

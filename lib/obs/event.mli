@@ -10,6 +10,7 @@
     - rounds: [round_start], [round_end]
     - messaging: [broadcast], [deliver]
     - protocol: [decide], [crash], [churn], [leader]
+    - rsm layer: [commit]
     - weak-set service: [ws_add], [ws_add_done], [ws_get]
     - shared-memory scheduler: [shm_step], [shm_done]
     - chaos layer: [fault] *)
@@ -23,6 +24,10 @@ type t =
   | Deliver of { sender : int; receiver : int; round : int; arrival : int }
       (** [round] is the sender round; timely iff [arrival = round]. *)
   | Decide of { pid : int; round : int; value : int }
+  | Commit of { instance : int; round : int; value : int }
+      (** The RSM layer commits instance [instance]'s decided value into
+          the log at global round [round] (see [Anon_rsm]). [instance] is a
+          log position, not a process id. *)
   | Crash of { pid : int; round : int }
   | Churn of { pid : int; round : int; rejoin : bool }
       (** A process leaves ([rejoin = false]) or rejoins with empty state

@@ -17,6 +17,7 @@
    In-round offsets (ticks):
      +0    round span start        +500  message delivery (flow finish)
      +100  broadcast instant       +900  decide instant
+                                   +920  rsm commit instant (rounds track)
      +120  leader instant          +950  crash instant
      +150  message send (flow)
      +160  fault instant (on the sender's track)
@@ -92,7 +93,8 @@ let to_json t =
         n_opt := Some n;
         seed := s
       | Run_end { rounds; _ } -> rounds_end := Some rounds
-      | Round_start { round } | Round_end { round; _ } -> see_round round
+      | Round_start { round } | Round_end { round; _ } | Commit { round; _ } ->
+        see_round round
       | Broadcast { pid; round; _ }
       | Decide { pid; round; _ }
       | Churn { pid; round; _ }
@@ -186,6 +188,11 @@ let to_json t =
         push
           (instant ~name:"decide" ~cat:"consensus" ~tid:(pid + 1)
              ~ts:(tick round 900) ~args:[ ("value", int value) ] ())
+      | Commit { instance; round; value } ->
+        push
+          (instant ~name:"commit" ~cat:"rsm" ~tid:0 ~ts:(tick round 920)
+             ~args:[ ("instance", int instance); ("value", int value) ]
+             ())
       | Crash { pid; round } ->
         push
           (instant ~name:"crash" ~cat:"fault" ~tid:(pid + 1) ~ts:(tick round 950)

@@ -1,0 +1,351 @@
+open Anon_kernel
+module G = Anon_giraf
+
+type config = {
+  n : int;
+  window : int;
+  batch : int;
+  horizon : int;
+  seed : int;
+  crash : G.Crash.t;
+  churn : G.Churn.t;
+  adversary : int -> G.Adversary.t;
+}
+
+let validate ?(where = "Rsm.validate") config =
+  let fail what = G.Config_error.fail ~where what in
+  if config.n < 1 then fail (Printf.sprintf "n must be >= 1 (got %d)" config.n);
+  if config.window < 1 then
+    fail (Printf.sprintf "window must be >= 1 (got %d)" config.window);
+  if config.batch < 1 then
+    fail (Printf.sprintf "batch must be >= 1 (got %d)" config.batch);
+  if config.batch > config.window then
+    fail
+      (Printf.sprintf "batch must be <= window (got batch %d, window %d)"
+         config.batch config.window);
+  if config.horizon < 1 then
+    fail (Printf.sprintf "horizon must be >= 1 (got %d)" config.horizon);
+  if G.Crash.n config.crash <> config.n then
+    fail
+      (Printf.sprintf "n/crash size mismatch (n = %d, crash schedule for %d)"
+         config.n (G.Crash.n config.crash));
+  if G.Churn.n config.churn <> config.n then
+    fail
+      (Printf.sprintf "n/churn size mismatch (n = %d, churn schedule for %d)"
+         config.n (G.Churn.n config.churn));
+  List.iter
+    (fun (ev : G.Churn.event) ->
+      if G.Crash.crash_round config.crash ev.pid <> None then
+        fail (Printf.sprintf "p%d both crashes and churns — pick one" ev.pid))
+    (G.Churn.events config.churn)
+
+let instance_seed ~seed ~instance = seed + (1_000_003 * instance)
+
+type instance_result = {
+  instance : int;
+  first_proposal : int;
+  batch_values : Value.t list;
+  arrivals : int list;
+  opened : int;
+  decided : int option;
+  value : Value.t option;
+  decisions : (int * int * Value.t) list;
+  local_rounds : int;
+}
+
+type outcome = {
+  instances : instance_result list;
+  commit : int;
+  committed_proposals : int;
+  decided_proposals : int;
+  stalled : int;
+  rounds : int;
+  broadcasts : int;
+  instance_msgs : int;
+  agreement_ok : bool;
+  validity_ok : bool;
+}
+
+let latencies outcome =
+  List.concat_map
+    (fun ir ->
+      match ir.decided with
+      | None -> []
+      | Some d -> List.map (fun a -> float_of_int (d - a + 1)) ir.arrivals)
+    outcome.instances
+
+(* Schedules are declared in global rounds; an instance opened at global
+   round [g0] lives in a local frame where [local = global - g0 + 1]. A
+   crash that already happened is a silent crash at local round 1; an
+   absence that already ended is no event at all. *)
+
+let translate_crash ~g0 ~n crash =
+  G.Crash.events crash
+  |> List.map (fun (ev : G.Crash.event) ->
+         let local = ev.round - g0 + 1 in
+         if local >= 1 then { ev with round = local }
+         else { ev with round = 1; broadcast = G.Crash.Silent })
+  |> G.Crash.of_events ~n
+
+let translate_churn ~g0 ~n churn =
+  G.Churn.events churn
+  |> List.filter_map (fun (ev : G.Churn.event) ->
+         let leave = ev.leave - g0 + 1 in
+         let rejoin = Option.map (fun r -> r - g0 + 1) ev.rejoin in
+         match rejoin with
+         | Some r when r <= 1 -> None
+         | _ -> Some { ev with leave = max 1 leave; rejoin })
+  |> G.Churn.of_events ~n
+
+module Make (A : G.Intf.ALGORITHM) = struct
+  module Core = G.Step_core.Consensus (A)
+  module Tag = G.Instance_tag.Make (A)
+
+  type live = {
+    id : int;
+    core : Core.t;
+    adversary : G.Adversary.t;
+    rng : Rng.t;
+    crash_rng : Rng.t;
+    opened : int;
+    opened_ns : int64;
+    first_proposal : int;
+    batch_values : Value.t list;
+    arrivals : int list;
+    mutable decisions : (int * int * Value.t) list;  (* reversed *)
+    mutable local_rounds : int;
+  }
+
+  let run ?(recorder = Anon_obs.Recorder.off) ?on_commit config ~proposals =
+    let module R = Anon_obs.Recorder in
+    let module M = Anon_obs.Metrics in
+    let module E = Anon_obs.Event in
+    validate ~where:"Rsm.run" config;
+    let obs_on = R.active recorder in
+    let m_proposals = R.counter recorder "rsm.proposals" in
+    let m_instances = R.counter recorder "rsm.instances" in
+    let m_decides = R.counter recorder "rsm.decides" in
+    let m_commits = R.counter recorder "rsm.commits" in
+    let m_stalled = R.counter recorder "rsm.stalled" in
+    let m_broadcasts = R.counter recorder "rsm.broadcasts" in
+    let m_instance_msgs = R.counter recorder "rsm.instance_msgs" in
+    let g_rounds = R.gauge recorder "rsm.rounds" in
+    let g_inflight = R.gauge recorder "rsm.inflight" in
+    let h_latency_rounds = R.histogram recorder "rsm.decide_latency_rounds" in
+    let h_latency_us = R.histogram recorder "rsm.decide_latency_us" in
+    let h_inflight = R.histogram recorder "rsm.inflight" in
+    let h_queue = R.histogram recorder "rsm.queue_depth" in
+    let h_batch_fill = R.histogram recorder "rsm.batch_fill" in
+    let h_bundle = R.histogram recorder "rsm.bundle_size" in
+    let queue = Array.of_list proposals in
+    let nq = Array.length queue in
+    let next = ref 0 in  (* next unopened proposal *)
+    let arrived = ref 0 in  (* proposals with arrival <= current round *)
+    let next_instance = ref 0 in
+    let inflight : live list ref = ref [] in  (* ascending id *)
+    let closed : (int, instance_result) Hashtbl.t = Hashtbl.create 64 in
+    let commit = ref 0 in
+    let committed_proposals = ref 0 in
+    let decided_proposals = ref 0 in
+    let stalled = ref 0 in
+    let broadcasts = ref 0 in
+    let instance_msgs = ref 0 in
+    let open_instance gr =
+      let id = !next_instance in
+      incr next_instance;
+      let first = !next in
+      let covered = ref [] in
+      let count = ref 0 in
+      while
+        !count < config.batch && !next < nq && queue.(!next).Workload.arrival <= gr
+      do
+        covered := queue.(!next) :: !covered;
+        incr next;
+        incr count
+      done;
+      let covered = List.rev !covered in
+      let batch_values = List.map (fun p -> p.Workload.value) covered in
+      let arrivals = List.map (fun p -> p.Workload.arrival) covered in
+      let vs = Array.of_list batch_values in
+      let b = Array.length vs in
+      let inputs = Array.init config.n (fun i -> vs.(i mod b)) in
+      let crash = translate_crash ~g0:gr ~n:config.n config.crash in
+      let churn = translate_churn ~g0:gr ~n:config.n config.churn in
+      let adversary = config.adversary id in
+      let rng = Rng.make (instance_seed ~seed:config.seed ~instance:id) in
+      let crash_rng = Rng.split rng in
+      let core =
+        Core.create ~inputs ~crash ~churn ~env:(G.Adversary.env adversary)
+      in
+      M.incr ~by:b m_proposals;
+      M.incr m_instances;
+      if obs_on then M.observe h_batch_fill (float_of_int b);
+      inflight :=
+        !inflight
+        @ [
+            {
+              id;
+              core;
+              adversary;
+              rng;
+              crash_rng;
+              opened = gr;
+              opened_ns = (if obs_on then Anon_obs.Clock.now_ns () else 0L);
+              first_proposal = first;
+              batch_values;
+              arrivals;
+              decisions = [];
+              local_rounds = 0;
+            };
+          ]
+    in
+    (* One local round of one instance — the exact Runner.run round body:
+       begin_round, compute, plan from the instance's own adversary and
+       RNG stream, deliver. *)
+    let step inst =
+      inst.local_rounds <- inst.local_rounds + 1;
+      Core.begin_round inst.core;
+      let on_decide ~pid ~round ~value =
+        inst.decisions <- (pid, round, value) :: inst.decisions;
+        M.incr m_decides
+      in
+      let outgoing = Core.compute inst.core ~on_decide in
+      let ctx = Core.ctx inst.core in
+      let plan = G.Adversary.plan inst.adversary ctx inst.rng in
+      let (_ : G.Dispatch.stats) =
+        Core.deliver inst.core ~plan ~crash_rng:inst.crash_rng
+      in
+      (inst.id, outgoing)
+    in
+    let close ~gr ~done_ inst =
+      let value, decided =
+        if done_ && inst.decisions <> [] then
+          let _, _, v = List.hd inst.decisions in
+          (Some v, Some gr)
+        else (None, None)
+      in
+      (match value with
+      | Some _ ->
+        decided_proposals := !decided_proposals + List.length inst.arrivals;
+        if obs_on then begin
+          List.iter
+            (fun a -> M.observe h_latency_rounds (float_of_int (gr - a + 1)))
+            inst.arrivals;
+          M.observe h_latency_us
+            (Anon_obs.Clock.ns_to_us (Anon_obs.Clock.since_ns inst.opened_ns))
+        end
+      | None ->
+        incr stalled;
+        M.incr m_stalled);
+      Hashtbl.add closed inst.id
+        {
+          instance = inst.id;
+          first_proposal = inst.first_proposal;
+          batch_values = inst.batch_values;
+          arrivals = inst.arrivals;
+          opened = inst.opened;
+          decided;
+          value;
+          decisions = List.rev inst.decisions;
+          local_rounds = inst.local_rounds;
+        }
+    in
+    let advance_commit gr =
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt closed !commit with
+        | Some { value = Some v; arrivals; _ } ->
+          let instance = !commit in
+          incr commit;
+          committed_proposals := !committed_proposals + List.length arrivals;
+          M.incr m_commits;
+          (match on_commit with
+          | Some f -> f ~instance ~round:gr ~value:v
+          | None -> ());
+          R.emit recorder (fun () -> E.Commit { instance; round = gr; value = v })
+        | Some { value = None; _ } | None -> continue := false
+      done
+    in
+    let g = ref 0 in
+    let finished = nq = 0 in
+    let finished = ref finished in
+    while (not !finished) && !g < config.horizon do
+      incr g;
+      let gr = !g in
+      while !arrived < nq && queue.(!arrived).Workload.arrival <= gr do
+        incr arrived
+      done;
+      while
+        List.length !inflight < config.window
+        && !next < nq
+        && queue.(!next).Workload.arrival <= gr
+      do
+        open_instance gr
+      done;
+      if obs_on then begin
+        let depth = float_of_int (List.length !inflight) in
+        M.observe h_inflight depth;
+        M.set_gauge g_inflight depth;
+        M.observe h_queue (float_of_int (!arrived - !next))
+      end;
+      let per_instance = List.map step !inflight in
+      let bundles = Tag.of_rounds per_instance in
+      let nb = List.length bundles in
+      broadcasts := !broadcasts + nb;
+      M.incr ~by:nb m_broadcasts;
+      List.iter
+        (fun { G.Dispatch.msg = bundle; _ } ->
+          instance_msgs := !instance_msgs + List.length bundle;
+          M.incr ~by:(List.length bundle) m_instance_msgs;
+          if obs_on then M.observe h_bundle (float_of_int (Tag.size bundle)))
+        bundles;
+      inflight :=
+        List.filter
+          (fun inst ->
+            if Core.undecided_correct_stayers inst.core = [] then begin
+              close ~gr ~done_:true inst;
+              false
+            end
+            else true)
+          !inflight;
+      advance_commit gr;
+      if !inflight = [] && !next >= nq then finished := true
+    done;
+    let rounds = !g in
+    (* Instances still open at the horizon never became committable. *)
+    List.iter (fun inst -> close ~gr:rounds ~done_:false inst) !inflight;
+    inflight := [];
+    let instances =
+      List.init !next_instance (fun i -> Hashtbl.find closed i)
+    in
+    let agreement_ok =
+      List.for_all
+        (fun (ir : instance_result) ->
+          match ir.decisions with
+          | [] -> true
+          | (_, _, v0) :: rest -> List.for_all (fun (_, _, v) -> v = v0) rest)
+        instances
+    in
+    let validity_ok =
+      List.for_all
+        (fun (ir : instance_result) ->
+          List.for_all (fun (_, _, v) -> List.mem v ir.batch_values) ir.decisions)
+        instances
+    in
+    if obs_on then begin
+      M.set_gauge g_rounds (float_of_int rounds);
+      R.flush recorder
+    end;
+    {
+      instances;
+      commit = !commit;
+      committed_proposals = !committed_proposals;
+      decided_proposals = !decided_proposals;
+      stalled = !stalled;
+      rounds;
+      broadcasts = !broadcasts;
+      instance_msgs = !instance_msgs;
+      agreement_ok;
+      validity_ok;
+    }
+end

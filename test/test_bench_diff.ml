@@ -79,6 +79,81 @@ let test_flatten () =
       check_bool m true (dir = want))
     b.B.rows
 
+(* A small anon-bench/3 document: the /2 sections plus [load] rows. *)
+let doc_v3 ?(cores = 4) ?(throughput = 3.5) ?(p99 = 9.0) () =
+  let load_row rate throughput p99 =
+    Json.Obj
+      [
+        ("rate", Json.Float rate);
+        ("proposals", Json.Int 1000);
+        ("throughput", Json.Float throughput);
+        ("p50_rounds", Json.Float 7.0);
+        ("p99_rounds", Json.Float p99);
+        ("p999_rounds", Json.Float (p99 +. 1.0));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "anon-bench/3");
+      ("label", Json.String "v3");
+      ("git_revision", Json.String "deadbeefcafe0123");
+      ("cores", Json.Int cores);
+      ("jobs", Json.Int 2);
+      ( "mc",
+        Json.Obj
+          [ ("states", Json.Int 1000); ("states_per_sec", Json.Float 120000.0) ] );
+      ("load", Json.List [ load_row 2.0 2.0 8.0; load_row 8.0 throughput p99 ]);
+    ]
+
+let baseline_v3 ?cores ?throughput ?p99 path =
+  match B.of_json ~path (doc_v3 ?cores ?throughput ?p99 ()) with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "of_json (v3): %s" e
+
+let test_v3_load_rows () =
+  let b = baseline_v3 "v3.json" in
+  Alcotest.(check (list string)) "v3 row names, document order"
+    [
+      "mc.states_per_sec"; "load/rate=2.throughput"; "load/rate=2.p99_rounds";
+      "load/rate=8.throughput"; "load/rate=8.p99_rounds";
+    ]
+    (List.map (fun (m, _, _) -> m) b.B.rows);
+  (* Directions: throughput higher-better, latency lower-better. *)
+  List.iter
+    (fun (m, _, dir) ->
+      let want =
+        if m = "load/rate=2.p99_rounds" || m = "load/rate=8.p99_rounds" then
+          B.Lower_better
+        else B.Higher_better
+      in
+      check_bool m true (dir = want))
+    b.B.rows
+
+let test_v3_diff_semantics () =
+  (* Throughput collapse and latency blow-up both regress; a latency drop
+     improves. *)
+  let old_b = baseline_v3 "old.json" in
+  let new_b = baseline_v3 ~throughput:1.0 ~p99:30.0 "new.json" in
+  let r = B.diff ~threshold:20.0 ~old_b ~new_b () in
+  Alcotest.(check (list string)) "load regressions"
+    [ "load/rate=8.throughput"; "load/rate=8.p99_rounds" ]
+    (List.map (fun (row : B.row) -> row.B.metric) (B.regressions r));
+  let better = B.diff ~threshold:20.0 ~old_b ~new_b:(baseline_v3 ~p99:5.0 "b.json") () in
+  check_bool "latency drop improves" true
+    (List.exists
+       (fun (row : B.row) -> row.B.metric = "load/rate=8.p99_rounds")
+       (B.improvements better));
+  (* Cross-core refusal applies to /3 baselines like any other. *)
+  let r = B.diff ~old_b ~new_b:(baseline_v3 ~cores:8 "c.json") () in
+  check_bool "v3 cross-core flagged" true r.B.cross_cores;
+  (* A /2 and a /3 baseline still compare: shared rows diff, the load
+     rows report as added. *)
+  let r = B.diff ~old_b:(baseline "old2.json") ~new_b:old_b () in
+  check_bool "mc row shared across schemas" true
+    (List.exists (fun (row : B.row) -> row.B.metric = "mc.states_per_sec") r.B.rows);
+  check_bool "load rows added, not regressions" true
+    (List.mem "load/rate=2.throughput" r.B.added && B.regressions r = [])
+
 let test_schema_rejected () =
   let bad schema =
     let j = Json.Obj [ ("schema", Json.String schema) ] in
@@ -193,6 +268,8 @@ let () =
       ( "baseline",
         [
           Alcotest.test_case "flatten rows" `Quick test_flatten;
+          Alcotest.test_case "v3 load rows" `Quick test_v3_load_rows;
+          Alcotest.test_case "v3 diff semantics" `Quick test_v3_diff_semantics;
           Alcotest.test_case "schema rejected" `Quick test_schema_rejected;
           Alcotest.test_case "null rows skipped" `Quick test_null_rows_skipped;
           Alcotest.test_case "missing file" `Quick test_load_missing_file;

@@ -117,7 +117,7 @@ let test_batch_counts () =
 let test_registry_ids_unique () =
   let ids = List.map (fun (e : H.Registry.experiment) -> e.id) H.Registry.all in
   check_int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids));
-  check_int "all experiments present" 22 (List.length ids)
+  check_int "all experiments present" 23 (List.length ids)
 
 let test_registry_find () =
   check_bool "finds t9 case-insensitively" true (H.Registry.find "t9" <> None);
