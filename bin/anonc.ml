@@ -9,6 +9,7 @@
      fuzz       random-config fuzzing with shrinking + JSON repro/replay
      mc         bounded exhaustive model checking (symmetry-reduced)
      load       open-loop multi-shot load generator over the RSM layer
+     live       consensus on the live async backend (threads + faulty wire)
      experiment run one experiment table (or all) from the registry
      list       list experiment ids *)
 
@@ -711,6 +712,12 @@ let load_cmd =
       value_range hot_value horizon seed failures churn_spec label out bench_out
       metrics json_trace jobs =
     set_jobs jobs;
+    (* Validate before Crash.random can trip its bare [invalid_arg]: bad
+       CLI input must surface as Invalid_config / exit 2, like every other
+       subcommand. *)
+    if failures < 0 || failures > n then
+      G.Config_error.fail ~where:"anonc load"
+        (Printf.sprintf "failures must be in [0, n] (got %d of n=%d)" failures n);
     let rates = match sweep with [] -> [ rate ] | rs -> rs in
     let make_adversary =
       match env_override with
@@ -882,6 +889,411 @@ let load_cmd =
       $ churn_spec_arg $ label_arg $ out_arg $ bench_out_arg $ metrics_arg
       $ json_trace_arg $ jobs_arg)
 
+(* --- live ------------------------------------------------------------------ *)
+
+type live_algo = L_es | L_ess | L_floodset | L_es_unguarded
+
+let live_algo_name = function
+  | L_es -> "es"
+  | L_ess -> "ess"
+  | L_floodset -> "floodset"
+  | L_es_unguarded -> "es-unguarded"
+
+let live_cmd =
+  let module Lv = Anon_live in
+  let pct h p = O.Hist.percentile h p in
+  let render_report ppf ~algo ~n ~faults ~(config : Lv.Runner.config)
+      (o : Lv.Runner.outcome) =
+    Format.fprintf ppf "live run: algo=%s n=%d net=%s seed=%d@." algo n
+      (Ch.Netfault.to_string faults) config.Lv.Runner.seed;
+    Format.fprintf ppf
+      "  backend=live threads=%d timeout=%gs..%gs growth=%g decay=%g retries=%d@."
+      n config.Lv.Runner.timeout_init_s config.Lv.Runner.timeout_max_s
+      config.Lv.Runner.growth config.Lv.Runner.decay config.Lv.Runner.retries;
+    let decided = List.length o.Lv.Runner.decisions in
+    let correct = List.length (G.Crash.correct config.Lv.Runner.crash) in
+    if o.Lv.Runner.all_correct_decided then begin
+      let values =
+        List.sort_uniq Anon_kernel.Value.compare
+          (List.map (fun (_, _, v) -> v) o.Lv.Runner.decisions)
+      in
+      let rounds = List.map (fun (_, r, _) -> r) o.Lv.Runner.decisions in
+      let decided_correct = correct - List.length o.Lv.Runner.undecided in
+      Format.fprintf ppf
+        "outcome: DECIDED %d/%d correct%s, value%s %s, decide round %d..%d, \
+         wall=%.2fs@."
+        decided_correct correct
+        (if decided > decided_correct then
+           Printf.sprintf " (+%d crashed deciders)" (decided - decided_correct)
+         else "")
+        (if List.length values = 1 then "" else "s")
+        (String.concat "," (List.map string_of_int values))
+        (List.fold_left min max_int rounds)
+        (List.fold_left max 0 rounds)
+        o.Lv.Runner.wall_s
+    end
+    else begin
+      Format.fprintf ppf
+        "outcome: UNDECIDED (%d/%d correct undecided after %d rounds, \
+         wall=%.2fs)@."
+        (List.length o.Lv.Runner.undecided)
+        correct o.Lv.Runner.rounds_max o.Lv.Runner.wall_s;
+      (* Diagnostics: why each straggler stopped (capped at 8 lines). *)
+      List.iteri
+        (fun i pid ->
+          if i < 8 then
+            let p = o.Lv.Runner.processes.(pid) in
+            Format.fprintf ppf "  diag: p%d stop=%s round=%d timeouts=%d@." pid
+              (match p.Lv.Runner.stop with
+              | Lv.Runner.Decided -> "decided"
+              | Lv.Runner.Crashed -> "crashed"
+              | Lv.Runner.Round_budget_exhausted -> "round-budget"
+              | Lv.Runner.Wall_budget_exhausted -> "wall-budget")
+              p.Lv.Runner.rounds_executed p.Lv.Runner.timeouts_expired)
+        o.Lv.Runner.undecided;
+      if List.length o.Lv.Runner.undecided > 8 then
+        Format.fprintf ppf "  diag: ... %d more@."
+          (List.length o.Lv.Runner.undecided - 8)
+    end;
+    if not (O.Hist.is_empty o.Lv.Runner.decide_latency) then
+      Format.fprintf ppf
+        "  decide latency: mean=%.3fs p50=%.3fs p99=%.3fs max=%.3fs@."
+        (O.Hist.mean o.Lv.Runner.decide_latency)
+        (pct o.Lv.Runner.decide_latency 50.)
+        (pct o.Lv.Runner.decide_latency 99.)
+        (O.Hist.max_value o.Lv.Runner.decide_latency);
+    let t = o.Lv.Runner.transport in
+    Format.fprintf ppf
+      "  wire: copies=%d retransmissions=%d dups=%d delayed=%d severed=%d@."
+      t.Lv.Transport.copies_sent t.Lv.Transport.retransmissions
+      t.Lv.Transport.duplicated t.Lv.Transport.delayed t.Lv.Transport.severed;
+    let rebroadcasts =
+      Array.fold_left (fun a p -> a + p.Lv.Runner.rebroadcasts) 0 o.Lv.Runner.processes
+    in
+    let expirations =
+      Array.fold_left
+        (fun a p -> a + p.Lv.Runner.timeouts_expired)
+        0 o.Lv.Runner.processes
+    in
+    let curve_max = List.fold_left Float.max 0. o.Lv.Runner.timeout_curve in
+    Format.fprintf ppf
+      "  pacing: rebroadcasts=%d timeouts=%d curve=[%s%s] max=%gs@." rebroadcasts
+      expirations
+      (String.concat ";"
+         (List.filteri (fun i _ -> i < 10)
+            (List.map (Printf.sprintf "%.3g") o.Lv.Runner.timeout_curve)))
+      (if List.length o.Lv.Runner.timeout_curve > 10 then ";..." else "")
+      curve_max;
+    match o.Lv.Runner.safety with
+    | Lv.Runner.Safe -> Format.fprintf ppf "  safety: agreement+validity OK@."
+    | Lv.Runner.Violations vs ->
+      List.iter (fun v -> Format.fprintf ppf "  SAFETY VIOLATION: %s@." v) vs
+  in
+  let report_json ~algo ~n ~faults ~(config : Lv.Runner.config)
+      (o : Lv.Runner.outcome) =
+    let t = o.Lv.Runner.transport in
+    O.Json.Obj
+      [
+        ("schema", O.Json.String "anon-live/1");
+        ("algo", O.Json.String algo);
+        ("n", O.Json.Int n);
+        ("net", O.Json.String (Ch.Netfault.to_string faults));
+        ("seed", O.Json.Int config.Lv.Runner.seed);
+        ("timeout_init_s", O.Json.Float config.Lv.Runner.timeout_init_s);
+        ("timeout_max_s", O.Json.Float config.Lv.Runner.timeout_max_s);
+        ("decided", O.Json.Bool o.Lv.Runner.all_correct_decided);
+        ( "decisions",
+          O.Json.List
+            (List.map
+               (fun (pid, round, value) ->
+                 O.Json.Obj
+                   [
+                     ("pid", O.Json.Int pid);
+                     ("round", O.Json.Int round);
+                     ("value", O.Json.Int value);
+                   ])
+               o.Lv.Runner.decisions) );
+        ("undecided", O.Json.List (List.map (fun p -> O.Json.Int p) o.Lv.Runner.undecided));
+        ("rounds_max", O.Json.Int o.Lv.Runner.rounds_max);
+        ("wall_s", O.Json.Float o.Lv.Runner.wall_s);
+        ( "decide_latency_s",
+          if O.Hist.is_empty o.Lv.Runner.decide_latency then O.Json.Null
+          else
+            O.Json.Obj
+              [
+                ("mean", O.Json.Float (O.Hist.mean o.Lv.Runner.decide_latency));
+                ("p50", O.Json.Float (pct o.Lv.Runner.decide_latency 50.));
+                ("p99", O.Json.Float (pct o.Lv.Runner.decide_latency 99.));
+                ("max", O.Json.Float (O.Hist.max_value o.Lv.Runner.decide_latency));
+              ] );
+        ( "transport",
+          O.Json.Obj
+            [
+              ("copies_sent", O.Json.Int t.Lv.Transport.copies_sent);
+              ("retransmissions", O.Json.Int t.Lv.Transport.retransmissions);
+              ("duplicated", O.Json.Int t.Lv.Transport.duplicated);
+              ("delayed", O.Json.Int t.Lv.Transport.delayed);
+              ("severed", O.Json.Int t.Lv.Transport.severed);
+            ] );
+        ( "rebroadcasts",
+          O.Json.Int
+            (Array.fold_left
+               (fun a p -> a + p.Lv.Runner.rebroadcasts)
+               0 o.Lv.Runner.processes) );
+        ( "timeouts_expired",
+          O.Json.Int
+            (Array.fold_left
+               (fun a p -> a + p.Lv.Runner.timeouts_expired)
+               0 o.Lv.Runner.processes) );
+        ( "timeout_curve_s",
+          O.Json.List (List.map (fun v -> O.Json.Float v) o.Lv.Runner.timeout_curve) );
+        ( "safety",
+          match o.Lv.Runner.safety with
+          | Lv.Runner.Safe -> O.Json.String "ok"
+          | Lv.Runner.Violations vs ->
+            O.Json.List (List.map (fun v -> O.Json.String v) vs) );
+      ]
+  in
+  let run algo n net_spec timeout_init timeout_max growth decay retries miss_grace
+      round_budget wall_budget seed failures failures_bound sweep_drop out
+      bench_out label metrics json_trace =
+    let where = "anonc live" in
+    if n < 1 then
+      G.Config_error.fail ~where (Printf.sprintf "n must be >= 1 (got %d)" n);
+    if failures < 0 || failures >= n then
+      G.Config_error.fail ~where
+        (Printf.sprintf "failures must be in [0, n) (got %d of n=%d)" failures n);
+    let faults = Ch.Netfault.of_string net_spec in
+    let inputs = List.init n (fun i -> (i mod 4) + 1) in
+    let crash =
+      if failures = 0 then G.Crash.none ~n
+      else
+        G.Crash.random ~n ~failures
+          ~max_round:(max 1 (min round_budget 6))
+          (Anon_kernel.Rng.make (seed + 7919))
+    in
+    let fb = match failures_bound with Some f -> f | None -> max failures 1 in
+    if fb < 0 then
+      G.Config_error.fail ~where
+        (Printf.sprintf "failures-bound must be >= 0 (got %d)" fb);
+    let algo_mod : (module G.Intf.ALGORITHM) =
+      match algo with
+      | L_es -> (module C.Es_consensus)
+      | L_ess -> (module C.Ess_consensus)
+      | L_es_unguarded -> (module C.Es_consensus.No_written_old_guard)
+      | L_floodset ->
+        (module Anon_baselines.Floodset.Make (struct
+          let failures_bound = fb
+        end))
+    in
+    let module A = (val algo_mod : G.Intf.ALGORITHM) in
+    let module LR = Lv.Runner.Make (A) in
+    let config_for faults =
+      Lv.Runner.default_config ~timeout_init_s:timeout_init
+        ~timeout_max_s:timeout_max ~growth ~decay ~retries ~miss_grace
+        ~round_budget ~wall_budget_s:wall_budget ~seed ~faults ~inputs ~crash ()
+    in
+    let drops = match sweep_drop with [] -> [ None ] | ds -> List.map Option.some ds in
+    let runs =
+      with_recorder ~metrics ~json_trace (fun recorder ->
+          List.map
+            (fun drop_override ->
+              let faults =
+                match drop_override with
+                | None -> faults
+                | Some d ->
+                  Ch.Netfault.validate ~where
+                    { faults with Ch.Netfault.drop = d }
+              in
+              let config = config_for faults in
+              let o = LR.run ~recorder config in
+              render_report ppf ~algo:(live_algo_name algo) ~n ~faults ~config o;
+              (faults, config, o))
+            drops)
+    in
+    (match out with
+    | None -> ()
+    | Some path -> (
+      let doc =
+        match
+          List.map
+            (fun (faults, config, o) ->
+              report_json ~algo:(live_algo_name algo) ~n ~faults ~config o)
+            runs
+        with
+        | [ r ] -> r
+        | rs -> O.Json.List rs
+      in
+      match
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (O.Json.to_string doc);
+            output_char oc '\n')
+      with
+      | () -> Format.fprintf ppf "live report written to %s@." path
+      | exception Sys_error msg ->
+        Format.eprintf "anonc live: cannot write %s: %s@." path msg;
+        exit 1));
+    (match bench_out with
+    | None -> ()
+    | Some path -> (
+      (* anon-bench/3 micro rows (ns, lower-better) so `anonc bench diff`
+         can gate live-backend latency like any other baseline. *)
+      let micro =
+        List.concat_map
+          (fun (faults, _, (o : Lv.Runner.outcome)) ->
+            if O.Hist.is_empty o.Lv.Runner.decide_latency then []
+            else
+              let tag p =
+                Printf.sprintf "live_%s_n%d_drop%g_decide_p%g"
+                  (live_algo_name algo) n faults.Ch.Netfault.drop p
+              in
+              List.map
+                (fun p ->
+                  O.Json.Obj
+                    [
+                      ("name", O.Json.String (tag p));
+                      ( "ns",
+                        O.Json.Float (pct o.Lv.Runner.decide_latency p *. 1e9) );
+                    ])
+                [ 50.; 99. ])
+          runs
+      in
+      let doc =
+        O.Json.Obj
+          [
+            ("schema", O.Json.String "anon-bench/3");
+            ("label", O.Json.String label);
+            ("git_revision", O.Json.String (H.Bench_diff.git_revision ()));
+            ("cores", O.Json.Int (Domain.recommended_domain_count ()));
+            ("jobs", O.Json.Int 1);
+            ("micro", O.Json.List micro);
+          ]
+      in
+      match
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (O.Json.to_string doc);
+            output_char oc '\n')
+      with
+      | () -> Format.fprintf ppf "anon-bench/3 baseline written to %s@." path
+      | exception Sys_error msg ->
+        Format.eprintf "anonc live: cannot write %s: %s@." path msg;
+        exit 1));
+    if
+      List.exists
+        (fun (_, _, (o : Lv.Runner.outcome)) -> o.Lv.Runner.safety <> Lv.Runner.Safe)
+        runs
+    then begin
+      Format.eprintf "anonc live: safety violation@.";
+      exit 1
+    end
+  in
+  let algo_arg =
+    let of_string =
+      Arg.enum
+        [
+          ("es", L_es);
+          ("ess", L_ess);
+          ("floodset", L_floodset);
+          ("es-unguarded", L_es_unguarded);
+        ]
+    in
+    Arg.(value & opt of_string L_es
+         & info [ "algo" ] ~docv:"ALGO" ~doc:"es, ess, floodset or es-unguarded.")
+  in
+  let net_arg =
+    Arg.(value & opt string "none"
+         & info [ "net" ] ~docv:"SPEC"
+             ~doc:"Wire faults: comma-separated drop:P, dup:P, delay:P[:MAX_S], \
+                   sever:NAME clauses (e.g. drop:0.1,dup:0.05,delay:0.2:0.005); \
+                   none for a clean wire.")
+  in
+  let timeout_init_arg =
+    Arg.(value & opt float 0.02
+         & info [ "timeout-init" ] ~docv:"S" ~doc:"Initial round timeout, seconds.")
+  in
+  let timeout_max_arg =
+    Arg.(value & opt float 1.0
+         & info [ "timeout-max" ] ~docv:"S"
+             ~doc:"Timeout backoff cap, seconds (must be >= timeout-init).")
+  in
+  let growth_arg =
+    Arg.(value & opt float 2.0
+         & info [ "growth" ] ~docv:"X" ~doc:"Timeout growth per expiry (>= 1).")
+  in
+  let decay_arg =
+    Arg.(value & opt float 0.9
+         & info [ "decay" ] ~docv:"X" ~doc:"Timeout decay per quiet round ((0,1]).")
+  in
+  let retries_arg =
+    Arg.(value & opt int 3
+         & info [ "retries" ] ~docv:"K"
+             ~doc:"Timeout expiries (with rebroadcast) before a round proceeds \
+                   short.")
+  in
+  let miss_grace_arg =
+    Arg.(value & opt int 2
+         & info [ "miss-grace" ] ~docv:"K"
+             ~doc:"Consecutive short rounds before a silent peer stops being \
+                   expected.")
+  in
+  let round_budget_arg =
+    Arg.(value & opt int 200
+         & info [ "round-budget" ] ~docv:"ROUNDS" ~doc:"Max rounds per process.")
+  in
+  let wall_budget_arg =
+    Arg.(value & opt float 30.0
+         & info [ "wall-budget" ] ~docv:"S"
+             ~doc:"Wall-clock ceiling; an over-budget run reports undecided \
+                   with diagnostics instead of hanging.")
+  in
+  let failures_bound_arg =
+    Arg.(value & opt (some int) None
+         & info [ "failures-bound" ] ~docv:"F"
+             ~doc:"floodset's a-priori failure bound (default: --failures, \
+                   at least 1).")
+  in
+  let sweep_drop_arg =
+    Arg.(value & opt (list float) []
+         & info [ "sweep-drop" ] ~docv:"P1,P2,..."
+             ~doc:"Run one report per drop probability (overriding --net's \
+                   drop) — the T17 timeout-vs-decide-round sweep.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the anon-live/1 report JSON to $(docv) (a list when \
+                   sweeping).")
+  in
+  let bench_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bench-out" ] ~docv:"FILE"
+             ~doc:"Write decide-latency percentiles as an anon-bench/3 \
+                   baseline for $(b,anonc bench diff).")
+  in
+  let label_arg =
+    Arg.(value & opt string "PR10"
+         & info [ "label" ] ~docv:"LABEL" ~doc:"Baseline label for --bench-out.")
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:"Run consensus on the live async backend: one thread per process, \
+             real in-process channels, wire-level fault injection, and \
+             adaptive timeouts standing in for GST. Exits 1 on a safety \
+             violation, 2 on invalid parameters; an over-budget run reports \
+             undecided and exits 0.")
+    Term.(
+      const run $ algo_arg $ n_arg $ net_arg $ timeout_init_arg $ timeout_max_arg
+      $ growth_arg $ decay_arg $ retries_arg $ miss_grace_arg $ round_budget_arg
+      $ wall_budget_arg $ seed_arg $ failures_arg $ failures_bound_arg
+      $ sweep_drop_arg $ out_arg $ bench_out_arg $ label_arg $ metrics_arg
+      $ json_trace_arg)
+
 (* --- bench ----------------------------------------------------------------- *)
 
 let bench_cmd =
@@ -994,7 +1406,8 @@ let () =
   let group =
     Cmd.group info
       [ run_cmd; weakset_cmd; emulate_cmd; skew_cmd; sigma_cmd; metrics_cmd;
-        fuzz_cmd; mc_cmd; load_cmd; bench_cmd; experiment_cmd; list_cmd ]
+        fuzz_cmd; mc_cmd; load_cmd; live_cmd; bench_cmd; experiment_cmd;
+        list_cmd ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code

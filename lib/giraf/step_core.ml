@@ -13,49 +13,10 @@ type workload = (int * (int * op_spec) list) list
    the automata differ — consensus processes halt on decision, services
    run a client-operation phase instead. *)
 
-(* Inbox assembly shared by both cores: partition the in-flight list at
-   [arrival <= round], sort the ready arrivals canonically by
-   (arrival, sent, message), and split into the deduplicated current-round
-   set and the fresh list. The canonical order replaces the old Mailbox
-   bucket order: no algorithm distinguishes the two (messages are sets —
-   anonymity merges duplicates), and a single order is what lets the
-   runner and the model checker share this code path. *)
-let ready_inbox ~compare ~round inflight =
-  (* Same-object messages compare equal without walking the structure — a
-     broadcast shares one message value across its receivers, and late
-     entries resurface across rounds. *)
-  let compare m1 m2 = if m1 == m2 then 0 else compare m1 m2 in
-  let ready, rest =
-    (* Post-GST steady state: everything in flight is ready. Checking
-       first skips the two-list rebuild of [partition]. *)
-    if List.for_all (fun (a, _, _) -> a <= round) inflight then (inflight, [])
-    else List.partition (fun (a, _, _) -> a <= round) inflight
-  in
-  let ready =
-    List.sort
-      (fun (a1, s1, m1) (a2, s2, m2) ->
-        match Int.compare a1 a2 with
-        | 0 -> ( match Int.compare s1 s2 with 0 -> compare m1 m2 | c -> c)
-        | c -> c)
-      ready
-  in
-  (* Arrivals never precede sends (Dispatch clamps [arrival >= round]), so
-     a ready entry with [sent = round] has [arrival = round] too: the
-     current-round messages are one contiguous run of the sorted list,
-     already in message order — deduplication is adjacent-uniq, no second
-     sort. *)
-  let rec uniq_current = function
-    | [] -> []
-    | (_, s, m) :: tl ->
-      if s = round then
-        match tl with
-        | (_, s', m') :: _ when s' = round && compare m m' = 0 -> uniq_current tl
-        | _ -> m :: uniq_current tl
-      else uniq_current tl
-  in
-  let current = uniq_current ready in
-  let fresh = List.map (fun (_, sent, m) -> (sent, m)) ready in
-  (current, fresh, rest)
+(* Inbox assembly is owned by the backend seam ({!Backend.ready_inbox}):
+   the live backend must consume arrivals with byte-identical semantics,
+   so the one implementation lives there and both backends call it. *)
+let ready_inbox = Backend.ready_inbox
 
 module Consensus (A : Intf.ALGORITHM) = struct
   type t = {

@@ -1,0 +1,31 @@
+(* Due-time mailboxes. See chan.mli. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  mutable items : (float * int * 'a) list;  (* (due, seq, item), unordered *)
+  mutable seq : int;
+}
+
+let create () = { mutex = Mutex.create (); items = []; seq = 0 }
+
+let post t ~due x =
+  Mutex.lock t.mutex;
+  t.items <- (due, t.seq, x) :: t.items;
+  t.seq <- t.seq + 1;
+  Mutex.unlock t.mutex
+
+let drain_ready t ~now =
+  Mutex.lock t.mutex;
+  let ready, rest = List.partition (fun (due, _, _) -> due <= now) t.items in
+  t.items <- rest;
+  Mutex.unlock t.mutex;
+  ready
+  |> List.sort (fun (d1, s1, _) (d2, s2, _) ->
+         match Float.compare d1 d2 with 0 -> Int.compare s1 s2 | c -> c)
+  |> List.map (fun (_, _, x) -> x)
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = List.length t.items in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,29 @@
+(** Thread-safe mailboxes with per-item due times.
+
+    The live transport's unit of delay is the {e due time}: a posted item
+    becomes visible to {!drain_ready} only once the clock passes it. That
+    one primitive carries the whole wire fault model — extra latency,
+    retransmission backoff and severed-link penalties are all just later
+    due times — without a timer thread: the receiver polls, and the
+    mailbox answers with whatever is ripe.
+
+    Ready items come out ordered by [(due, post sequence)], so two copies
+    posted with equal due times preserve post order — on a faultless wire
+    every link is FIFO, which the differential suite relies on. Safe for
+    many posters and one drainer (or several of each; every operation
+    holds the mailbox lock). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val post : 'a t -> due:float -> 'a -> unit
+(** Enqueue [x], visible to drains at times [>= due] (seconds, same clock
+    as the [now] passed to {!drain_ready}). *)
+
+val drain_ready : 'a t -> now:float -> 'a list
+(** Remove and return every item with [due <= now], ordered by
+    [(due, post sequence)]. Items still in the future stay queued. *)
+
+val pending : 'a t -> int
+(** Queued items, ripe or not. *)

@@ -5,7 +5,33 @@ type ring = {
   mutable overwritten : int;
 }
 
-type stream = { oc : out_channel; mutable unflushed : int }
+type stream = { oc : out_channel; mutable unflushed : int; mutable closed : bool }
+
+(* Every open JSONL stream is registered here so that an abnormal exit
+   (uncaught exception, [exit] from a CLI error path, a live run cut
+   short) still flushes complete buffered lines to disk: events are
+   written line-atomically, so a flush at any instant leaves a valid
+   JSONL prefix — never a truncated, unparseable trace file. [close]
+   (and the caller closing the channel after an explicit flush)
+   unregisters; the hook tolerates channels closed behind its back. *)
+let open_streams : stream list ref = ref []
+let at_exit_installed = ref false
+
+let flush_open_streams () =
+  List.iter
+    (fun s ->
+      if not s.closed then try Stdlib.flush s.oc with Sys_error _ -> ())
+    !open_streams
+
+let register_stream s =
+  if not !at_exit_installed then begin
+    at_exit_installed := true;
+    Stdlib.at_exit flush_open_streams
+  end;
+  open_streams := s :: !open_streams
+
+let unregister_stream s =
+  open_streams := List.filter (fun s' -> s' != s) !open_streams
 
 type t =
   | Null
@@ -20,7 +46,10 @@ let memory ~capacity =
   if capacity <= 0 then invalid_arg "Sink.memory: capacity must be positive";
   Memory { slots = Array.make capacity None; next = 0; stored = 0; overwritten = 0 }
 
-let jsonl oc = Jsonl { oc; unflushed = 0 }
+let jsonl oc =
+  let s = { oc; unflushed = 0; closed = false } in
+  register_stream s;
+  Jsonl s
 let handler f = Handler f
 let tee ts = Tee ts
 
@@ -69,5 +98,16 @@ let rec dropped = function
 
 let rec flush = function
   | Null | Memory _ | Handler _ -> ()
-  | Jsonl s -> flush_channel s
+  | Jsonl s -> if not s.closed then flush_channel s
   | Tee ts -> List.iter flush ts
+
+let rec close = function
+  | Null | Memory _ | Handler _ -> ()
+  | Jsonl s ->
+    if not s.closed then begin
+      s.closed <- true;
+      unregister_stream s;
+      (try flush_channel s with Sys_error _ -> ());
+      try close_out s.oc with Sys_error _ -> ()
+    end
+  | Tee ts -> List.iter close ts

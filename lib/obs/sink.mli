@@ -18,8 +18,11 @@ val memory : capacity:int -> t
 
 val jsonl : out_channel -> t
 (** Streams [Json.to_string (Event.to_json ev)] plus a newline per event.
-    The channel is flushed by {!flush} (and on every 256th event); the
-    caller closes it. *)
+    The channel is flushed by {!flush} (and on every 256th event), and —
+    because events are written line-atomically — also by an [at_exit]
+    hook, so an abnormal exit mid-run still leaves a valid JSONL prefix
+    on disk rather than a truncated line. {!close} flushes, closes the
+    channel and detaches the hook. *)
 
 val handler : (Event.t -> unit) -> t
 (** Calls the function on every event — the hook used to feed live
@@ -39,3 +42,11 @@ val dropped : t -> int
 (** Ring-buffer overwrites so far (0 for non-memory sinks). *)
 
 val flush : t -> unit
+(** Flushes buffered output of any JSONL sinks in [t] (no-op for the
+    rest, and for already-closed streams). Safe at any instant: the file
+    left behind is always whole lines. *)
+
+val close : t -> unit
+(** Flushes and closes the underlying channels of any JSONL sinks in [t]
+    and unregisters them from the exit-time flush hook. Idempotent; no-op
+    for non-stream sinks. *)

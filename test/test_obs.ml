@@ -372,6 +372,46 @@ let test_sink_jsonl_roundtrip () =
       close_in ic;
       Alcotest.(check (list event)) "file roundtrip" all_events evs)
 
+(* The satellite guarantee behind the at_exit hook: flushing a JSONL sink
+   at an arbitrary mid-run instant leaves only complete, parseable lines
+   on disk — an interrupted live run can't produce a truncated trace. *)
+let test_sink_jsonl_midrun_flush () =
+  let path = Filename.temp_file "anonc_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let s = Sink.jsonl oc in
+      let early = [ Event.Round_start { round = 0 }; Event.Crash { pid = 1; round = 0 } ] in
+      List.iter (Sink.emit s) early;
+      (* Mid-run: the stream is still open and more events are coming. *)
+      Sink.flush s;
+      let read_lines () =
+        let ic = open_in path in
+        let rec go acc =
+          match input_line ic with
+          | line -> (
+            match Json.of_string line with
+            | Error e -> Alcotest.failf "invalid JSON line %S: %s" line e
+            | Ok j -> (
+              match Event.of_json j with
+              | Error e -> Alcotest.failf "unparseable event %S: %s" line e
+              | Ok ev -> go (ev :: acc)))
+          | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+        in
+        go []
+      in
+      Alcotest.(check (list event)) "mid-run flush = valid JSONL prefix" early
+        (read_lines ());
+      List.iter (Sink.emit s) all_events;
+      Sink.close s;
+      Sink.close s (* idempotent *);
+      Sink.flush s (* no-op after close, must not raise *);
+      Alcotest.(check (list event)) "close flushes the rest"
+        (early @ all_events) (read_lines ()))
+
 let test_sink_handler () =
   let got = ref [] in
   let s = Sink.handler (fun ev -> got := ev :: !got) in
@@ -559,6 +599,8 @@ let () =
           Alcotest.test_case "ring buffer" `Quick test_sink_ring;
           Alcotest.test_case "null and tee" `Quick test_sink_null_and_tee;
           Alcotest.test_case "jsonl roundtrip" `Quick test_sink_jsonl_roundtrip;
+          Alcotest.test_case "jsonl mid-run flush" `Quick
+            test_sink_jsonl_midrun_flush;
           Alcotest.test_case "handler" `Quick test_sink_handler;
         ] );
       ( "trace",
